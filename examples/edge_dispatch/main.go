@@ -1,0 +1,112 @@
+// Edge dispatch: the Action service (§VI, Fig. 4). The dispatcher picks
+// the right model variant per device under a latency budget, then the
+// crowd-based learning loop uploads uncertainty-selected feature vectors
+// from edge devices to improve the server model while spending a fraction
+// of the raw-image bandwidth.
+//
+//	go run ./examples/edge_dispatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/nn"
+)
+
+func main() {
+	// --- Part 1: capability-aware dispatch (Fig. 8's setting). ---
+	sim := edge.NewInferenceSim(1)
+	fmt.Println("model dispatch under a 1-second latency budget:")
+	for _, dev := range edge.Devices() {
+		d, err := edge.Dispatch(dev, nn.Profiles(), edge.Constraints{
+			MaxLatency: time.Second, ImageSide: 224,
+		}, sim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s -> %-12s (est. %7.1f ms, constraints met: %v)\n",
+			dev.Name, d.Model.Name, float64(d.EstimatedLatency)/float64(time.Millisecond), d.MetConstraints)
+	}
+
+	fmt.Println("\nsimulated inference times at 224px (mean of 50 runs):")
+	for _, m := range nn.Profiles() {
+		fmt.Printf("  %-14s", m.Name)
+		for _, dev := range edge.Devices() {
+			fmt.Printf("  %-18s %8.1f ms", dev.Name, float64(sim.MeanInfer(m, dev, 224, 50))/float64(time.Millisecond))
+		}
+		fmt.Println()
+	}
+
+	// --- Part 2: crowd-based learning loop. ---
+	const dim, classes = 16, 4
+	task := func(n int, seed int64) ([][]float64, []int) {
+		rng := rand.New(rand.NewSource(seed))
+		var xs [][]float64
+		var ys []int
+		for i := 0; i < n; i++ {
+			c := i % classes
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = rng.NormFloat64() * 0.6
+			}
+			v[c] += 2.0
+			xs = append(xs, v)
+			ys = append(ys, c)
+		}
+		return xs, ys
+	}
+	seedX, seedY := task(20, 1) // small server-side seed set
+	server, err := edge.NewServer(dim, classes, 32, seedX, seedY, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	testX, testY := task(300, 3)
+
+	var devices []*edge.Device
+	for i := 0; i < 4; i++ {
+		d := &edge.Device{Profile: edge.Smartphone}
+		x, y := task(80, int64(10+i))
+		for j := range x {
+			d.Local = append(d.Local, edge.Sample{Vec: x[j], Label: y[j]})
+		}
+		devices = append(devices, d)
+	}
+
+	fmt.Println("\ncrowd-based learning (uncertainty-prioritised uploads):")
+	reports, err := edge.Loop(server, devices, edge.SelectUncertainty, 12, 5, testX, testY, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %-9s %-12s %-12s %s\n", "round", "uploads", "feat bytes", "raw bytes", "accuracy")
+	for _, r := range reports {
+		fmt.Printf("%-6d %-9d %-12d %-12d %.3f\n",
+			r.Round, r.Uploaded, r.UploadedBytes, r.RawBytes, r.Accuracy)
+	}
+	first, last := reports[0], reports[len(reports)-1]
+	fmt.Printf("\naccuracy %.3f -> %.3f; feature uploads cost %.1f%% of raw-image bandwidth\n",
+		first.Accuracy, last.Accuracy,
+		100*float64(sumBytes(reports))/float64(sumRaw(reports)))
+}
+
+func sumBytes(rs []edge.RoundReport) int64 {
+	var t int64
+	for _, r := range rs {
+		t += r.UploadedBytes
+	}
+	return t
+}
+
+func sumRaw(rs []edge.RoundReport) int64 {
+	var t int64
+	for _, r := range rs {
+		t += r.RawBytes
+	}
+	if t == 0 {
+		return 1
+	}
+	return t
+}

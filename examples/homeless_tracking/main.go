@@ -1,0 +1,124 @@
+// Homeless tracking: the paper's translational-data example (§VII-B).
+// The Homeless Coordinator reuses the *existing* street-cleanliness
+// annotations — produced for LASAN's cleaning operations — without any
+// new learning: query the encampment label, cluster tent locations with
+// kMeans over scene coordinates, and report weekly movement of the
+// cluster centers.
+//
+//	go run ./examples/homeless_tracking
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	tvdp "repro"
+	"repro/internal/geo"
+	"repro/internal/ml"
+	"repro/internal/query"
+	"repro/internal/synth"
+)
+
+func main() {
+	p, err := tvdp.Open(tvdp.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	// --- Department A (LASAN) workflow: collect + label for cleaning. ---
+	if _, err := p.CreateClassification("street_cleanliness", synth.ClassNames[:]); err != nil {
+		log.Fatal(err)
+	}
+	g, err := synth.NewGenerator(synth.DefaultConfig(400, 11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rec := range g.Generate(400) {
+		id, err := p.IngestRecord(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.AnnotateHuman(id, "street_cleanliness", int(rec.Class), rec.CapturedAt); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- Department B (Homeless Coordinator): pure reuse. ---
+	res, plan, err := p.Search(query.Query{
+		Categorical: &query.CategoricalClause{
+			Classification: "street_cleanliness", Label: "Encampment",
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d encampment images with zero new learning  [%s]\n\n", len(res), plan)
+
+	// Cluster tent sightings by scene-center coordinates.
+	var pts [][]float64
+	var when []time.Time
+	for _, hit := range res {
+		img, err := p.Store.GetImage(hit.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := img.Scene.Center()
+		pts = append(pts, []float64{c.Lat, c.Lon})
+		when = append(when, img.TimestampCapturing)
+	}
+	const k = 4
+	clusters, err := ml.KMeans(pts, ml.DefaultKMeansConfig(k, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kMeans found %d encampment clusters:\n", k)
+	counts := make([]int, k)
+	for _, a := range clusters.Assign {
+		counts[a]++
+	}
+	for c, cent := range clusters.Centroids {
+		fmt.Printf("  cluster %d: center (%.5f, %.5f), %d sightings\n",
+			c, cent[0], cent[1], counts[c])
+	}
+
+	// Weekly movement: per cluster, compare mean position across weeks.
+	fmt.Printf("\nweekly movement of cluster centers:\n")
+	type weekKey struct{ cluster, week int }
+	sums := map[weekKey][]float64{}
+	ns := map[weekKey]int{}
+	epoch := time.Date(2019, 1, 7, 0, 0, 0, 0, time.UTC)
+	for i, a := range clusters.Assign {
+		wk := int(when[i].Sub(epoch).Hours() / (24 * 7))
+		key := weekKey{a, wk}
+		if sums[key] == nil {
+			sums[key] = []float64{0, 0}
+		}
+		sums[key][0] += pts[i][0]
+		sums[key][1] += pts[i][1]
+		ns[key]++
+	}
+	for c := 0; c < k; c++ {
+		var weeks []int
+		for key := range sums {
+			if key.cluster == c {
+				weeks = append(weeks, key.week)
+			}
+		}
+		sort.Ints(weeks)
+		var prev *geo.Point
+		for _, wk := range weeks {
+			key := weekKey{c, wk}
+			mean := geo.Point{Lat: sums[key][0] / float64(ns[key]), Lon: sums[key][1] / float64(ns[key])}
+			if prev != nil {
+				fmt.Printf("  cluster %d, week %d -> %d: moved %.0f m (%d sightings)\n",
+					c, wk-1, wk, geo.Haversine(*prev, mean), ns[key])
+			}
+			m := mean
+			prev = &m
+		}
+	}
+	fmt.Printf("\ntranslational data science: LASAN's cleaning labels answered a social-services question.\n")
+}

@@ -1,0 +1,108 @@
+// Quickstart: open a platform, ingest a handful of geo-tagged street
+// images, run every query modality, and print the results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tvdp "repro"
+	"repro/internal/feature"
+	"repro/internal/geo"
+	"repro/internal/query"
+	"repro/internal/synth"
+)
+
+func main() {
+	p, err := tvdp.Open(tvdp.Config{}) // in-memory
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	// 1. Register the LASAN cleanliness labelling scheme.
+	if _, err := p.CreateClassification("street_cleanliness", synth.ClassNames[:]); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Ingest 50 synthetic street captures (stand-ins for MediaQ
+	// uploads) with ground-truth labels.
+	g, err := synth.NewGenerator(synth.DefaultConfig(50, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var firstEncampment uint64
+	for _, rec := range g.Generate(50) {
+		id, err := p.IngestRecord(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.AnnotateHuman(id, "street_cleanliness", int(rec.Class), rec.CapturedAt); err != nil {
+			log.Fatal(err)
+		}
+		if rec.Class == synth.Encampment && firstEncampment == 0 {
+			firstEncampment = id
+		}
+	}
+	fmt.Printf("ingested %d images; extracted features: %v\n\n",
+		p.Stats().Images, p.Stats().FeatureKinds)
+
+	la := geo.Point{Lat: 34.0522, Lon: -118.2437}
+
+	// 3. Spatial query: everything within 3 km of downtown.
+	r := geo.NewRect(geo.Destination(la, 315, 3000), geo.Destination(la, 135, 3000))
+	res, plan, err := p.Search(query.Query{Spatial: &query.SpatialClause{Rect: &r}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spatial (3 km box): %d hits  [%s]\n", len(res), plan)
+
+	// 4. Categorical query: images labelled Encampment.
+	res, plan, err = p.Search(query.Query{
+		Categorical: &query.CategoricalClause{Classification: "street_cleanliness", Label: "Encampment"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("categorical (Encampment): %d hits  [%s]\n", len(res), plan)
+
+	// 5. Textual query: keyword search.
+	res, plan, err = p.Search(query.Query{
+		Textual: &query.TextualClause{Terms: []string{"tent", "homeless"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("textual (tent|homeless): %d hits  [%s]\n", len(res), plan)
+
+	// 6. Temporal query: the first collection week.
+	start := time.Date(2019, 1, 7, 0, 0, 0, 0, time.UTC)
+	res, plan, err = p.Search(query.Query{
+		Temporal: &query.TemporalClause{From: start, To: start.AddDate(0, 0, 7)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("temporal (first week): %d hits  [%s]\n", len(res), plan)
+
+	// 7. Visual query: top-5 images most similar to the first encampment
+	// capture, by colour histogram.
+	vec, err := p.Store.GetFeature(firstEncampment, string(feature.KindColorHist))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, plan, err = p.Search(query.Query{
+		Visual: &query.VisualClause{Kind: string(feature.KindColorHist), Vec: vec, K: 5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("visual (top-5 like image %d): ", firstEncampment)
+	for _, h := range res {
+		fmt.Printf("%d(%.3f) ", h.ID, h.Score)
+	}
+	fmt.Printf(" [%s]\n", plan)
+}

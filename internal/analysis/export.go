@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// Model export/import: the "Download machine learning models" API of §V.
+// Linear models (the SVM and logistic regression — the platform's default
+// and best estimators) serialise to a portable JSON document carrying the
+// spec, the per-class weights, and the feature standardizer, so an edge
+// device can run the model locally with no access to the server.
+
+// ErrNotExportable reports a model family without a portable form.
+var ErrNotExportable = errors.New("analysis: model is not exportable")
+
+// exportedModel is the wire format (versioned for forward evolution).
+type exportedModel struct {
+	Version int       `json:"version"`
+	Spec    ModelSpec `json:"spec"`
+	// Type selects the estimator on import.
+	Type string `json:"type"` // "svm" | "logreg"
+	// W is classes x dim; B is per-class bias.
+	W [][]float64 `json:"w"`
+	B []float64   `json:"b"`
+	// Mean/Std restore the feature standardizer (empty = none).
+	Mean []float64 `json:"mean,omitempty"`
+	Std  []float64 `json:"std,omitempty"`
+}
+
+// paramModel is the accessor surface shared by the linear estimators.
+type paramModel interface {
+	Weights() ([][]float64, error)
+	Bias() ([]float64, error)
+}
+
+// Export serialises the named model for local execution on edge devices.
+// Only linear estimators export; others return ErrNotExportable.
+func (r *Registry) Export(name string) ([]byte, error) {
+	r.mu.RLock()
+	e, ok := r.models[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	var typ string
+	switch e.clf.(type) {
+	case *ml.LinearSVM:
+		typ = "svm"
+	case *ml.LogisticRegression:
+		typ = "logreg"
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrNotExportable, e.clf)
+	}
+	pm, ok := e.clf.(paramModel)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", ErrNotExportable, e.clf)
+	}
+	w, err := pm.Weights()
+	if err != nil {
+		return nil, err
+	}
+	b, err := pm.Bias()
+	if err != nil {
+		return nil, err
+	}
+	out := exportedModel{Version: 1, Spec: e.spec, Type: typ, W: w, B: b}
+	if e.std != nil {
+		out.Mean = e.std.Mean
+		out.Std = e.std.Std
+	}
+	return json.Marshal(out)
+}
+
+// Import registers a model previously produced by Export (typically on a
+// different registry — an edge device's local one) and returns its spec.
+func (r *Registry) Import(data []byte) (ModelSpec, error) {
+	var em exportedModel
+	if err := json.Unmarshal(data, &em); err != nil {
+		return ModelSpec{}, fmt.Errorf("analysis: decoding model export: %w", err)
+	}
+	if em.Version != 1 {
+		return ModelSpec{}, fmt.Errorf("analysis: unsupported model export version %d", em.Version)
+	}
+	var clf ml.ProbClassifier
+	switch em.Type {
+	case "svm":
+		m := ml.NewLinearSVM(ml.DefaultLinearConfig(0))
+		if err := m.SetParams(em.W, em.B); err != nil {
+			return ModelSpec{}, err
+		}
+		clf = m
+	case "logreg":
+		m := ml.NewLogisticRegression(ml.DefaultLinearConfig(0))
+		if err := m.SetParams(em.W, em.B); err != nil {
+			return ModelSpec{}, err
+		}
+		clf = m
+	default:
+		return ModelSpec{}, fmt.Errorf("analysis: unknown exported model type %q", em.Type)
+	}
+	var std *ml.Standardizer
+	if len(em.Mean) > 0 {
+		if len(em.Mean) != len(em.Std) {
+			return ModelSpec{}, errors.New("analysis: standardizer mean/std length mismatch")
+		}
+		std = &ml.Standardizer{Mean: em.Mean, Std: em.Std}
+	}
+	if err := r.Register(em.Spec, clf, std); err != nil {
+		return ModelSpec{}, err
+	}
+	return em.Spec, nil
+}

@@ -1,0 +1,607 @@
+package api
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/feature"
+	"repro/internal/imagesim"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+// env is a running test server plus an authenticated client.
+type env struct {
+	st     *store.Store
+	svc    *analysis.Service
+	srv    *httptest.Server
+	client *Client
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	st, err := store.Open(store.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	svc := analysis.NewService(st)
+	svc.RegisterExtractor(feature.NewColorHistogram())
+	server := NewServer(st, svc, nil)
+	server.Clock = func() time.Time { return time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC) }
+	ts := httptest.NewServer(server)
+	t.Cleanup(ts.Close)
+	boot := NewClient(ts.URL, "")
+	uid, err := boot.CreateUser("LASAN", "government")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := boot.CreateKey(uid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{st: st, svc: svc, srv: ts, client: NewClient(ts.URL, key)}
+}
+
+func sampleUpload(t *testing.T, seed int64) UploadImageRequest {
+	t.Helper()
+	g, err := synth.NewGenerator(synth.DefaultConfig(1, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := g.Render(synth.Encampment)
+	return UploadImageRequest{
+		FOV:        FOVFromGeo(rec.FOV),
+		Pixels:     EncodePixels(rec.Image),
+		CapturedAt: rec.CapturedAt,
+		Keywords:   rec.Keywords,
+		WorkerID:   rec.WorkerID,
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	e := newEnv(t)
+	anon := NewClient(e.srv.URL, "")
+	_, err := anon.GetImage(1)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated error = %v", err)
+	}
+	bad := NewClient(e.srv.URL, "wrong-key")
+	if _, err := bad.GetImage(1); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnauthorized {
+		t.Fatalf("bad-key error = %v", err)
+	}
+}
+
+func TestUploadAndFetchImage(t *testing.T) {
+	e := newEnv(t)
+	up, err := e.client.UploadImage(sampleUpload(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.ID == 0 || len(up.FeatureKinds) != 1 {
+		t.Fatalf("upload = %+v", up)
+	}
+	meta, err := e.client.GetImage(up.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != up.ID || len(meta.Keywords) == 0 || len(meta.FeatureKinds) != 1 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if meta.UploadedAt.IsZero() {
+		t.Fatal("upload time not set by server clock")
+	}
+	px, err := e.client.GetPixels(up.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := px.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 48 || img.H != 48 {
+		t.Fatalf("pixels = %dx%d", img.W, img.H)
+	}
+	var apiErr *APIError
+	if _, err := e.client.GetImage(9999); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("missing image error = %v", err)
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	e := newEnv(t)
+	req := sampleUpload(t, 2)
+	req.FOV.Angle = 0
+	var apiErr *APIError
+	if _, err := e.client.UploadImage(req); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("invalid FOV error = %v", err)
+	}
+	req = sampleUpload(t, 2)
+	req.Pixels.Data = "!!! not base64 !!!"
+	if _, err := e.client.UploadImage(req); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("bad pixels error = %v", err)
+	}
+}
+
+func TestClassificationsAndAnnotations(t *testing.T) {
+	e := newEnv(t)
+	cls, err := e.client.CreateClassification("street_cleanliness", synth.ClassNames[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.ID == 0 {
+		t.Fatal("no classification id")
+	}
+	var apiErr *APIError
+	if _, err := e.client.CreateClassification("street_cleanliness", synth.ClassNames[:]); !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
+		t.Fatalf("duplicate classification error = %v", err)
+	}
+	list, err := e.client.ListClassifications()
+	if err != nil || len(list) != 1 {
+		t.Fatalf("list = %+v err=%v", list, err)
+	}
+	up, err := e.client.UploadImage(sampleUpload(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.client.Annotate(up.ID, AnnotateRequest{
+		Classification: "street_cleanliness", Label: "Encampment",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := e.client.GetImage(up.ID)
+	if len(meta.Annotations) != 1 || meta.Annotations[0].Label != "Encampment" {
+		t.Fatalf("annotations = %+v", meta.Annotations)
+	}
+	if meta.Annotations[0].Source != string(store.SourceHuman) {
+		t.Fatalf("default source = %q", meta.Annotations[0].Source)
+	}
+	if err := e.client.Annotate(up.ID, AnnotateRequest{
+		Classification: "street_cleanliness", Label: "NoSuchLabel",
+	}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("bad label error = %v", err)
+	}
+}
+
+// populateLabeled uploads n labeled encampment/clean images.
+func populateLabeled(t *testing.T, e *env, n int) []uint64 {
+	t.Helper()
+	if _, err := e.client.CreateClassification("street_cleanliness", synth.ClassNames[:]); err != nil {
+		t.Fatal(err)
+	}
+	g, err := synth.NewGenerator(synth.DefaultConfig(n, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint64
+	for i := 0; i < n; i++ {
+		cls := synth.Encampment
+		if i%2 == 1 {
+			cls = synth.Clean
+		}
+		rec := g.Render(cls)
+		up, err := e.client.UploadImage(UploadImageRequest{
+			FOV: FOVFromGeo(rec.FOV), Pixels: EncodePixels(rec.Image),
+			CapturedAt: rec.CapturedAt, Keywords: rec.Keywords,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.client.Annotate(up.ID, AnnotateRequest{
+			Classification: "street_cleanliness", Label: cls.String(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, up.ID)
+	}
+	return ids
+}
+
+func TestSearchEndpoints(t *testing.T) {
+	e := newEnv(t)
+	ids := populateLabeled(t, e, 20)
+	// Categorical search.
+	var req SearchRequest
+	req.Categorical = &struct {
+		Classification string  `json:"classification"`
+		Label          string  `json:"label"`
+		MinConfidence  float64 `json:"min_confidence"`
+	}{Classification: "street_cleanliness", Label: "Encampment"}
+	resp, err := e.client.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 10 || resp.Plan == "" {
+		t.Fatalf("categorical search = %+v", resp)
+	}
+	// Textual search: encampment keywords exist in the corpus.
+	var treq SearchRequest
+	treq.Textual = &struct {
+		Terms    []string `json:"terms"`
+		MatchAll bool     `json:"match_all"`
+	}{Terms: []string{"tent", "homeless", "encampment", "shelter"}}
+	tresp, err := e.client.Search(treq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tresp.Results) == 0 {
+		t.Fatal("textual search found nothing")
+	}
+	// Empty query is a 400.
+	var apiErr *APIError
+	if _, err := e.client.Search(SearchRequest{}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("empty query error = %v", err)
+	}
+	// Dataset download.
+	metas, err := e.client.DownloadDataset("street_cleanliness", "Clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 10 {
+		t.Fatalf("dataset size = %d", len(metas))
+	}
+	_ = ids
+}
+
+func TestFeatureExtractEndpoint(t *testing.T) {
+	e := newEnv(t)
+	img := imagesim.MustNew(16, 16)
+	img.Fill(imagesim.RGB{R: 200, G: 10, B: 10})
+	out, err := e.client.ExtractFeature(string(feature.KindColorHist), EncodePixels(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Vector) != 50 {
+		t.Fatalf("vector len = %d", len(out.Vector))
+	}
+	var apiErr *APIError
+	if _, err := e.client.ExtractFeature("no_such_kind", EncodePixels(img)); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("unknown kind error = %v", err)
+	}
+}
+
+func TestModelLifecycleOverAPI(t *testing.T) {
+	e := newEnv(t)
+	populateLabeled(t, e, 30)
+	spec, err := e.client.TrainModel(TrainRequest{
+		Name:           "enc-vs-clean",
+		Classification: "street_cleanliness",
+		FeatureKind:    string(feature.KindColorHist),
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TrainedOn != 30 || spec.Owner != "LASAN" {
+		t.Fatalf("trained spec = %+v", spec)
+	}
+	models, err := e.client.ListModels()
+	if err != nil || len(models) != 1 {
+		t.Fatalf("models = %+v err=%v", models, err)
+	}
+	// Predict from raw pixels (server extracts the right feature kind).
+	g, _ := synth.NewGenerator(synth.DefaultConfig(1, 77))
+	rec := g.Render(synth.Encampment)
+	pred, err := e.client.Predict("enc-vs-clean", PredictRequest{Pixels: ptr(EncodePixels(rec.Image))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.LabelName == "" || pred.Confidence <= 0 {
+		t.Fatalf("prediction = %+v", pred)
+	}
+	// Machine-annotate everything; every stored image has the feature.
+	annotated, skipped, err := e.client.ModelAnnotate("enc-vs-clean", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if annotated != 30 || skipped != 0 {
+		t.Fatalf("model annotate = %d/%d", annotated, skipped)
+	}
+	var apiErr *APIError
+	if _, err := e.client.Predict("nope", PredictRequest{Vector: make([]float64, 50)}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown model error = %v", err)
+	}
+	if _, err := e.client.Predict("enc-vs-clean", PredictRequest{}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("empty predict error = %v", err)
+	}
+	// Training with no data is a 400.
+	if _, err := e.client.TrainModel(TrainRequest{
+		Name: "m2", Classification: "street_cleanliness", FeatureKind: "no_kind",
+	}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("no-data train error = %v", err)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func TestDispatchEndpoint(t *testing.T) {
+	e := newEnv(t)
+	resp, err := e.client.Dispatch(DispatchRequest{Device: "raspberry_pi", MaxLatencyMs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model == "InceptionV3" || !resp.MetConstraints {
+		t.Fatalf("RPI dispatch = %+v", resp)
+	}
+	resp, err = e.client.Dispatch(DispatchRequest{Device: "desktop", MaxLatencyMs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "InceptionV3" {
+		t.Fatalf("desktop dispatch = %+v", resp)
+	}
+	var apiErr *APIError
+	if _, err := e.client.Dispatch(DispatchRequest{Device: "toaster"}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("unknown device error = %v", err)
+	}
+}
+
+func TestCreateKeyForMissingUser(t *testing.T) {
+	e := newEnv(t)
+	boot := NewClient(e.srv.URL, "")
+	var apiErr *APIError
+	if _, err := boot.CreateKey(9999); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("missing user key error = %v", err)
+	}
+}
+
+func TestPixelsRoundTrip(t *testing.T) {
+	img := imagesim.MustNew(5, 3)
+	img.Set(2, 1, imagesim.RGB{R: 9, G: 8, B: 7})
+	dto := EncodePixels(img)
+	back, err := dto.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Pix {
+		if back.Pix[i] != img.Pix[i] {
+			t.Fatal("pixel round trip failed")
+		}
+	}
+	bad := dto
+	bad.W = 99
+	if _, err := bad.Decode(); err == nil {
+		t.Fatal("inconsistent dims accepted")
+	}
+}
+
+func TestVideoEndpoints(t *testing.T) {
+	e := newEnv(t)
+	g, _ := synth.NewGenerator(synth.DefaultConfig(10, 44))
+	start := time.Date(2019, 8, 14, 10, 0, 0, 0, time.UTC)
+	var req UploadVideoRequest
+	req.Description = "survey"
+	req.WorkerID = "drone-1"
+	for i := 0; i < 3; i++ {
+		rec := g.Render(synth.Clean)
+		req.Frames = append(req.Frames, struct {
+			FOV        FOVDTO    `json:"fov"`
+			Pixels     PixelsDTO `json:"pixels"`
+			CapturedAt time.Time `json:"captured_at"`
+			Keywords   []string  `json:"keywords,omitempty"`
+		}{
+			FOV:        FOVFromGeo(rec.FOV),
+			Pixels:     EncodePixels(rec.Image),
+			CapturedAt: start.Add(time.Duration(i) * time.Second),
+			Keywords:   []string{"drone"},
+		})
+	}
+	up, err := e.client.UploadVideo(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.ID == 0 || len(up.FrameIDs) != 3 {
+		t.Fatalf("video upload = %+v", up)
+	}
+	// Frames exist as images with extracted features.
+	meta, err := e.client.GetImage(up.FrameIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.FeatureKinds) != 1 {
+		t.Fatalf("frame features = %v", meta.FeatureKinds)
+	}
+	v, err := e.client.GetVideo(up.ID)
+	if err != nil || v.Description != "survey" || len(v.FrameIDs) != 3 {
+		t.Fatalf("get video = %+v err=%v", v, err)
+	}
+	vs, err := e.client.ListVideos()
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("list videos = %+v err=%v", vs, err)
+	}
+	var apiErr *APIError
+	if _, err := e.client.GetVideo(9999); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("missing video error = %v", err)
+	}
+	// Empty video rejected.
+	if _, err := e.client.UploadVideo(UploadVideoRequest{Description: "x"}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("empty video error = %v", err)
+	}
+}
+
+func TestModelDownloadAndImportOverAPI(t *testing.T) {
+	e := newEnv(t)
+	populateLabeled(t, e, 20)
+	if _, err := e.client.TrainModel(TrainRequest{
+		Name:           "portable",
+		Classification: "street_cleanliness",
+		FeatureKind:    string(feature.KindColorHist),
+		Seed:           2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.client.DownloadModel("portable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty model download")
+	}
+	// A "device" imports the model into its own local registry and runs
+	// it offline.
+	local := analysis.NewRegistry()
+	spec, err := local.Import(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := make([]float64, spec.Dim)
+	lp, err := local.Predict("portable", vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := e.client.Predict("portable", PredictRequest{Vector: vec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Label != sp.Label {
+		t.Fatalf("local label %d vs server %d", lp.Label, sp.Label)
+	}
+	// Importing back to the server under the same name conflicts.
+	var apiErr *APIError
+	if _, err := e.client.ImportModel(data); !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
+		t.Fatalf("duplicate import error = %v", err)
+	}
+	// Unknown model download is a 404.
+	if _, err := e.client.DownloadModel("nope"); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown download error = %v", err)
+	}
+	// Garbage import is a 400.
+	if _, err := e.client.ImportModel([]byte(`{"version":9}`)); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("bad import error = %v", err)
+	}
+}
+
+func TestCampaignEndpoints(t *testing.T) {
+	e := newEnv(t)
+	// Create a campaign over a 1 km box around downtown.
+	req := CampaignDTO{
+		Name:   "dtla-sweep",
+		MinLat: 34.04, MinLon: -118.26, MaxLat: 34.07, MaxLon: -118.23,
+		TargetCoverage: 0.9,
+	}
+	created, err := e.client.CreateCampaign(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.ID == 0 || created.CreatedAt.IsZero() {
+		t.Fatalf("campaign = %+v", created)
+	}
+	// Upload one image attached to the campaign, inside its region.
+	g, _ := synth.NewGenerator(synth.DefaultConfig(1, 55))
+	rec := g.Render(synth.Clean)
+	up := UploadImageRequest{
+		FOV:        FOVDTO{Lat: 34.055, Lon: -118.245, Direction: 0, Angle: 60, Radius: 100},
+		Pixels:     EncodePixels(rec.Image),
+		CapturedAt: rec.CapturedAt,
+		CampaignID: created.ID,
+	}
+	if _, err := e.client.UploadImage(up); err != nil {
+		t.Fatal(err)
+	}
+	list, err := e.client.ListCampaigns()
+	if err != nil || len(list) != 1 {
+		t.Fatalf("campaigns = %+v err=%v", list, err)
+	}
+	if list[0].Images != 1 {
+		t.Fatalf("attached images = %d", list[0].Images)
+	}
+	// Coverage: one narrow capture covers few of the 100 cells; the rest
+	// are weak.
+	cov, err := e.client.CampaignCoverage(created.ID, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.FOVs != 1 || cov.Rows != 10 || cov.Cols != 10 {
+		t.Fatalf("coverage meta = %+v", cov)
+	}
+	if cov.Ratio <= 0 || cov.Ratio > 0.2 {
+		t.Fatalf("coverage ratio = %v", cov.Ratio)
+	}
+	if len(cov.WeakCells) == 0 {
+		t.Fatal("no weak cells reported")
+	}
+	// Validation paths.
+	var apiErr *APIError
+	if _, err := e.client.CreateCampaign(CampaignDTO{Name: "x"}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("degenerate campaign error = %v", err)
+	}
+	if _, err := e.client.CampaignCoverage(9999, 0, 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("missing campaign coverage error = %v", err)
+	}
+}
+
+func TestNearSearchOverAPI(t *testing.T) {
+	e := newEnv(t)
+	ids := populateLabeled(t, e, 10)
+	meta, err := e.client.GetImage(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req SearchRequest
+	req.Near = &struct {
+		Lat float64 `json:"lat"`
+		Lon float64 `json:"lon"`
+		K   int     `json:"k"`
+	}{Lat: meta.FOV.Lat, Lon: meta.FOV.Lon, K: 3}
+	resp, err := e.client.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 || resp.Results[0].ID != ids[0] {
+		t.Fatalf("near search = %+v", resp.Results)
+	}
+}
+
+func TestGetPixelsMissing(t *testing.T) {
+	e := newEnv(t)
+	var apiErr *APIError
+	if _, err := e.client.GetPixels(12345); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("missing pixels error = %v", err)
+	}
+}
+
+func TestModelAnnotateExplicitIDs(t *testing.T) {
+	e := newEnv(t)
+	ids := populateLabeled(t, e, 10)
+	if _, err := e.client.TrainModel(TrainRequest{
+		Name: "m", Classification: "street_cleanliness",
+		FeatureKind: string(feature.KindColorHist), Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	annotated, skipped, err := e.client.ModelAnnotate("m", ids[:4])
+	if err != nil || annotated != 4 || skipped != 0 {
+		t.Fatalf("explicit annotate = %d/%d err=%v", annotated, skipped, err)
+	}
+}
+
+func TestListCampaignsEmpty(t *testing.T) {
+	e := newEnv(t)
+	cs, err := e.client.ListCampaigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 0 {
+		t.Fatalf("campaigns = %+v", cs)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	e := newEnv(t)
+	// DELETE on a GET/POST-only route is rejected by the router.
+	req, _ := http.NewRequest("DELETE", e.srv.URL+"/api/v1/models", nil)
+	req.Header.Set("X-API-Key", e.client.APIKey)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

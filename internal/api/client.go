@@ -1,0 +1,284 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/nn"
+)
+
+// nnProfiles indirection keeps the server's dispatch endpoint testable.
+func nnProfiles() []nn.ModelProfile { return nn.Profiles() }
+
+// Client is the typed cross-platform client library of §V.
+type Client struct {
+	BaseURL string
+	APIKey  string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the given base URL (no trailing slash)
+// and API key.
+func NewClient(baseURL, apiKey string) *Client {
+	return &Client{
+		BaseURL: baseURL,
+		APIKey:  apiKey,
+		HTTP:    &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// APIError is a non-2xx response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("api: HTTP %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body *bytes.Buffer
+	if in != nil {
+		body = &bytes.Buffer{}
+		if err := json.NewEncoder(body).Encode(in); err != nil {
+			return fmt.Errorf("api: encoding request: %w", err)
+		}
+	} else {
+		body = &bytes.Buffer{}
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return &APIError{Status: resp.StatusCode, Message: e.Error}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("api: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+// CreateUser registers a participant (bootstrap; no key required).
+func (c *Client) CreateUser(name, role string) (uint64, error) {
+	var out CreateUserResponse
+	err := c.do("POST", "/api/v1/users", CreateUserRequest{Name: name, Role: role}, &out)
+	return out.ID, err
+}
+
+// CreateKey mints an API key for a user (bootstrap; no key required).
+func (c *Client) CreateKey(userID uint64) (string, error) {
+	var out CreateKeyResponse
+	err := c.do("POST", "/api/v1/keys", CreateKeyRequest{UserID: userID}, &out)
+	return out.Key, err
+}
+
+// UploadImage adds new visual data.
+func (c *Client) UploadImage(req UploadImageRequest) (UploadImageResponse, error) {
+	var out UploadImageResponse
+	err := c.do("POST", "/api/v1/images", req, &out)
+	return out, err
+}
+
+// GetImage fetches metadata.
+func (c *Client) GetImage(id uint64) (ImageMeta, error) {
+	var out ImageMeta
+	err := c.do("GET", fmt.Sprintf("/api/v1/images/%d", id), nil, &out)
+	return out, err
+}
+
+// GetPixels fetches the raster payload.
+func (c *Client) GetPixels(id uint64) (PixelsDTO, error) {
+	var out PixelsDTO
+	err := c.do("GET", fmt.Sprintf("/api/v1/images/%d/pixels", id), nil, &out)
+	return out, err
+}
+
+// Annotate attaches a label to a stored image.
+func (c *Client) Annotate(id uint64, req AnnotateRequest) error {
+	return c.do("POST", fmt.Sprintf("/api/v1/images/%d/annotations", id), req, nil)
+}
+
+// Search runs a multi-modal query.
+func (c *Client) Search(req SearchRequest) (SearchResponse, error) {
+	var out SearchResponse
+	err := c.do("POST", "/api/v1/search", req, &out)
+	return out, err
+}
+
+// DownloadDataset fetches the metadata of all images with a label.
+func (c *Client) DownloadDataset(classification, label string) ([]ImageMeta, error) {
+	var out []ImageMeta
+	q := url.Values{"classification": {classification}, "label": {label}}
+	err := c.do("GET", "/api/v1/datasets?"+q.Encode(), nil, &out)
+	return out, err
+}
+
+// ExtractFeature featurises an uploaded image.
+func (c *Client) ExtractFeature(kind string, pixels PixelsDTO) (FeatureResponse, error) {
+	var out FeatureResponse
+	err := c.do("POST", "/api/v1/features/"+url.PathEscape(kind), FeatureRequest{Pixels: pixels}, &out)
+	return out, err
+}
+
+// ListModels returns the registered model specs.
+func (c *Client) ListModels() ([]ModelSpecDTO, error) {
+	var out []ModelSpecDTO
+	err := c.do("GET", "/api/v1/models", nil, &out)
+	return out, err
+}
+
+// TrainModel devises a new model from stored annotated data.
+func (c *Client) TrainModel(req TrainRequest) (ModelSpecDTO, error) {
+	var out ModelSpecDTO
+	err := c.do("POST", "/api/v1/models/train", req, &out)
+	return out, err
+}
+
+// Predict runs a registered model.
+func (c *Client) Predict(model string, req PredictRequest) (PredictResponse, error) {
+	var out PredictResponse
+	err := c.do("POST", fmt.Sprintf("/api/v1/models/%s/predict", url.PathEscape(model)), req, &out)
+	return out, err
+}
+
+// ModelAnnotate machine-annotates stored images with a model; empty ids
+// means all images.
+func (c *Client) ModelAnnotate(model string, ids []uint64) (annotated, skipped int, err error) {
+	var out map[string]int
+	body := map[string][]uint64{"image_ids": ids}
+	err = c.do("POST", fmt.Sprintf("/api/v1/models/%s/annotate", url.PathEscape(model)), body, &out)
+	return out["annotated"], out["skipped"], err
+}
+
+// ListClassifications returns all labelling schemes.
+func (c *Client) ListClassifications() ([]ClassificationDTO, error) {
+	var out []ClassificationDTO
+	err := c.do("GET", "/api/v1/classifications", nil, &out)
+	return out, err
+}
+
+// CreateClassification registers a labelling scheme.
+func (c *Client) CreateClassification(name string, labels []string) (ClassificationDTO, error) {
+	var out ClassificationDTO
+	err := c.do("POST", "/api/v1/classifications", ClassificationDTO{Name: name, Labels: labels}, &out)
+	return out, err
+}
+
+// Dispatch asks which model a device should run.
+func (c *Client) Dispatch(req DispatchRequest) (DispatchResponse, error) {
+	var out DispatchResponse
+	err := c.do("POST", "/api/v1/edge/dispatch", req, &out)
+	return out, err
+}
+
+// UploadVideo ingests a video as ordered key frames.
+func (c *Client) UploadVideo(req UploadVideoRequest) (UploadVideoResponse, error) {
+	var out UploadVideoResponse
+	err := c.do("POST", "/api/v1/videos", req, &out)
+	return out, err
+}
+
+// ListVideos returns all stored videos.
+func (c *Client) ListVideos() ([]VideoDTO, error) {
+	var out []VideoDTO
+	err := c.do("GET", "/api/v1/videos", nil, &out)
+	return out, err
+}
+
+// GetVideo fetches one video's metadata and frame list.
+func (c *Client) GetVideo(id uint64) (VideoDTO, error) {
+	var out VideoDTO
+	err := c.do("GET", fmt.Sprintf("/api/v1/videos/%d", id), nil, &out)
+	return out, err
+}
+
+// DownloadModel fetches the portable form of a trained model for local
+// execution (API 6 of §V).
+func (c *Client) DownloadModel(name string) ([]byte, error) {
+	req, err := http.NewRequest("GET", c.BaseURL+"/api/v1/models/"+url.PathEscape(name)+"/download", nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, &APIError{Status: resp.StatusCode, Message: e.Error}
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// ImportModel registers a previously exported model on the server.
+func (c *Client) ImportModel(data []byte) (ModelSpecDTO, error) {
+	var out ModelSpecDTO
+	err := c.do("POST", "/api/v1/models/import", json.RawMessage(data), &out)
+	return out, err
+}
+
+// CreateCampaign registers a data-collection campaign.
+func (c *Client) CreateCampaign(req CampaignDTO) (CampaignDTO, error) {
+	var out CampaignDTO
+	err := c.do("POST", "/api/v1/campaigns", req, &out)
+	return out, err
+}
+
+// ListCampaigns returns all campaigns with attached-upload counts.
+func (c *Client) ListCampaigns() ([]CampaignDTO, error) {
+	var out []CampaignDTO
+	err := c.do("GET", "/api/v1/campaigns", nil, &out)
+	return out, err
+}
+
+// CampaignCoverage measures a campaign region's current FOV coverage.
+func (c *Client) CampaignCoverage(id uint64, rows, cols int) (CoverageReport, error) {
+	var out CoverageReport
+	q := url.Values{}
+	if rows > 0 {
+		q.Set("rows", fmt.Sprint(rows))
+	}
+	if cols > 0 {
+		q.Set("cols", fmt.Sprint(cols))
+	}
+	path := fmt.Sprintf("/api/v1/campaigns/%d/coverage", id)
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	err := c.do("GET", path, nil, &out)
+	return out, err
+}

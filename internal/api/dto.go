@@ -1,0 +1,318 @@
+// Package api exposes TVDP's Restful web services (paper §V): data
+// upload, multi-modal search, dataset download, feature extraction, model
+// listing/prediction/training, classification management, and edge model
+// dispatch — all behind API-key authentication, with a typed Go client
+// for programmatic use.
+package api
+
+import (
+	"encoding/base64"
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/imagesim"
+)
+
+// FOVDTO mirrors geo.FOV on the wire.
+type FOVDTO struct {
+	Lat       float64 `json:"lat"`
+	Lon       float64 `json:"lon"`
+	Direction float64 `json:"direction"`
+	Angle     float64 `json:"angle"`
+	Radius    float64 `json:"radius"`
+}
+
+// ToGeo converts to the internal representation.
+func (f FOVDTO) ToGeo() geo.FOV {
+	return geo.FOV{
+		Camera:    geo.Point{Lat: f.Lat, Lon: f.Lon},
+		Direction: f.Direction, Angle: f.Angle, Radius: f.Radius,
+	}
+}
+
+// FOVFromGeo converts from the internal representation.
+func FOVFromGeo(f geo.FOV) FOVDTO {
+	return FOVDTO{Lat: f.Camera.Lat, Lon: f.Camera.Lon,
+		Direction: f.Direction, Angle: f.Angle, Radius: f.Radius}
+}
+
+// PixelsDTO carries raw RGB rasters as base64.
+type PixelsDTO struct {
+	W    int    `json:"w"`
+	H    int    `json:"h"`
+	Data string `json:"data"` // base64 of W*H*3 bytes, row-major RGB
+}
+
+// EncodePixels converts an image to its wire form.
+func EncodePixels(img *imagesim.Image) PixelsDTO {
+	buf := make([]byte, 0, len(img.Pix)*3)
+	for _, p := range img.Pix {
+		buf = append(buf, p.R, p.G, p.B)
+	}
+	return PixelsDTO{W: img.W, H: img.H, Data: base64.StdEncoding.EncodeToString(buf)}
+}
+
+// Decode converts the wire form back to an image.
+func (p PixelsDTO) Decode() (*imagesim.Image, error) {
+	raw, err := base64.StdEncoding.DecodeString(p.Data)
+	if err != nil {
+		return nil, fmt.Errorf("api: decoding pixels: %w", err)
+	}
+	img, err := imagesim.New(p.W, p.H)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) != p.W*p.H*3 {
+		return nil, fmt.Errorf("api: pixel payload is %d bytes, want %d", len(raw), p.W*p.H*3)
+	}
+	for i := range img.Pix {
+		img.Pix[i] = imagesim.RGB{R: raw[i*3], G: raw[i*3+1], B: raw[i*3+2]}
+	}
+	return img, nil
+}
+
+// UploadImageRequest is the "Add new data" API body.
+type UploadImageRequest struct {
+	FOV        FOVDTO    `json:"fov"`
+	Pixels     PixelsDTO `json:"pixels"`
+	CapturedAt time.Time `json:"captured_at"`
+	Keywords   []string  `json:"keywords,omitempty"`
+	WorkerID   string    `json:"worker_id,omitempty"`
+	CampaignID uint64    `json:"campaign_id,omitempty"`
+}
+
+// UploadImageResponse confirms ingest.
+type UploadImageResponse struct {
+	ID uint64 `json:"id"`
+	// FeatureKinds lists the feature families extracted at ingest.
+	FeatureKinds []string `json:"feature_kinds"`
+}
+
+// ImageMeta is the downloadable metadata view of one image.
+type ImageMeta struct {
+	ID           uint64       `json:"id"`
+	FOV          FOVDTO       `json:"fov"`
+	CapturedAt   time.Time    `json:"captured_at"`
+	UploadedAt   time.Time    `json:"uploaded_at"`
+	WorkerID     string       `json:"worker_id,omitempty"`
+	Keywords     []string     `json:"keywords,omitempty"`
+	Annotations  []Annotation `json:"annotations,omitempty"`
+	FeatureKinds []string     `json:"feature_kinds,omitempty"`
+}
+
+// Annotation is the wire form of a stored annotation.
+type Annotation struct {
+	Classification string  `json:"classification"`
+	Label          string  `json:"label"`
+	Confidence     float64 `json:"confidence"`
+	Source         string  `json:"source"`
+}
+
+// SearchRequest mirrors query.Query on the wire; absent clauses are nil.
+type SearchRequest struct {
+	Spatial *struct {
+		MinLat float64 `json:"min_lat"`
+		MinLon float64 `json:"min_lon"`
+		MaxLat float64 `json:"max_lat"`
+		MaxLon float64 `json:"max_lon"`
+	} `json:"spatial,omitempty"`
+	Near *struct {
+		Lat float64 `json:"lat"`
+		Lon float64 `json:"lon"`
+		K   int     `json:"k"`
+	} `json:"near,omitempty"`
+	Visual *struct {
+		Kind   string    `json:"kind"`
+		Vector []float64 `json:"vector"`
+		K      int       `json:"k"`
+	} `json:"visual,omitempty"`
+	Categorical *struct {
+		Classification string  `json:"classification"`
+		Label          string  `json:"label"`
+		MinConfidence  float64 `json:"min_confidence"`
+	} `json:"categorical,omitempty"`
+	Textual *struct {
+		Terms    []string `json:"terms"`
+		MatchAll bool     `json:"match_all"`
+	} `json:"textual,omitempty"`
+	Temporal *struct {
+		From time.Time `json:"from"`
+		To   time.Time `json:"to"`
+	} `json:"temporal,omitempty"`
+	Limit int `json:"limit,omitempty"`
+}
+
+// SearchResponse returns ranked hits plus the executed plan.
+type SearchResponse struct {
+	Results []SearchHit `json:"results"`
+	Plan    string      `json:"plan"`
+}
+
+// SearchHit is one ranked result.
+type SearchHit struct {
+	ID    uint64  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// FeatureRequest uploads an image for featurisation.
+type FeatureRequest struct {
+	Pixels PixelsDTO `json:"pixels"`
+}
+
+// FeatureResponse returns the extracted vector.
+type FeatureResponse struct {
+	Kind   string    `json:"kind"`
+	Vector []float64 `json:"vector"`
+}
+
+// PredictRequest runs a registered model on a feature vector or image.
+type PredictRequest struct {
+	Vector []float64  `json:"vector,omitempty"`
+	Pixels *PixelsDTO `json:"pixels,omitempty"`
+}
+
+// PredictResponse is the model output.
+type PredictResponse struct {
+	Label      int       `json:"label"`
+	LabelName  string    `json:"label_name"`
+	Confidence float64   `json:"confidence"`
+	Probs      []float64 `json:"probs"`
+}
+
+// TrainRequest devises a new model from stored data.
+type TrainRequest struct {
+	Name           string  `json:"name"`
+	Classification string  `json:"classification"`
+	FeatureKind    string  `json:"feature_kind"`
+	HoldoutFrac    float64 `json:"holdout_frac,omitempty"`
+	MinConfidence  float64 `json:"min_confidence,omitempty"`
+	Seed           int64   `json:"seed,omitempty"`
+}
+
+// ModelSpecDTO is the wire form of analysis.ModelSpec.
+type ModelSpecDTO struct {
+	Name           string   `json:"name"`
+	FeatureKind    string   `json:"feature_kind"`
+	Dim            int      `json:"dim"`
+	Classification string   `json:"classification"`
+	Labels         []string `json:"labels"`
+	Owner          string   `json:"owner,omitempty"`
+	TrainedOn      int      `json:"trained_on"`
+	MacroF1        float64  `json:"macro_f1"`
+}
+
+// AnnotateRequest attaches a label to a stored image.
+type AnnotateRequest struct {
+	Classification string  `json:"classification"`
+	Label          string  `json:"label"`
+	Confidence     float64 `json:"confidence"`
+	Source         string  `json:"source,omitempty"`
+}
+
+// ClassificationDTO is the wire form of a labelling scheme.
+type ClassificationDTO struct {
+	ID     uint64   `json:"id"`
+	Name   string   `json:"name"`
+	Labels []string `json:"labels"`
+}
+
+// CreateUserRequest registers a participant.
+type CreateUserRequest struct {
+	Name string `json:"name"`
+	Role string `json:"role"`
+}
+
+// CreateUserResponse returns the new user's id.
+type CreateUserResponse struct {
+	ID uint64 `json:"id"`
+}
+
+// CreateKeyRequest mints an API key.
+type CreateKeyRequest struct {
+	UserID uint64 `json:"user_id"`
+}
+
+// CreateKeyResponse returns the minted key.
+type CreateKeyResponse struct {
+	Key string `json:"key"`
+}
+
+// DispatchRequest asks the edge service which model a device should run.
+type DispatchRequest struct {
+	Device       string `json:"device"` // "desktop" | "raspberry_pi" | "smartphone"
+	MaxLatencyMs int    `json:"max_latency_ms,omitempty"`
+	ImageSide    int    `json:"image_side,omitempty"`
+}
+
+// DispatchResponse reports the chosen model.
+type DispatchResponse struct {
+	Model            string  `json:"model"`
+	EstimatedLatency float64 `json:"estimated_latency_ms"`
+	MetConstraints   bool    `json:"met_constraints"`
+}
+
+// VideoDTO is the wire form of a stored video (a sequence of key-frame
+// image IDs).
+type VideoDTO struct {
+	ID          uint64    `json:"id"`
+	Description string    `json:"description"`
+	WorkerID    string    `json:"worker_id,omitempty"`
+	Start       time.Time `json:"start"`
+	End         time.Time `json:"end"`
+	FrameIDs    []uint64  `json:"frame_ids"`
+}
+
+// UploadVideoRequest ingests a video as ordered key frames.
+type UploadVideoRequest struct {
+	Description string `json:"description"`
+	WorkerID    string `json:"worker_id,omitempty"`
+	Frames      []struct {
+		FOV        FOVDTO    `json:"fov"`
+		Pixels     PixelsDTO `json:"pixels"`
+		CapturedAt time.Time `json:"captured_at"`
+		Keywords   []string  `json:"keywords,omitempty"`
+	} `json:"frames"`
+}
+
+// UploadVideoResponse confirms video ingest.
+type UploadVideoResponse struct {
+	ID       uint64   `json:"id"`
+	FrameIDs []uint64 `json:"frame_ids"`
+}
+
+// CampaignDTO is the wire form of a data-collection campaign.
+type CampaignDTO struct {
+	ID             uint64    `json:"id"`
+	Name           string    `json:"name"`
+	MinLat         float64   `json:"min_lat"`
+	MinLon         float64   `json:"min_lon"`
+	MaxLat         float64   `json:"max_lat"`
+	MaxLon         float64   `json:"max_lon"`
+	TargetCoverage float64   `json:"target_coverage"`
+	CreatedAt      time.Time `json:"created_at,omitempty"`
+	// Images is the number of uploads attached so far (read-only).
+	Images int `json:"images,omitempty"`
+}
+
+// CoverageReport is the FOV-based coverage measurement of a region
+// (paper §III): the covered-cell ratio and the weak-cell centers the next
+// campaign round should task workers at.
+type CoverageReport struct {
+	Rows      int      `json:"rows"`
+	Cols      int      `json:"cols"`
+	FOVs      int      `json:"fovs"`
+	Ratio     float64  `json:"ratio"`
+	WeakCells []LatLon `json:"weak_cells,omitempty"`
+}
+
+// LatLon is a bare coordinate pair.
+type LatLon struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

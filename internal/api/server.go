@@ -1,0 +1,738 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/crowd"
+	"repro/internal/edge"
+	"repro/internal/geo"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Server wires the platform services behind HTTP.
+type Server struct {
+	Store   *store.Store
+	Service *analysis.Service
+	Query   *query.Engine
+	Logger  *log.Logger
+	// Clock supplies timestamps (injectable for tests).
+	Clock func() time.Time
+	mux   *http.ServeMux
+}
+
+// NewServer builds the router.
+func NewServer(st *store.Store, svc *analysis.Service, logger *log.Logger) *Server {
+	s := &Server{
+		Store:   st,
+		Service: svc,
+		Query:   query.New(st),
+		Logger:  logger,
+		Clock:   time.Now,
+		mux:     http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	// Bootstrap endpoints (unauthenticated): participant and key
+	// registration.
+	s.mux.HandleFunc("POST /api/v1/users", s.handleCreateUser)
+	s.mux.HandleFunc("POST /api/v1/keys", s.handleCreateKey)
+
+	auth := s.requireKey
+	s.mux.Handle("POST /api/v1/images", auth(s.handleUploadImage))
+	s.mux.Handle("GET /api/v1/images/{id}", auth(s.handleGetImage))
+	s.mux.Handle("GET /api/v1/images/{id}/pixels", auth(s.handleGetPixels))
+	s.mux.Handle("POST /api/v1/images/{id}/annotations", auth(s.handleAnnotate))
+	s.mux.Handle("POST /api/v1/search", auth(s.handleSearch))
+	s.mux.Handle("GET /api/v1/datasets", auth(s.handleDownloadDataset))
+	s.mux.Handle("POST /api/v1/features/{kind}", auth(s.handleExtractFeature))
+	s.mux.Handle("GET /api/v1/models", auth(s.handleListModels))
+	s.mux.Handle("POST /api/v1/models/train", auth(s.handleTrainModel))
+	s.mux.Handle("POST /api/v1/models/{name}/predict", auth(s.handlePredict))
+	s.mux.Handle("POST /api/v1/models/{name}/annotate", auth(s.handleModelAnnotate))
+	s.mux.Handle("GET /api/v1/models/{name}/download", auth(s.handleModelDownload))
+	s.mux.Handle("POST /api/v1/models/import", auth(s.handleModelImport))
+	s.mux.Handle("GET /api/v1/classifications", auth(s.handleListClassifications))
+	s.mux.Handle("POST /api/v1/classifications", auth(s.handleCreateClassification))
+	s.mux.Handle("POST /api/v1/videos", auth(s.handleUploadVideo))
+	s.mux.Handle("GET /api/v1/videos", auth(s.handleListVideos))
+	s.mux.Handle("GET /api/v1/videos/{id}", auth(s.handleGetVideo))
+	s.mux.Handle("POST /api/v1/campaigns", auth(s.handleCreateCampaign))
+	s.mux.Handle("GET /api/v1/campaigns", auth(s.handleListCampaigns))
+	s.mux.Handle("GET /api/v1/campaigns/{id}/coverage", auth(s.handleCampaignCoverage))
+	s.mux.Handle("POST /api/v1/edge/dispatch", auth(s.handleDispatch))
+}
+
+// requireKey authenticates the X-API-Key header.
+func (s *Server) requireKey(next http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("X-API-Key")
+		if key == "" {
+			s.writeError(w, http.StatusUnauthorized, errors.New("missing X-API-Key header"))
+			return
+		}
+		if _, err := s.Store.Authenticate(key); err != nil {
+			s.writeError(w, http.StatusUnauthorized, errors.New("invalid API key"))
+			return
+		}
+		next(w, r)
+	})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil && s.Logger != nil {
+		s.Logger.Printf("api: encoding response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if s.Logger != nil && status >= 500 {
+		s.Logger.Printf("api: %v", err)
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// statusFor maps domain errors to HTTP codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, store.ErrNotFound), errors.Is(err, analysis.ErrModelNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, store.ErrDuplicate), errors.Is(err, analysis.ErrModelExists):
+		return http.StatusConflict
+	case errors.Is(err, store.ErrInvalid), errors.Is(err, store.ErrUnknownLabel),
+		errors.Is(err, analysis.ErrNoTrainingData), errors.Is(err, query.ErrEmptyQuery),
+		errors.Is(err, analysis.ErrNotExportable):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decode[T any](r *http.Request) (T, error) {
+	var v T
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return v, fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return v, nil
+}
+
+func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[CreateUserRequest](r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.Store.CreateUser(req.Name, req.Role)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, CreateUserResponse{ID: id})
+}
+
+func (s *Server) handleCreateKey(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[CreateKeyRequest](r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := s.Store.IssueAPIKey(req.UserID, s.Clock())
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, CreateKeyResponse{Key: key})
+}
+
+func (s *Server) handleUploadImage(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[UploadImageRequest](r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	img, err := req.Pixels.Decode()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.Store.AddImage(store.Image{
+		FOV:                req.FOV.ToGeo(),
+		Pixels:             img,
+		TimestampCapturing: req.CapturedAt,
+		TimestampUploading: s.Clock(),
+		WorkerID:           req.WorkerID,
+		CampaignID:         req.CampaignID,
+	})
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	if len(req.Keywords) > 0 {
+		if err := s.Store.AddKeywords(id, req.Keywords); err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+	}
+	kinds, err := s.Service.ExtractAndStore(id)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, UploadImageResponse{ID: id, FeatureKinds: kinds})
+}
+
+func (s *Server) imageID(r *http.Request) (uint64, error) {
+	return strconv.ParseUint(r.PathValue("id"), 10, 64)
+}
+
+func (s *Server) imageMeta(id uint64) (ImageMeta, error) {
+	img, err := s.Store.GetImage(id)
+	if err != nil {
+		return ImageMeta{}, err
+	}
+	meta := ImageMeta{
+		ID:           img.ID,
+		FOV:          FOVFromGeo(img.FOV),
+		CapturedAt:   img.TimestampCapturing,
+		UploadedAt:   img.TimestampUploading,
+		WorkerID:     img.WorkerID,
+		Keywords:     s.Store.KeywordsFor(id),
+		FeatureKinds: s.Store.FeatureKinds(id),
+	}
+	for _, a := range s.Store.AnnotationsFor(id) {
+		cls, err := s.Store.GetClassification(a.ClassificationID)
+		if err != nil {
+			continue
+		}
+		meta.Annotations = append(meta.Annotations, Annotation{
+			Classification: cls.Name,
+			Label:          cls.Labels[a.Label],
+			Confidence:     a.Confidence,
+			Source:         string(a.Source),
+		})
+	}
+	return meta, nil
+}
+
+func (s *Server) handleGetImage(w http.ResponseWriter, r *http.Request) {
+	id, err := s.imageID(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	meta, err := s.imageMeta(id)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, meta)
+}
+
+func (s *Server) handleGetPixels(w http.ResponseWriter, r *http.Request) {
+	id, err := s.imageID(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	img, err := s.Store.GetImage(id)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, EncodePixels(img.Pixels))
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	id, err := s.imageID(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := decode[AnnotateRequest](r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cls, err := s.Store.ClassificationByName(req.Classification)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	label := -1
+	for i, l := range cls.Labels {
+		if l == req.Label {
+			label = i
+			break
+		}
+	}
+	if label < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("classification %q has no label %q", req.Classification, req.Label))
+		return
+	}
+	source := store.AnnotationSource(req.Source)
+	if source == "" {
+		source = store.SourceHuman
+	}
+	conf := req.Confidence
+	if conf == 0 {
+		conf = 1
+	}
+	err = s.Store.Annotate(store.Annotation{
+		ImageID: id, ClassificationID: cls.ID, Label: label,
+		Confidence: conf, Source: source, AnnotatedAt: s.Clock(),
+	})
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[SearchRequest](r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := query.Query{Limit: req.Limit}
+	if req.Spatial != nil {
+		rect := geo.Rect{MinLat: req.Spatial.MinLat, MinLon: req.Spatial.MinLon,
+			MaxLat: req.Spatial.MaxLat, MaxLon: req.Spatial.MaxLon}
+		q.Spatial = &query.SpatialClause{Rect: &rect}
+	}
+	if req.Near != nil {
+		p := geo.Point{Lat: req.Near.Lat, Lon: req.Near.Lon}
+		q.Spatial = &query.SpatialClause{Near: &p, K: req.Near.K}
+	}
+	if req.Visual != nil {
+		q.Visual = &query.VisualClause{Kind: req.Visual.Kind, Vec: req.Visual.Vector, K: req.Visual.K}
+	}
+	if req.Categorical != nil {
+		q.Categorical = &query.CategoricalClause{
+			Classification: req.Categorical.Classification,
+			Label:          req.Categorical.Label,
+			MinConfidence:  req.Categorical.MinConfidence,
+		}
+	}
+	if req.Textual != nil {
+		q.Textual = &query.TextualClause{Terms: req.Textual.Terms, MatchAll: req.Textual.MatchAll}
+	}
+	if req.Temporal != nil {
+		q.Temporal = &query.TemporalClause{From: req.Temporal.From, To: req.Temporal.To}
+	}
+	results, plan, err := s.Query.Run(q)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	resp := SearchResponse{Plan: plan.String(), Results: make([]SearchHit, len(results))}
+	for i, res := range results {
+		resp.Results[i] = SearchHit{ID: res.ID, Score: res.Score}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDownloadDataset(w http.ResponseWriter, r *http.Request) {
+	classification := r.URL.Query().Get("classification")
+	label := r.URL.Query().Get("label")
+	if classification == "" || label == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("classification and label query params required"))
+		return
+	}
+	results, err := s.Query.ByLabel(classification, label)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	metas := make([]ImageMeta, 0, len(results))
+	for _, res := range results {
+		m, err := s.imageMeta(res.ID)
+		if err != nil {
+			continue
+		}
+		metas = append(metas, m)
+	}
+	s.writeJSON(w, http.StatusOK, metas)
+}
+
+func (s *Server) handleExtractFeature(w http.ResponseWriter, r *http.Request) {
+	kind := r.PathValue("kind")
+	req, err := decode[FeatureRequest](r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	img, err := req.Pixels.Decode()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	vec, err := s.Service.ExtractUploaded(kind, img)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, FeatureResponse{Kind: kind, Vector: vec})
+}
+
+func specDTO(spec analysis.ModelSpec) ModelSpecDTO {
+	return ModelSpecDTO{
+		Name: spec.Name, FeatureKind: spec.FeatureKind, Dim: spec.Dim,
+		Classification: spec.Classification, Labels: spec.Labels,
+		Owner: spec.Owner, TrainedOn: spec.TrainedOn, MacroF1: spec.MacroF1,
+	}
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	specs := s.Service.Registry.List()
+	out := make([]ModelSpecDTO, len(specs))
+	for i, spec := range specs {
+		out[i] = specDTO(spec)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTrainModel(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[TrainRequest](r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	owner := ""
+	if u, err := s.Store.Authenticate(r.Header.Get("X-API-Key")); err == nil {
+		owner = u.Name
+	}
+	spec, err := s.Service.TrainModel(analysis.TrainConfig{
+		Name:           req.Name,
+		Classification: req.Classification,
+		FeatureKind:    req.FeatureKind,
+		HoldoutFrac:    req.HoldoutFrac,
+		MinConfidence:  req.MinConfidence,
+		Owner:          owner,
+		Seed:           req.Seed,
+	})
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, specDTO(spec))
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	req, err := decode[PredictRequest](r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	vec := req.Vector
+	if vec == nil && req.Pixels != nil {
+		spec, err := s.Service.Registry.Spec(name)
+		if err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+		img, err := req.Pixels.Decode()
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		vec, err = s.Service.ExtractUploaded(spec.FeatureKind, img)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if vec == nil {
+		s.writeError(w, http.StatusBadRequest, errors.New("predict needs a vector or pixels"))
+		return
+	}
+	p, err := s.Service.Registry.Predict(name, vec)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, PredictResponse{
+		Label: p.Label, LabelName: p.LabelName, Confidence: p.Confidence, Probs: p.Probs,
+	})
+}
+
+func (s *Server) handleModelAnnotate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req struct {
+		ImageIDs []uint64 `json:"image_ids"`
+	}
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ids := req.ImageIDs
+	if len(ids) == 0 {
+		ids = s.Store.ImageIDs()
+	}
+	annotated, skipped, err := s.Service.AnnotateImages(name, ids, s.Clock())
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]int{"annotated": annotated, "skipped": skipped})
+}
+
+func (s *Server) handleListClassifications(w http.ResponseWriter, r *http.Request) {
+	all := s.Store.Classifications()
+	out := make([]ClassificationDTO, len(all))
+	for i, c := range all {
+		out[i] = ClassificationDTO{ID: c.ID, Name: c.Name, Labels: c.Labels}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreateClassification(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[ClassificationDTO](r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.Store.CreateClassification(req.Name, req.Labels)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, ClassificationDTO{ID: id, Name: req.Name, Labels: req.Labels})
+}
+
+func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[DispatchRequest](r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var dev edge.DeviceProfile
+	switch edge.DeviceClass(req.Device) {
+	case edge.ClassDesktop:
+		dev = edge.Desktop
+	case edge.ClassRaspberry:
+		dev = edge.RaspberryPi3B
+	case edge.ClassSmartphone:
+		dev = edge.Smartphone
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown device class %q", req.Device))
+		return
+	}
+	c := edge.Constraints{ImageSide: req.ImageSide}
+	if req.MaxLatencyMs > 0 {
+		c.MaxLatency = time.Duration(req.MaxLatencyMs) * time.Millisecond
+	}
+	d, err := edge.Dispatch(dev, nnProfiles(), c, nil)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, DispatchResponse{
+		Model:            d.Model.Name,
+		EstimatedLatency: float64(d.EstimatedLatency) / float64(time.Millisecond),
+		MetConstraints:   d.MetConstraints,
+	})
+}
+
+func videoDTO(v store.Video) VideoDTO {
+	return VideoDTO{
+		ID: v.ID, Description: v.Description, WorkerID: v.WorkerID,
+		Start: v.Start, End: v.End, FrameIDs: v.FrameIDs,
+	}
+}
+
+func (s *Server) handleUploadVideo(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[UploadVideoRequest](r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	frames := make([]store.Frame, len(req.Frames))
+	for i, f := range req.Frames {
+		img, err := f.Pixels.Decode()
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("frame %d: %w", i, err))
+			return
+		}
+		frames[i] = store.Frame{
+			Pixels: img, FOV: f.FOV.ToGeo(),
+			CapturedAt: f.CapturedAt, Keywords: f.Keywords,
+		}
+	}
+	vid, ids, err := s.Store.AddVideo(req.Description, req.WorkerID, frames)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	for _, id := range ids {
+		if _, err := s.Service.ExtractAndStore(id); err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusCreated, UploadVideoResponse{ID: vid, FrameIDs: ids})
+}
+
+func (s *Server) handleListVideos(w http.ResponseWriter, r *http.Request) {
+	vs := s.Store.Videos()
+	out := make([]VideoDTO, len(vs))
+	for i, v := range vs {
+		out[i] = videoDTO(v)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetVideo(w http.ResponseWriter, r *http.Request) {
+	id, err := s.imageID(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := s.Store.GetVideo(id)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, videoDTO(v))
+}
+
+// handleModelDownload serves the portable form of a trained model so
+// edge devices can run it locally (paper §V, API 6).
+func (s *Server) handleModelDownload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, err := s.Service.Registry.Export(name)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(data); err != nil && s.Logger != nil {
+		s.Logger.Printf("api: writing model download: %v", err)
+	}
+}
+
+// handleModelImport registers a previously exported model — the
+// share-your-model path of §V's devise-new-models API.
+func (s *Server) handleModelImport(w http.ResponseWriter, r *http.Request) {
+	var raw json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := s.Service.Registry.Import(raw)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, analysis.ErrModelExists) {
+			status = http.StatusConflict
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, specDTO(spec))
+}
+
+func campaignDTO(c store.CampaignRec, images int) CampaignDTO {
+	return CampaignDTO{
+		ID: c.ID, Name: c.Name,
+		MinLat: c.Region.MinLat, MinLon: c.Region.MinLon,
+		MaxLat: c.Region.MaxLat, MaxLon: c.Region.MaxLon,
+		TargetCoverage: c.TargetCoverage, CreatedAt: c.CreatedAt,
+		Images: images,
+	}
+}
+
+func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[CampaignDTO](r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rec := store.CampaignRec{
+		Name: req.Name,
+		Region: geo.Rect{MinLat: req.MinLat, MinLon: req.MinLon,
+			MaxLat: req.MaxLat, MaxLon: req.MaxLon},
+		TargetCoverage: req.TargetCoverage,
+		CreatedAt:      s.Clock(),
+	}
+	if u, err := s.Store.Authenticate(r.Header.Get("X-API-Key")); err == nil {
+		rec.CreatedBy = u.ID
+	}
+	id, err := s.Store.CreateCampaign(rec)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	rec.ID = id
+	s.writeJSON(w, http.StatusCreated, campaignDTO(rec, 0))
+}
+
+func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	cs := s.Store.Campaigns()
+	out := make([]CampaignDTO, len(cs))
+	for i, c := range cs {
+		out[i] = campaignDTO(c, len(s.Store.CampaignImages(c.ID)))
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleCampaignCoverage measures the campaign region's FOV coverage over
+// the stored corpus and lists the weak cells the next collection round
+// should target.
+func (s *Server) handleCampaignCoverage(w http.ResponseWriter, r *http.Request) {
+	id, err := s.imageID(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, err := s.Store.GetCampaign(id)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	rows := queryInt(r, "rows", 10)
+	cols := queryInt(r, "cols", 10)
+	model, err := crowd.NewCoverageModel(c.Region, rows, cols, 1, 1)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fovs := s.Store.FOVsInRegion(c.Region)
+	cm := model.Measure(fovs)
+	report := CoverageReport{Rows: rows, Cols: cols, FOVs: len(fovs), Ratio: cm.Ratio()}
+	for _, p := range cm.WeakCells() {
+		report.WeakCells = append(report.WeakCells, LatLon{Lat: p.Lat, Lon: p.Lon})
+	}
+	s.writeJSON(w, http.StatusOK, report)
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return def
+	}
+	return n
+}

@@ -1,0 +1,295 @@
+// Package core implements the TVDP platform object — the paper's
+// primary contribution: the unified "translational" layer that wires the
+// four A-services (Acquisition, Access, Analysis, Action) over one
+// durable geo-tagged visual data store. The root package tvdp re-exports
+// this API for downstream users.
+//
+// TVDP reproduces "TVDP: Translational Visual Data
+// Platform for Smart Cities" (Kim, Alfarrarjeh, Constantinou, Shahabi —
+// ICDE 2019).
+//
+// A Platform bundles the paper's four core services around a durable
+// geo-tagged image store:
+//
+//   - Acquisition — spatial-crowdsourcing campaigns that fill coverage
+//     gaps (NewCampaignRunner, internal coverage model),
+//   - Access — the comprehensive data model (FOV + scene location,
+//     features, annotations, keywords, timestamps) behind multi-modal
+//     indexed queries (Search, Query engine),
+//   - Analysis — feature extraction (colour histogram / SIFT-BoW / CNN)
+//     and shareable trained models (TrainModel, Predict, Annotate), and
+//   - Action — the edge component that dispatches model variants by
+//     device capability (Dispatch) and folds edge data back into training.
+//
+// The usual lifecycle is Open → IngestRecord/Ingest → TrainModel →
+// AnnotateAll → Search / Serve.
+package core
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/api"
+	"repro/internal/crowd"
+	"repro/internal/edge"
+	"repro/internal/feature"
+	"repro/internal/geo"
+	"repro/internal/imagesim"
+	"repro/internal/ml"
+	"repro/internal/nn"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+// Config controls platform construction.
+type Config struct {
+	// Dir is the durability directory; empty runs in memory.
+	Dir string
+	// SyncEveryWrite fsyncs the WAL per mutation.
+	SyncEveryWrite bool
+	// HybridKinds lists feature kinds that maintain a single-pass
+	// spatial-visual hybrid index.
+	HybridKinds []string
+	// Extractors are registered at open; nil installs the colour
+	// histogram only (CNN and BoW extractors need training data — add
+	// them later via RegisterExtractor).
+	Extractors []feature.Extractor
+}
+
+// Platform is one running TVDP instance.
+type Platform struct {
+	Store    *store.Store
+	Analysis *analysis.Service
+	Query    *query.Engine
+}
+
+// Open creates or recovers a platform.
+func Open(cfg Config) (*Platform, error) {
+	sc := store.DefaultConfig()
+	sc.Dir = cfg.Dir
+	sc.SyncEveryWrite = cfg.SyncEveryWrite
+	sc.HybridKinds = cfg.HybridKinds
+	st, err := store.Open(sc)
+	if err != nil {
+		return nil, err
+	}
+	svc := analysis.NewService(st)
+	if cfg.Extractors == nil {
+		svc.RegisterExtractor(feature.NewColorHistogram())
+	} else {
+		for _, e := range cfg.Extractors {
+			svc.RegisterExtractor(e)
+		}
+	}
+	return &Platform{Store: st, Analysis: svc, Query: query.New(st)}, nil
+}
+
+// Close flushes and closes the underlying store.
+func (p *Platform) Close() error { return p.Store.Close() }
+
+// RegisterExtractor adds a feature family (e.g. a trained CNN or BoW
+// extractor) for ingest-time extraction.
+func (p *Platform) RegisterExtractor(e feature.Extractor) {
+	p.Analysis.RegisterExtractor(e)
+}
+
+// Ingest stores one image with its spatial and temporal descriptors plus
+// optional keywords, extracts all registered feature families, and
+// returns the new image ID.
+func (p *Platform) Ingest(img *imagesim.Image, fov geo.FOV, capturedAt time.Time, keywords []string) (uint64, error) {
+	id, err := p.Store.AddImage(store.Image{
+		FOV:                fov,
+		Pixels:             img,
+		TimestampCapturing: capturedAt,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(keywords) > 0 {
+		if err := p.Store.AddKeywords(id, keywords); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := p.Analysis.ExtractAndStore(id); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// IngestRecord stores one synthetic capture record (the MediaQ-style
+// ingest path used by examples and benchmarks).
+func (p *Platform) IngestRecord(rec synth.Record) (uint64, error) {
+	id, err := p.Store.AddImage(store.Image{
+		FOV:                rec.FOV,
+		Pixels:             rec.Image,
+		TimestampCapturing: rec.CapturedAt,
+		TimestampUploading: rec.UploadedAt,
+		WorkerID:           rec.WorkerID,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(rec.Keywords) > 0 {
+		if err := p.Store.AddKeywords(id, rec.Keywords); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := p.Analysis.ExtractAndStore(id); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// IngestVideo stores a video as ordered key frames (each a full image
+// row with its own FOV, per the paper's video model) and extracts every
+// registered feature family for each frame.
+func (p *Platform) IngestVideo(description, workerID string, frames []store.Frame) (uint64, []uint64, error) {
+	vid, ids, err := p.Store.AddVideo(description, workerID, frames)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, id := range ids {
+		if _, err := p.Analysis.ExtractAndStore(id); err != nil {
+			return vid, ids, err
+		}
+	}
+	return vid, ids, nil
+}
+
+// CreateClassification registers a labelling scheme (e.g. the LASAN
+// street-cleanliness labels) and returns its ID.
+func (p *Platform) CreateClassification(name string, labels []string) (uint64, error) {
+	return p.Store.CreateClassification(name, labels)
+}
+
+// AnnotateHuman records a ground-truth human label on an image.
+func (p *Platform) AnnotateHuman(imageID uint64, classification string, label int, at time.Time) error {
+	cls, err := p.Store.ClassificationByName(classification)
+	if err != nil {
+		return err
+	}
+	return p.Store.Annotate(store.Annotation{
+		ImageID: imageID, ClassificationID: cls.ID, Label: label,
+		Confidence: 1, Source: store.SourceHuman, AnnotatedAt: at,
+	})
+}
+
+// TrainModel fits a classifier on the store's annotated features and
+// registers it under cfg.Name.
+func (p *Platform) TrainModel(cfg analysis.TrainConfig) (analysis.ModelSpec, error) {
+	return p.Analysis.TrainModel(cfg)
+}
+
+// Predict runs a registered model on a feature vector.
+func (p *Platform) Predict(model string, vec []float64) (analysis.Prediction, error) {
+	return p.Analysis.Registry.Predict(model, vec)
+}
+
+// AnnotateAll machine-annotates every stored image with the model,
+// writing results back as augmented knowledge (the translational step).
+func (p *Platform) AnnotateAll(model string, at time.Time) (annotated, skipped int, err error) {
+	return p.Analysis.AnnotateImages(model, p.Store.ImageIDs(), at)
+}
+
+// Search executes a multi-modal query.
+func (p *Platform) Search(q query.Query) ([]query.Result, query.Plan, error) {
+	return p.Query.Run(q)
+}
+
+// Handler returns the REST API handler (paper §V) over this platform.
+func (p *Platform) Handler(logger *log.Logger) http.Handler {
+	return api.NewServer(p.Store, p.Analysis, logger)
+}
+
+// Serve runs the REST API on addr until the server fails.
+func (p *Platform) Serve(addr string, logger *log.Logger) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           p.Handler(logger),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+// Dispatch picks the model variant an edge device should run.
+func (p *Platform) Dispatch(device edge.DeviceProfile, c edge.Constraints) (edge.Decision, error) {
+	return edge.Dispatch(device, nn.Profiles(), c, nil)
+}
+
+// NewCampaignRunner builds an iterative crowdsourcing campaign over a
+// region. Existing stored images seed the coverage map, so campaigns only
+// task workers at genuine gaps.
+func (p *Platform) NewCampaignRunner(c crowd.Campaign, rows, cols int, workers []crowd.Worker, capture crowd.CaptureFunc, seed int64) (*crowd.Runner, error) {
+	model, err := crowd.NewCoverageModel(c.Region, rows, cols, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	var existing []geo.FOV
+	for _, id := range p.Store.ImageIDs() {
+		img, err := p.Store.GetImage(id)
+		if err != nil {
+			continue
+		}
+		if c.Region.Intersects(img.Scene) {
+			existing = append(existing, img.FOV)
+		}
+	}
+	return crowd.NewRunner(c, model, workers, capture, existing, seed)
+}
+
+// TrainCNNExtractor fine-tunes a CNN feature extractor on labelled store
+// images of the given classification and returns it (register it with
+// RegisterExtractor to use at ingest).
+func (p *Platform) TrainCNNExtractor(classification string, cfg feature.CNNTrainConfig) (*feature.CNNExtractor, error) {
+	cls, err := p.Store.ClassificationByName(classification)
+	if err != nil {
+		return nil, err
+	}
+	var imgs []*imagesim.Image
+	var labels []int
+	for label := range cls.Labels {
+		for _, id := range p.Store.ImagesByLabel(cls.ID, label) {
+			img, err := p.Store.GetImage(id)
+			if err != nil {
+				continue
+			}
+			imgs = append(imgs, img.Pixels)
+			labels = append(labels, label)
+		}
+	}
+	if len(imgs) == 0 {
+		return nil, fmt.Errorf("tvdp: no labelled images for %q", classification)
+	}
+	if cfg.Net.Classes == 0 {
+		cfg = feature.DefaultCNNTrainConfig(len(cls.Labels))
+	}
+	return feature.TrainCNN(imgs, labels, cfg)
+}
+
+// Stats summarises platform contents.
+type Stats struct {
+	Images          int
+	Classifications int
+	Models          int
+	FeatureKinds    []string
+}
+
+// Stats returns a content summary.
+func (p *Platform) Stats() Stats {
+	return Stats{
+		Images:          p.Store.NumImages(),
+		Classifications: len(p.Store.Classifications()),
+		Models:          len(p.Analysis.Registry.List()),
+		FeatureKinds:    p.Analysis.ExtractorKinds(),
+	}
+}
+
+// DefaultClassifierFactory returns the paper's best estimator (linear
+// SVM) as an ml.Factory for TrainModel configs.
+func DefaultClassifierFactory(seed int64) ml.Factory {
+	return func() ml.Classifier { return ml.NewLinearSVM(ml.DefaultLinearConfig(seed)) }
+}

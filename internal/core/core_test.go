@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/geo"
+	"repro/internal/imagesim"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+var la = geo.Point{Lat: 34.0522, Lon: -118.2437}
+
+func open(t *testing.T) *Platform {
+	t.Helper()
+	p, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestOpenDefaultsColorExtractor(t *testing.T) {
+	p := open(t)
+	kinds := p.Analysis.ExtractorKinds()
+	if len(kinds) != 1 || kinds[0] != string(feature.KindColorHist) {
+		t.Fatalf("default extractors = %v", kinds)
+	}
+}
+
+func TestOpenWithExplicitExtractors(t *testing.T) {
+	p, err := Open(Config{Extractors: []feature.Extractor{feature.NewColorHistogram()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if len(p.Analysis.ExtractorKinds()) != 1 {
+		t.Fatal("explicit extractor not registered")
+	}
+}
+
+func TestIngestExtractsFeatures(t *testing.T) {
+	p := open(t)
+	img := imagesim.MustNew(24, 24)
+	fov := geo.FOV{Camera: la, Direction: 0, Angle: 60, Radius: 100}
+	id, err := p.Ingest(img, fov, time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC), []string{"kw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Store.GetFeature(id, string(feature.KindColorHist)); err != nil {
+		t.Fatalf("feature not extracted at ingest: %v", err)
+	}
+	if kw := p.Store.KeywordsFor(id); len(kw) != 1 {
+		t.Fatalf("keywords = %v", kw)
+	}
+}
+
+func TestIngestVideoExtractsPerFrame(t *testing.T) {
+	p := open(t)
+	mk := func(brg float64, at time.Time) store.Frame {
+		return store.Frame{
+			Pixels:     imagesim.MustNew(16, 16),
+			FOV:        geo.FOV{Camera: geo.Destination(la, brg, 300), Direction: brg, Angle: 80, Radius: 120},
+			CapturedAt: at,
+		}
+	}
+	base := time.Date(2019, 8, 1, 0, 0, 0, 0, time.UTC)
+	vid, ids, err := p.IngestVideo("flight", "drone", []store.Frame{
+		mk(0, base), mk(10, base.Add(time.Second)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vid == 0 || len(ids) != 2 {
+		t.Fatalf("video = %d, frames = %v", vid, ids)
+	}
+	for _, id := range ids {
+		if _, err := p.Store.GetFeature(id, string(feature.KindColorHist)); err != nil {
+			t.Fatalf("frame %d feature missing: %v", id, err)
+		}
+	}
+	if _, _, err := p.IngestVideo("empty", "w", nil); err == nil {
+		t.Fatal("empty video accepted")
+	}
+}
+
+func TestAnnotateHumanUnknownClassification(t *testing.T) {
+	p := open(t)
+	img := imagesim.MustNew(16, 16)
+	id, err := p.Ingest(img, geo.FOV{Camera: la, Direction: 0, Angle: 60, Radius: 100}, time.Now(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AnnotateHuman(id, "no_such_scheme", 0, time.Now()); err == nil {
+		t.Fatal("unknown classification accepted")
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	p := open(t)
+	st := p.Stats()
+	if st.Images != 0 || st.Models != 0 || st.Classifications != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+	if len(st.FeatureKinds) != 1 {
+		t.Fatalf("feature kinds = %v", st.FeatureKinds)
+	}
+}
+
+func TestDefaultClassifierFactory(t *testing.T) {
+	f := DefaultClassifierFactory(1)
+	if f == nil || f().Name() != "SVM" {
+		t.Fatal("factory should produce the SVM")
+	}
+}
+
+func TestHybridConfigFlowsThrough(t *testing.T) {
+	kind := string(feature.KindColorHist)
+	p, err := Open(Config{HybridKinds: []string{kind}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	g, err := synth.NewGenerator(synth.DefaultConfig(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range g.Generate(10) {
+		if _, err := p.IngestRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := geo.NewRect(geo.Destination(la, 315, 12000), geo.Destination(la, 135, 12000))
+	vec := make([]float64, 50)
+	ms, ok, err := p.Store.SearchHybrid(kind, r, vec, 3)
+	if err != nil || !ok {
+		t.Fatalf("hybrid not maintained: ok=%v err=%v", ok, err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("hybrid results = %d", len(ms))
+	}
+}

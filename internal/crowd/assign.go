@@ -1,0 +1,204 @@
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// Task is one requested capture: photograph the location, facing it,
+// before the campaign round ends.
+type Task struct {
+	ID       uint64
+	Location geo.Point
+	// CampaignID links the task to its campaign.
+	CampaignID uint64
+}
+
+// Worker is one mobile participant.
+type Worker struct {
+	ID       string
+	Location geo.Point
+	// MaxTravelM bounds the distance the worker accepts tasks within.
+	MaxTravelM float64
+	// Capacity is the number of tasks the worker accepts per round.
+	Capacity int
+}
+
+// Assignment maps tasks to workers for one round.
+type Assignment struct {
+	// TaskWorker[taskID] = workerID.
+	TaskWorker map[uint64]string
+	// TravelM is the total travel distance of the matching.
+	TravelM float64
+}
+
+// Assigned returns the number of matched tasks.
+func (a Assignment) Assigned() int { return len(a.TaskWorker) }
+
+// Strategy names an assignment algorithm.
+type Strategy string
+
+// Assignment strategies: the greedy nearest-worker heuristic, the
+// least-location-entropy heuristic of the GeoCrowd line of work
+// (prioritise tasks reachable by the fewest workers), and a random
+// baseline for the A4 ablation.
+const (
+	StrategyGreedy  Strategy = "greedy"
+	StrategyEntropy Strategy = "entropy"
+	StrategyRandom  Strategy = "random"
+)
+
+// ErrUnknownStrategy reports an unsupported strategy name.
+var ErrUnknownStrategy = errors.New("crowd: unknown assignment strategy")
+
+// Assign matches tasks to workers under travel and capacity constraints.
+func Assign(tasks []Task, workers []Worker, strategy Strategy, seed int64) (Assignment, error) {
+	switch strategy {
+	case StrategyGreedy:
+		return assignGreedy(tasks, workers), nil
+	case StrategyEntropy:
+		return assignEntropy(tasks, workers), nil
+	case StrategyRandom:
+		return assignRandom(tasks, workers, seed), nil
+	default:
+		return Assignment{}, fmt.Errorf("%w: %q", ErrUnknownStrategy, strategy)
+	}
+}
+
+type workerState struct {
+	Worker
+	remaining int
+}
+
+func eligible(w *workerState, t Task) (float64, bool) {
+	if w.remaining <= 0 {
+		return 0, false
+	}
+	d := geo.Haversine(w.Location, t.Location)
+	if w.MaxTravelM > 0 && d > w.MaxTravelM {
+		return 0, false
+	}
+	return d, true
+}
+
+func states(workers []Worker) []*workerState {
+	out := make([]*workerState, len(workers))
+	for i, w := range workers {
+		cap := w.Capacity
+		if cap <= 0 {
+			cap = 1
+		}
+		out[i] = &workerState{Worker: w, remaining: cap}
+	}
+	return out
+}
+
+// assignGreedy processes tasks in ascending best-distance order, matching
+// each to its nearest eligible worker.
+func assignGreedy(tasks []Task, workers []Worker) Assignment {
+	ws := states(workers)
+	out := Assignment{TaskWorker: make(map[uint64]string)}
+	remaining := append([]Task(nil), tasks...)
+	// Repeatedly pick the globally closest (task, worker) pair. O(T·W·T)
+	// worst case, fine at campaign scales.
+	for {
+		bestT := -1
+		var bestW *workerState
+		bestD := math.Inf(1)
+		for i, t := range remaining {
+			for _, w := range ws {
+				if d, ok := eligible(w, t); ok && d < bestD {
+					bestT, bestW, bestD = i, w, d
+				}
+			}
+		}
+		if bestT < 0 {
+			return out
+		}
+		t := remaining[bestT]
+		out.TaskWorker[t.ID] = bestW.ID
+		out.TravelM += bestD
+		bestW.remaining--
+		remaining = append(remaining[:bestT], remaining[bestT+1:]...)
+	}
+}
+
+// assignEntropy processes the most constrained tasks first: tasks with the
+// fewest eligible workers are matched before flexible ones, which raises
+// total assignment counts when worker coverage is uneven (the
+// least-location-entropy idea).
+func assignEntropy(tasks []Task, workers []Worker) Assignment {
+	ws := states(workers)
+	out := Assignment{TaskWorker: make(map[uint64]string)}
+	remaining := append([]Task(nil), tasks...)
+	for len(remaining) > 0 {
+		// Rank remaining tasks by current eligible-worker count.
+		type ranked struct {
+			idx      int
+			eligible int
+		}
+		rs := make([]ranked, 0, len(remaining))
+		for i, t := range remaining {
+			n := 0
+			for _, w := range ws {
+				if _, ok := eligible(w, t); ok {
+					n++
+				}
+			}
+			rs = append(rs, ranked{idx: i, eligible: n})
+		}
+		sort.Slice(rs, func(i, j int) bool {
+			if rs[i].eligible != rs[j].eligible {
+				return rs[i].eligible < rs[j].eligible
+			}
+			return remaining[rs[i].idx].ID < remaining[rs[j].idx].ID
+		})
+		pick := rs[0]
+		t := remaining[pick.idx]
+		remaining = append(remaining[:pick.idx], remaining[pick.idx+1:]...)
+		if pick.eligible == 0 {
+			continue // unassignable this round
+		}
+		var bestW *workerState
+		bestD := math.Inf(1)
+		for _, w := range ws {
+			if d, ok := eligible(w, t); ok && d < bestD {
+				bestW, bestD = w, d
+			}
+		}
+		out.TaskWorker[t.ID] = bestW.ID
+		out.TravelM += bestD
+		bestW.remaining--
+	}
+	return out
+}
+
+// assignRandom matches tasks to random eligible workers (baseline).
+func assignRandom(tasks []Task, workers []Worker, seed int64) Assignment {
+	rng := rand.New(rand.NewSource(seed))
+	ws := states(workers)
+	out := Assignment{TaskWorker: make(map[uint64]string)}
+	order := rng.Perm(len(tasks))
+	for _, i := range order {
+		t := tasks[i]
+		var elig []*workerState
+		for _, w := range ws {
+			if _, ok := eligible(w, t); ok {
+				elig = append(elig, w)
+			}
+		}
+		if len(elig) == 0 {
+			continue
+		}
+		w := elig[rng.Intn(len(elig))]
+		out.TaskWorker[t.ID] = w.ID
+		out.TravelM += geo.Haversine(w.Location, t.Location)
+		w.remaining--
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geo"
+)
+
+// Campaign is one proactive data-collection effort: achieve the target
+// coverage of the region by repeatedly tasking workers at weak cells
+// (paper §III, "iterative spatial crowdsourcing ... towards assuring the
+// sufficiency of the available data").
+type Campaign struct {
+	ID     uint64
+	Name   string
+	Region geo.Rect
+	// TargetCoverage in [0, 1] ends the campaign when reached.
+	TargetCoverage float64
+	// MaxRounds bounds iteration.
+	MaxRounds int
+	// Strategy selects the assignment algorithm.
+	Strategy Strategy
+}
+
+// Capture is a simulated task execution: the FOV a worker produced.
+type Capture struct {
+	TaskID   uint64
+	WorkerID string
+	FOV      geo.FOV
+}
+
+// CaptureFunc executes one assigned task, returning the produced FOV
+// captures (the simulation hook; production would await MediaQ uploads).
+type CaptureFunc func(task Task, workerID string) []Capture
+
+// RoundReport summarises one campaign iteration.
+type RoundReport struct {
+	Round         int
+	TasksIssued   int
+	TasksAssigned int
+	Captures      int
+	Coverage      float64
+	TravelM       float64
+}
+
+// Runner drives a campaign to completion.
+type Runner struct {
+	Campaign Campaign
+	Model    *CoverageModel
+	Workers  []Worker
+	Capture  CaptureFunc
+	// Seed drives the random strategy and worker jitter.
+	Seed int64
+
+	nextTaskID uint64
+	fovs       []geo.FOV
+}
+
+// ErrNoWorkers reports a runner with an empty worker pool.
+var ErrNoWorkers = errors.New("crowd: no workers")
+
+// NewRunner validates and returns a campaign runner. Existing FOVs (from
+// passive collection) seed the coverage map.
+func NewRunner(c Campaign, m *CoverageModel, workers []Worker, capture CaptureFunc, existing []geo.FOV, seed int64) (*Runner, error) {
+	if m == nil {
+		return nil, errors.New("crowd: nil coverage model")
+	}
+	if len(workers) == 0 {
+		return nil, ErrNoWorkers
+	}
+	if capture == nil {
+		return nil, errors.New("crowd: nil capture func")
+	}
+	if c.TargetCoverage <= 0 || c.TargetCoverage > 1 {
+		return nil, fmt.Errorf("crowd: target coverage %.3f out of (0,1]", c.TargetCoverage)
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 10
+	}
+	if c.Strategy == "" {
+		c.Strategy = StrategyGreedy
+	}
+	return &Runner{
+		Campaign: c, Model: m, Workers: workers, Capture: capture,
+		Seed: seed, fovs: append([]geo.FOV(nil), existing...),
+	}, nil
+}
+
+// FOVs returns all captures accumulated so far (seed + campaign rounds).
+func (r *Runner) FOVs() []geo.FOV { return append([]geo.FOV(nil), r.fovs...) }
+
+// Run iterates until the target coverage or MaxRounds, returning one
+// report per executed round (plus a round-0 baseline report).
+func (r *Runner) Run() ([]RoundReport, error) {
+	cm := r.Model.Measure(r.fovs)
+	reports := []RoundReport{{Round: 0, Coverage: cm.Ratio()}}
+	rng := rand.New(rand.NewSource(r.Seed))
+	for round := 1; round <= r.Campaign.MaxRounds; round++ {
+		if cm.Ratio() >= r.Campaign.TargetCoverage {
+			break
+		}
+		weak := cm.WeakCells()
+		tasks := make([]Task, 0, len(weak))
+		for _, p := range weak {
+			r.nextTaskID++
+			tasks = append(tasks, Task{ID: r.nextTaskID, Location: p, CampaignID: r.Campaign.ID})
+		}
+		asn, err := Assign(tasks, r.workersThisRound(rng), r.Campaign.Strategy, rng.Int63())
+		if err != nil {
+			return reports, err
+		}
+		captures := 0
+		for _, t := range tasks {
+			wid, ok := asn.TaskWorker[t.ID]
+			if !ok {
+				continue
+			}
+			for _, cap := range r.Capture(t, wid) {
+				r.fovs = append(r.fovs, cap.FOV)
+				cm.Add(cap.FOV)
+				captures++
+			}
+		}
+		reports = append(reports, RoundReport{
+			Round:         round,
+			TasksIssued:   len(tasks),
+			TasksAssigned: asn.Assigned(),
+			Captures:      captures,
+			Coverage:      cm.Ratio(),
+			TravelM:       asn.TravelM,
+		})
+		if captures == 0 {
+			// No worker could reach any weak cell; more rounds cannot
+			// make progress.
+			break
+		}
+	}
+	return reports, nil
+}
+
+// workersThisRound re-positions workers with small random drift between
+// rounds, simulating urban movement.
+func (r *Runner) workersThisRound(rng *rand.Rand) []Worker {
+	out := make([]Worker, len(r.Workers))
+	for i, w := range r.Workers {
+		drift := rng.Float64() * 300
+		w.Location = geo.Destination(w.Location, rng.Float64()*360, drift)
+		out[i] = w
+	}
+	return out
+}
+
+// DefaultCaptureFunc returns a CaptureFunc that produces `perTask` FOVs
+// near the task location with direction spread — the MediaQ-style capture
+// simulation.
+func DefaultCaptureFunc(perTask int, radiusM float64, seed int64) CaptureFunc {
+	if perTask <= 0 {
+		perTask = 1
+	}
+	if radiusM <= 0 {
+		radiusM = 80
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return func(task Task, workerID string) []Capture {
+		out := make([]Capture, 0, perTask)
+		for i := 0; i < perTask; i++ {
+			standoff := 10 + rng.Float64()*30
+			brg := rng.Float64() * 360
+			cam := geo.Destination(task.Location, brg, standoff)
+			out = append(out, Capture{
+				TaskID:   task.ID,
+				WorkerID: workerID,
+				FOV: geo.FOV{
+					Camera: cam,
+					// Face back toward the task location.
+					Direction: geo.Bearing(cam, task.Location),
+					Angle:     50 + rng.Float64()*30,
+					Radius:    radiusM,
+				},
+			})
+		}
+		return out
+	}
+}

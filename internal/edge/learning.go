@@ -1,0 +1,261 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// Crowd-based learning (paper §VI, Fig. 4): the server trains a family of
+// model variants, dispatches them to edge devices, and improves the model
+// from edge-collected data. To limit bandwidth, each device runs a
+// distributed selection algorithm that prioritises its locally collected
+// samples and transmits only a selected subset — and transmits extracted
+// feature vectors rather than raw images.
+
+// Sample is one locally collected, locally featurised observation.
+type Sample struct {
+	Vec   []float64
+	Label int
+}
+
+// RawImageBytes is the wire size of one raw capture the feature-vector
+// upload avoids (a 224x224 RGB JPEG-ish payload).
+const RawImageBytes = 224 * 224 * 3 / 10 // ~15 KB with 10:1 compression
+
+// VecBytes returns the wire size of one feature-vector upload.
+func VecBytes(dim int) int64 { return int64(dim)*8 + 16 }
+
+// SelectionStrategy names a distributed data-selection algorithm.
+type SelectionStrategy string
+
+// Selection strategies: uncertainty-prioritised (highest predictive
+// entropy first) and a random baseline (ablation A5).
+const (
+	SelectUncertainty SelectionStrategy = "uncertainty"
+	SelectRandom      SelectionStrategy = "random"
+)
+
+// Device is one participating edge node in the learning loop.
+type Device struct {
+	Profile DeviceProfile
+	// Local holds the device's collected samples not yet uploaded.
+	Local []Sample
+	// Model is the device's current copy of the server model.
+	Model *nn.Network
+	// ModelVersion tracks staleness.
+	ModelVersion int
+}
+
+// Server coordinates the loop.
+type Server struct {
+	// Classes and Dim describe the task.
+	Classes, Dim int
+	// Hidden sizes the MLP head retrained each round.
+	Hidden int
+	// Train holds the accumulated server-side training set.
+	TrainX [][]float64
+	TrainY []int
+	// Model is the current global model; Version increments per retrain.
+	Model   *nn.Network
+	Version int
+	// Seed drives retraining.
+	Seed int64
+}
+
+// NewServer initialises a server with seed training data and trains the
+// first model version.
+func NewServer(dim, classes, hidden int, seedX [][]float64, seedY []int, seed int64) (*Server, error) {
+	if dim <= 0 || classes <= 1 {
+		return nil, fmt.Errorf("edge: bad task shape dim=%d classes=%d", dim, classes)
+	}
+	if len(seedX) == 0 || len(seedX) != len(seedY) {
+		return nil, errors.New("edge: server needs a non-empty seed training set")
+	}
+	if hidden <= 0 {
+		hidden = 32
+	}
+	s := &Server{Classes: classes, Dim: dim, Hidden: hidden, Seed: seed}
+	s.TrainX = append(s.TrainX, seedX...)
+	s.TrainY = append(s.TrainY, seedY...)
+	if err := s.retrain(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) retrain() error {
+	s.Version++
+	m := nn.BuildMLP(s.Dim, s.Hidden, s.Classes, s.Seed+int64(s.Version))
+	cfg := nn.TrainConfig{Epochs: 30, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: s.Seed + int64(s.Version)}
+	if _, err := m.Train(s.TrainX, s.TrainY, cfg); err != nil {
+		return fmt.Errorf("edge: retraining v%d: %w", s.Version, err)
+	}
+	s.Model = m
+	return nil
+}
+
+// Ingest absorbs uploaded samples and retrains.
+func (s *Server) Ingest(samples []Sample) error {
+	for _, smp := range samples {
+		if len(smp.Vec) != s.Dim {
+			return fmt.Errorf("edge: ingest sample dim %d, want %d", len(smp.Vec), s.Dim)
+		}
+		if smp.Label < 0 || smp.Label >= s.Classes {
+			return fmt.Errorf("edge: ingest label %d out of range", smp.Label)
+		}
+		s.TrainX = append(s.TrainX, smp.Vec)
+		s.TrainY = append(s.TrainY, smp.Label)
+	}
+	return s.retrain()
+}
+
+// Accuracy evaluates the current global model.
+func (s *Server) Accuracy(testX [][]float64, testY []int) (float64, error) {
+	return s.Model.Accuracy(testX, testY)
+}
+
+// SyncDevice pushes the current model version to a device (the "download
+// machine learning models" API of §V).
+func (s *Server) SyncDevice(d *Device) {
+	d.Model = s.Model
+	d.ModelVersion = s.Version
+}
+
+// entropy returns the Shannon entropy of a distribution.
+func entropy(p []float64) float64 {
+	h := 0.0
+	for _, v := range p {
+		if v > 1e-12 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// Select chooses up to maxSamples local samples to upload under the given
+// strategy, removing them from the device's local buffer and returning
+// the upload plus its wire size in bytes.
+func (d *Device) Select(strategy SelectionStrategy, maxSamples int, seed int64) ([]Sample, int64, error) {
+	if maxSamples <= 0 || len(d.Local) == 0 {
+		return nil, 0, nil
+	}
+	if maxSamples > len(d.Local) {
+		maxSamples = len(d.Local)
+	}
+	order := make([]int, len(d.Local))
+	for i := range order {
+		order[i] = i
+	}
+	switch strategy {
+	case SelectUncertainty:
+		if d.Model == nil {
+			return nil, 0, errors.New("edge: uncertainty selection needs a local model")
+		}
+		type scored struct {
+			idx int
+			h   float64
+		}
+		ss := make([]scored, len(d.Local))
+		for i, smp := range d.Local {
+			logits, err := d.Model.Forward(smp.Vec)
+			if err != nil {
+				return nil, 0, err
+			}
+			ss[i] = scored{idx: i, h: entropy(nn.Softmax(logits))}
+		}
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].h != ss[j].h {
+				return ss[i].h > ss[j].h
+			}
+			return ss[i].idx < ss[j].idx
+		})
+		for i, s := range ss {
+			order[i] = s.idx
+		}
+	case SelectRandom:
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	default:
+		return nil, 0, fmt.Errorf("edge: unknown selection strategy %q", strategy)
+	}
+	picked := order[:maxSamples]
+	sort.Ints(picked)
+	out := make([]Sample, 0, maxSamples)
+	var bytes int64
+	kept := d.Local[:0]
+	pickedSet := make(map[int]bool, len(picked))
+	for _, i := range picked {
+		pickedSet[i] = true
+	}
+	for i, smp := range d.Local {
+		if pickedSet[i] {
+			out = append(out, smp)
+			bytes += VecBytes(len(smp.Vec))
+		} else {
+			kept = append(kept, smp)
+		}
+	}
+	d.Local = kept
+	return out, bytes, nil
+}
+
+// RoundReport summarises one learning-loop round.
+type RoundReport struct {
+	Round         int
+	Uploaded      int
+	UploadedBytes int64
+	// RawBytes is what uploading raw images instead would have cost.
+	RawBytes int64
+	Accuracy float64
+	Version  int
+}
+
+// Loop runs the full crowd-based learning cycle for `rounds` iterations:
+// sync models to devices, select/upload per device, retrain, evaluate.
+func Loop(s *Server, devices []*Device, strategy SelectionStrategy, perDevice, rounds int,
+	testX [][]float64, testY []int, seed int64) ([]RoundReport, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("edge: no devices")
+	}
+	acc, err := s.Accuracy(testX, testY)
+	if err != nil {
+		return nil, err
+	}
+	reports := []RoundReport{{Round: 0, Accuracy: acc, Version: s.Version}}
+	for round := 1; round <= rounds; round++ {
+		var uploads []Sample
+		var bytes, raw int64
+		for di, d := range devices {
+			s.SyncDevice(d)
+			sel, b, err := d.Select(strategy, perDevice, seed+int64(round*100+di))
+			if err != nil {
+				return nil, err
+			}
+			uploads = append(uploads, sel...)
+			bytes += b
+			raw += int64(len(sel)) * RawImageBytes
+		}
+		if len(uploads) > 0 {
+			if err := s.Ingest(uploads); err != nil {
+				return nil, err
+			}
+		}
+		acc, err := s.Accuracy(testX, testY)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, RoundReport{
+			Round: round, Uploaded: len(uploads), UploadedBytes: bytes,
+			RawBytes: raw, Accuracy: acc, Version: s.Version,
+		})
+		if len(uploads) == 0 {
+			break // devices drained
+		}
+	}
+	return reports, nil
+}

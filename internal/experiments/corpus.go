@@ -1,0 +1,161 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§VII) plus the ablation studies listed in DESIGN.md. Each experiment
+// returns a structured result with a text rendering that mirrors the
+// paper's presentation, so `cmd/tvdp-bench` and the root benchmarks share
+// one implementation.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/feature"
+	"repro/internal/imagesim"
+	"repro/internal/ml"
+	"repro/internal/synth"
+)
+
+// Scale sizes an experiment run. The paper's corpus is 22K images with a
+// 1000-word BoW vocabulary; the default scale keeps single-core runs in
+// minutes while preserving every qualitative result.
+type Scale struct {
+	// N is the corpus size.
+	N int
+	// BoWVocab is the SIFT-BoW dictionary size.
+	BoWVocab int
+	// CNNEpochs controls feature-net fine-tuning.
+	CNNEpochs int
+	// CNNAugment is the augmented copies per training image.
+	CNNAugment int
+	// Seed drives the whole pipeline.
+	Seed int64
+}
+
+// DefaultScale is the harness scale: ~75 s for the full Fig. 6 grid on
+// one core.
+func DefaultScale() Scale {
+	return Scale{N: 1000, BoWVocab: 64, CNNEpochs: 12, CNNAugment: 2, Seed: 1}
+}
+
+// SmokeScale is for tests: seconds, not minutes.
+func SmokeScale() Scale {
+	return Scale{N: 150, BoWVocab: 16, CNNEpochs: 3, CNNAugment: 0, Seed: 1}
+}
+
+// PaperScale matches the paper's corpus and vocabulary sizes. Expect
+// hours on one core.
+func PaperScale() Scale {
+	return Scale{N: 22000, BoWVocab: 1000, CNNEpochs: 12, CNNAugment: 2, Seed: 1}
+}
+
+// FeatureNames lists the Fig. 6 feature families in paper order.
+var FeatureNames = []string{
+	string(feature.KindColorHist),
+	string(feature.KindSIFTBoW),
+	string(feature.KindCNN),
+}
+
+// Corpus is a generated dataset with train/test split and extracted
+// features, shared by Fig. 6 and Fig. 7.
+type Corpus struct {
+	Scale    Scale
+	Records  []synth.Record
+	Labels   []int
+	TrainIdx []int
+	TestIdx  []int
+	// Features[kind][i] is the vector of record i.
+	Features map[string][][]float64
+}
+
+// BuildCorpus generates the synthetic LASAN-style corpus, splits it
+// 80/20 stratified (the paper's protocol), and extracts all three
+// feature families — training BoW and the CNN on the training split only
+// so no test information leaks into the representations.
+func BuildCorpus(s Scale) (*Corpus, error) {
+	if s.N < 50 {
+		return nil, fmt.Errorf("experiments: N=%d too small for a 5-class 80/20 split", s.N)
+	}
+	g, err := synth.NewGenerator(synth.DefaultConfig(s.N, s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{Scale: s, Records: g.Generate(s.N), Features: make(map[string][][]float64)}
+	imgs := make([]*imagesim.Image, s.N)
+	c.Labels = make([]int, s.N)
+	for i, r := range c.Records {
+		imgs[i] = r.Image
+		c.Labels[i] = int(r.Class)
+	}
+	// Deterministic stratified 80/20 split: records cycle classes, so
+	// blocks of NumClasses are class-balanced; every 5th block tests.
+	for i := 0; i < s.N; i++ {
+		if (i/synth.NumClasses)%5 == 4 {
+			c.TestIdx = append(c.TestIdx, i)
+		} else {
+			c.TrainIdx = append(c.TrainIdx, i)
+		}
+	}
+	trainImgs := make([]*imagesim.Image, len(c.TrainIdx))
+	trainLabels := make([]int, len(c.TrainIdx))
+	for i, j := range c.TrainIdx {
+		trainImgs[i] = imgs[j]
+		trainLabels[i] = c.Labels[j]
+	}
+
+	// Colour histogram: stateless.
+	colorF, err := feature.ExtractAll(feature.NewColorHistogram(), imgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: colour features: %w", err)
+	}
+	c.Features[string(feature.KindColorHist)] = colorF
+
+	// SIFT-BoW: vocabulary from the training split.
+	bow, err := feature.TrainBoW(trainImgs, feature.DefaultSIFTConfig(), s.BoWVocab, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: BoW training: %w", err)
+	}
+	bowF, err := feature.ExtractAll(bow, imgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: BoW features: %w", err)
+	}
+	c.Features[string(feature.KindSIFTBoW)] = bowF
+
+	// CNN: fine-tuned on the training split.
+	cnnCfg := feature.DefaultCNNTrainConfig(synth.NumClasses)
+	cnnCfg.Train.Epochs = s.CNNEpochs
+	cnnCfg.Augment = s.CNNAugment
+	cnnCfg.Train.Seed = s.Seed
+	cnnCfg.AugmentSeed = s.Seed
+	cnn, err := feature.TrainCNN(trainImgs, trainLabels, cnnCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: CNN training: %w", err)
+	}
+	cnnF, err := feature.ExtractAll(cnn, imgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: CNN features: %w", err)
+	}
+	c.Features[string(feature.KindCNN)] = cnnF
+	return c, nil
+}
+
+// datasets returns standardized train/test ml.Datasets for one feature
+// kind (standardizer fitted on train only).
+func (c *Corpus) datasets(kind string) (train, test ml.Dataset, err error) {
+	feats, ok := c.Features[kind]
+	if !ok {
+		return ml.Dataset{}, ml.Dataset{}, fmt.Errorf("experiments: no features of kind %q", kind)
+	}
+	full := ml.Dataset{X: feats, Y: c.Labels, Classes: synth.NumClasses}
+	train = full.Subset(c.TrainIdx)
+	test = full.Subset(c.TestIdx)
+	std, err := ml.FitStandardizer(train.X)
+	if err != nil {
+		return ml.Dataset{}, ml.Dataset{}, err
+	}
+	if train.X, err = std.TransformAll(train.X); err != nil {
+		return ml.Dataset{}, ml.Dataset{}, err
+	}
+	if test.X, err = std.TransformAll(test.X); err != nil {
+		return ml.Dataset{}, ml.Dataset{}, err
+	}
+	return train, test, nil
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/ml"
+	"repro/internal/nn"
+	"repro/internal/synth"
+)
+
+// ClassifierNames lists the Fig. 6 sweep in display order (must match
+// ml.Standard).
+var ClassifierNames = []string{"kNN(k=5)", "NaiveBayes", "DecisionTree", "RandomForest", "LogReg", "SVM"}
+
+// Fig6Result is the feature × classifier macro-F1 grid.
+type Fig6Result struct {
+	Scale Scale
+	// F1[feature][classifier].
+	F1 map[string]map[string]float64
+	// CVMean[feature][classifier] is the 10-fold cross-validation mean
+	// on the training split (the paper's protocol).
+	CVMean map[string]map[string]float64
+}
+
+// RunFig6 evaluates every (feature, classifier) pair: fit on the 80%
+// split, report macro F1 on the 20% test split, plus k-fold CV on train.
+// folds <= 1 skips cross-validation (it dominates runtime).
+func RunFig6(c *Corpus, folds int) (*Fig6Result, error) {
+	out := &Fig6Result{
+		Scale:  c.Scale,
+		F1:     make(map[string]map[string]float64),
+		CVMean: make(map[string]map[string]float64),
+	}
+	for _, kind := range FeatureNames {
+		train, test, err := c.datasets(kind)
+		if err != nil {
+			return nil, err
+		}
+		out.F1[kind] = make(map[string]float64)
+		out.CVMean[kind] = make(map[string]float64)
+		for _, f := range ml.Standard(c.Scale.Seed) {
+			clf := f()
+			res, err := ml.Evaluate(clf, train, test)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig6 %s/%s: %w", kind, clf.Name(), err)
+			}
+			out.F1[kind][clf.Name()] = res.MacroF1
+			if folds > 1 {
+				scores, err := ml.CrossValidate(f, train, folds, c.Scale.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig6 CV %s/%s: %w", kind, clf.Name(), err)
+				}
+				out.CVMean[kind][clf.Name()] = ml.Mean(scores)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Render prints the grid in the paper's layout (classifiers × features).
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 — Macro F1 per classifier and image feature (N=%d)\n", r.Scale.N)
+	fmt.Fprintf(&b, "%-14s", "classifier")
+	for _, kind := range FeatureNames {
+		fmt.Fprintf(&b, " %12s", kind)
+	}
+	b.WriteString("\n")
+	for _, clf := range ClassifierNames {
+		fmt.Fprintf(&b, "%-14s", clf)
+		for _, kind := range FeatureNames {
+			fmt.Fprintf(&b, " %12.3f", r.F1[kind][clf])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Best returns the best classifier and F1 for a feature.
+func (r *Fig6Result) Best(kind string) (string, float64) {
+	bestName, bestF1 := "", -1.0
+	for _, clf := range ClassifierNames {
+		if v := r.F1[kind][clf]; v > bestF1 {
+			bestName, bestF1 = clf, v
+		}
+	}
+	return bestName, bestF1
+}
+
+// Fig7Result is the per-category F1 of SVM under each feature family.
+type Fig7Result struct {
+	Scale Scale
+	// F1[feature][class].
+	F1 map[string][]float64
+}
+
+// RunFig7 fits the paper's best classifier (SVM) per feature family and
+// reports per-class F1 over the five cleanliness categories.
+func RunFig7(c *Corpus) (*Fig7Result, error) {
+	out := &Fig7Result{Scale: c.Scale, F1: make(map[string][]float64)}
+	for _, kind := range FeatureNames {
+		train, test, err := c.datasets(kind)
+		if err != nil {
+			return nil, err
+		}
+		clf := ml.NewLinearSVM(ml.DefaultLinearConfig(c.Scale.Seed))
+		res, err := ml.Evaluate(clf, train, test)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 %s: %w", kind, err)
+		}
+		per := make([]float64, synth.NumClasses)
+		for cls, m := range res.PerClass {
+			per[cls] = m.F1
+		}
+		out.F1[kind] = per
+	}
+	return out, nil
+}
+
+// Render prints the per-category table.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7 — SVM per-category F1 per image feature (N=%d)\n", r.Scale.N)
+	fmt.Fprintf(&b, "%-22s", "category")
+	for _, kind := range FeatureNames {
+		fmt.Fprintf(&b, " %12s", kind)
+	}
+	b.WriteString("\n")
+	for cls := 0; cls < synth.NumClasses; cls++ {
+		fmt.Fprintf(&b, "%-22s", synth.Class(cls).String())
+		for _, kind := range FeatureNames {
+			fmt.Fprintf(&b, " %12.3f", r.F1[kind][cls])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CNNBestWorst returns the best and worst category under CNN features.
+func (r *Fig7Result) CNNBestWorst() (best, worst synth.Class) {
+	per := r.F1[FeatureNames[2]]
+	for cls := 1; cls < len(per); cls++ {
+		if per[cls] > per[best] {
+			best = synth.Class(cls)
+		}
+		if per[cls] < per[worst] {
+			worst = synth.Class(cls)
+		}
+	}
+	return best, worst
+}
+
+// Fig8Result is the inference-time table: model × device × image size.
+type Fig8Result struct {
+	ImageSides []int
+	// MeanMs[model][device][sideIdx].
+	MeanMs map[string]map[string][]float64
+}
+
+// RunFig8 simulates the edge inference-time evaluation: three pretrained
+// model profiles on three device classes over an image-size sweep,
+// `trials` runs each.
+func RunFig8(seed int64, trials int) *Fig8Result {
+	if trials <= 0 {
+		trials = 50
+	}
+	sim := edge.NewInferenceSim(seed)
+	out := &Fig8Result{
+		ImageSides: []int{128, 160, 192, 224},
+		MeanMs:     make(map[string]map[string][]float64),
+	}
+	for _, m := range nn.Profiles() {
+		out.MeanMs[m.Name] = make(map[string][]float64)
+		for _, d := range edge.Devices() {
+			series := make([]float64, len(out.ImageSides))
+			for i, side := range out.ImageSides {
+				series[i] = float64(sim.MeanInfer(m, d, side, trials)) / float64(time.Millisecond)
+			}
+			out.MeanMs[m.Name][d.Name] = series
+		}
+	}
+	return out
+}
+
+// Render prints mean latencies with their base-10 logs (the paper plots
+// log10 ms).
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — Mean inference time (ms) per model, device, image size\n")
+	fmt.Fprintf(&b, "%-14s %-18s", "model", "device")
+	for _, s := range r.ImageSides {
+		fmt.Fprintf(&b, " %9dpx", s)
+	}
+	b.WriteString("   log10@224\n")
+	for _, m := range nn.Profiles() {
+		for _, d := range edge.Devices() {
+			fmt.Fprintf(&b, "%-14s %-18s", m.Name, d.Name)
+			series := r.MeanMs[m.Name][d.Name]
+			for _, v := range series {
+				fmt.Fprintf(&b, " %11.1f", v)
+			}
+			fmt.Fprintf(&b, "   %8.2f\n", log10(series[len(series)-1]))
+		}
+	}
+	return b.String()
+}
+
+func log10(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Log10(v)
+}

@@ -1,0 +1,156 @@
+package feature
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/imagesim"
+	"repro/internal/nn"
+)
+
+// CNNExtractor produces "CNN features": the post-ReLU penultimate
+// activations of a small convolutional network fine-tuned on labelled
+// training images (the reproduction's stand-in for the paper's
+// Caffe transfer-learning step, §VII-A).
+type CNNExtractor struct {
+	Net  *nn.Network
+	In   nn.Shape
+	dim  int
+	fit  bool
+	side int
+}
+
+// CNNTrainConfig bundles the fine-tuning hyperparameters.
+type CNNTrainConfig struct {
+	Net   nn.FeatureNetConfig
+	Train nn.TrainConfig
+	// Augment adds this many augmented copies of every training image
+	// (flips, crops, noise) before fine-tuning; it is the convnet's
+	// defence against overfitting small labelled corpora.
+	Augment int
+	// AugmentSeed seeds the augmentation pipeline.
+	AugmentSeed int64
+}
+
+// DefaultCNNTrainConfig returns the Fig. 6/7 harness configuration.
+func DefaultCNNTrainConfig(classes int) CNNTrainConfig {
+	return CNNTrainConfig{
+		Net: nn.DefaultFeatureNetConfig(classes),
+		Train: nn.TrainConfig{
+			Epochs: 12, BatchSize: 16, LR: 0.01, Momentum: 0.9, Seed: 1,
+		},
+		Augment:     2,
+		AugmentSeed: 1,
+	}
+}
+
+// ErrNotTrained reports extraction before fine-tuning.
+var ErrNotTrained = errors.New("feature: CNN extractor not trained")
+
+// ImageToTensor converts an image to a (3, side, side) channel-major
+// tensor with [0,1] values, resizing as needed.
+func ImageToTensor(img *imagesim.Image, side int) ([]float64, error) {
+	if img == nil {
+		return nil, ErrNilImage
+	}
+	scaled := img
+	if img.W != side || img.H != side {
+		var err error
+		scaled, err = img.Resize(side, side)
+		if err != nil {
+			return nil, err
+		}
+	}
+	plane := side * side
+	out := make([]float64, 3*plane)
+	for i, p := range scaled.Pix {
+		out[i] = float64(p.R) / 255
+		out[plane+i] = float64(p.G) / 255
+		out[2*plane+i] = float64(p.B) / 255
+	}
+	normalizeTensor(out)
+	return out, nil
+}
+
+// normalizeTensor applies per-image zero-mean/unit-variance scaling — the
+// standard CNN preprocessing step that makes the learned features robust
+// to the capture-time illumination variance in street imagery.
+func normalizeTensor(t []float64) {
+	mean := 0.0
+	for _, v := range t {
+		mean += v
+	}
+	mean /= float64(len(t))
+	varsum := 0.0
+	for _, v := range t {
+		d := v - mean
+		varsum += d * d
+	}
+	std := math.Sqrt(varsum / float64(len(t)))
+	if std < 1e-9 {
+		std = 1
+	}
+	for i := range t {
+		t[i] = (t[i] - mean) / std
+	}
+}
+
+// TrainCNN fine-tunes a feature network on labelled images and returns an
+// extractor over its penultimate layer.
+func TrainCNN(imgs []*imagesim.Image, labels []int, cfg CNNTrainConfig) (*CNNExtractor, error) {
+	if len(imgs) == 0 {
+		return nil, errors.New("feature: empty CNN training set")
+	}
+	if len(imgs) != len(labels) {
+		return nil, fmt.Errorf("feature: %d images but %d labels", len(imgs), len(labels))
+	}
+	if cfg.Net.In.H != cfg.Net.In.W {
+		return nil, fmt.Errorf("feature: CNN input must be square, got %v", cfg.Net.In)
+	}
+	side := cfg.Net.In.H
+	xs := make([][]float64, 0, len(imgs)*(1+cfg.Augment))
+	ys := make([]int, 0, cap(xs))
+	aug := imagesim.NewAugmentor(cfg.AugmentSeed, imagesim.OpFlipH, imagesim.OpCrop, imagesim.OpNoise)
+	for i, img := range imgs {
+		t, err := ImageToTensor(img, side)
+		if err != nil {
+			return nil, fmt.Errorf("feature: CNN training image %d: %w", i, err)
+		}
+		xs = append(xs, t)
+		ys = append(ys, labels[i])
+		for a := 0; a < cfg.Augment; a++ {
+			t, err := ImageToTensor(aug.Apply(img), side)
+			if err != nil {
+				return nil, fmt.Errorf("feature: augmenting training image %d: %w", i, err)
+			}
+			xs = append(xs, t)
+			ys = append(ys, labels[i])
+		}
+	}
+	net := nn.BuildFeatureNet(cfg.Net)
+	if _, err := net.Train(xs, ys, cfg.Train); err != nil {
+		return nil, fmt.Errorf("feature: CNN fine-tuning: %w", err)
+	}
+	return &CNNExtractor{Net: net, In: cfg.Net.In, dim: cfg.Net.Hidden, fit: true, side: side}, nil
+}
+
+// Kind implements Extractor.
+func (c *CNNExtractor) Kind() Kind { return KindCNN }
+
+// Dim implements Extractor.
+func (c *CNNExtractor) Dim() int { return c.dim }
+
+// Extract implements Extractor.
+func (c *CNNExtractor) Extract(img *imagesim.Image) ([]float64, error) {
+	if !c.fit {
+		return nil, ErrNotTrained
+	}
+	t, err := ImageToTensor(img, c.side)
+	if err != nil {
+		return nil, err
+	}
+	// Skip the final Dense classifier head; the preceding ReLU output is
+	// the stored feature.
+	return c.Net.FeatureVector(t, 1)
+}

@@ -1,0 +1,107 @@
+// Package feature implements TVDP's visual descriptors (paper §IV-A):
+// HSV colour histograms, a SIFT-style local-keypoint pipeline quantised
+// into a bag-of-words, and CNN features taken from the penultimate layer
+// of a small fine-tuned convnet. Every extractor implements one interface
+// so the data-management layer can store, and the analysis layer can
+// sweep, feature families uniformly.
+package feature
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/imagesim"
+)
+
+// Kind identifies a feature family in the store and experiment tables.
+type Kind string
+
+// The three visual descriptor families of the paper.
+const (
+	KindColorHist Kind = "color_hist"
+	KindSIFTBoW   Kind = "sift_bow"
+	KindCNN       Kind = "cnn"
+)
+
+// Extractor converts an image into a fixed-length feature vector.
+type Extractor interface {
+	// Kind identifies the feature family.
+	Kind() Kind
+	// Dim returns the output vector length.
+	Dim() int
+	// Extract computes the feature vector of img.
+	Extract(img *imagesim.Image) ([]float64, error)
+}
+
+// ErrNilImage reports a nil image input.
+var ErrNilImage = errors.New("feature: nil image")
+
+// ExtractAll applies e to every image.
+func ExtractAll(e Extractor, imgs []*imagesim.Image) ([][]float64, error) {
+	out := make([][]float64, len(imgs))
+	for i, img := range imgs {
+		v, err := e.Extract(img)
+		if err != nil {
+			return nil, fmt.Errorf("feature: image %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ColorHistogram is the HSV colour histogram descriptor. The paper's
+// configuration discretises hue, saturation, and value into 20, 20, and 10
+// bins respectively and concatenates the three marginal histograms
+// (50 dimensions), each L1-normalised.
+type ColorHistogram struct {
+	HBins, SBins, VBins int
+}
+
+// NewColorHistogram returns the paper's 20/20/10 configuration.
+func NewColorHistogram() *ColorHistogram {
+	return &ColorHistogram{HBins: 20, SBins: 20, VBins: 10}
+}
+
+// Kind implements Extractor.
+func (c *ColorHistogram) Kind() Kind { return KindColorHist }
+
+// Dim implements Extractor.
+func (c *ColorHistogram) Dim() int { return c.HBins + c.SBins + c.VBins }
+
+// Extract implements Extractor.
+func (c *ColorHistogram) Extract(img *imagesim.Image) ([]float64, error) {
+	if img == nil {
+		return nil, ErrNilImage
+	}
+	if c.HBins <= 0 || c.SBins <= 0 || c.VBins <= 0 {
+		return nil, fmt.Errorf("feature: non-positive histogram bins %d/%d/%d", c.HBins, c.SBins, c.VBins)
+	}
+	out := make([]float64, c.Dim())
+	h := out[:c.HBins]
+	s := out[c.HBins : c.HBins+c.SBins]
+	v := out[c.HBins+c.SBins:]
+	for _, px := range img.Pix {
+		hsv := px.ToHSV()
+		h[binOf(hsv.H/360, c.HBins)]++
+		s[binOf(hsv.S, c.SBins)]++
+		v[binOf(hsv.V, c.VBins)]++
+	}
+	n := float64(len(img.Pix))
+	for i := range out {
+		out[i] /= n
+	}
+	return out, nil
+}
+
+// binOf maps a unit-interval value to one of n bins, clamping the
+// endpoint into the last bin.
+func binOf(unit float64, n int) int {
+	b := int(unit * float64(n))
+	if b < 0 {
+		b = 0
+	}
+	if b >= n {
+		b = n - 1
+	}
+	return b
+}

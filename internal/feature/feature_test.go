@@ -1,0 +1,332 @@
+package feature
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/imagesim"
+	"repro/internal/nn"
+)
+
+func solid(c imagesim.RGB) *imagesim.Image {
+	img := imagesim.MustNew(16, 16)
+	img.Fill(c)
+	return img
+}
+
+// textured returns an image with strong corners/edges for the detector.
+func textured(seed int64) *imagesim.Image {
+	rng := rand.New(rand.NewSource(seed))
+	img := imagesim.MustNew(48, 48)
+	img.Fill(imagesim.RGB{R: 30, G: 30, B: 30})
+	for i := 0; i < 8; i++ {
+		x := 8 + rng.Intn(30)
+		y := 8 + rng.Intn(30)
+		img.FillRect(x, y, x+5, y+5, imagesim.RGB{R: 220, G: 220, B: 220})
+	}
+	return img
+}
+
+func TestColorHistogramBasics(t *testing.T) {
+	ch := NewColorHistogram()
+	if ch.Dim() != 50 {
+		t.Fatalf("paper config dim = %d, want 50", ch.Dim())
+	}
+	v, err := ch.Extract(solid(imagesim.RGB{R: 255, G: 0, B: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 50 {
+		t.Fatalf("vector len = %d", len(v))
+	}
+	// Each of the three sections is a probability distribution.
+	sums := []float64{0, 0, 0}
+	for i, x := range v {
+		if x < 0 {
+			t.Fatalf("negative bin %d = %v", i, x)
+		}
+		switch {
+		case i < 20:
+			sums[0] += x
+		case i < 40:
+			sums[1] += x
+		default:
+			sums[2] += x
+		}
+	}
+	for s, sum := range sums {
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("section %d sums to %v", s, sum)
+		}
+	}
+	// Pure red: hue bin 0 holds all mass.
+	if v[0] != 1 {
+		t.Fatalf("red hue bin = %v, want 1", v[0])
+	}
+}
+
+func TestColorHistogramSeparatesColors(t *testing.T) {
+	noisy := func(base imagesim.RGB, seed int64) *imagesim.Image {
+		rng := rand.New(rand.NewSource(seed))
+		img := imagesim.MustNew(24, 24)
+		img.Fill(base)
+		return imagesim.AddGaussianNoise(img, 20, rng)
+	}
+	ch := NewColorHistogram()
+	red, _ := ch.Extract(noisy(imagesim.RGB{R: 200, G: 10, B: 10}, 1))
+	green, _ := ch.Extract(noisy(imagesim.RGB{R: 10, G: 200, B: 10}, 2))
+	red2, _ := ch.Extract(noisy(imagesim.RGB{R: 200, G: 10, B: 10}, 3))
+	dSame := l2(red, red2)
+	dDiff := l2(red, green)
+	if dSame >= dDiff {
+		t.Fatalf("same-color distance %v >= cross-color %v", dSame, dDiff)
+	}
+}
+
+func TestColorHistogramErrors(t *testing.T) {
+	ch := NewColorHistogram()
+	if _, err := ch.Extract(nil); !errors.Is(err, ErrNilImage) {
+		t.Fatal("nil image accepted")
+	}
+	bad := &ColorHistogram{HBins: 0, SBins: 1, VBins: 1}
+	if _, err := bad.Extract(solid(imagesim.RGB{})); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}
+
+func l2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestDetectKeypointsFindsCorners(t *testing.T) {
+	kps, err := DetectKeypoints(textured(1), DefaultSIFTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kps) == 0 {
+		t.Fatal("no keypoints on textured image")
+	}
+	for _, kp := range kps {
+		if len(kp.Descriptor) != DefaultSIFTConfig().DescriptorDim() {
+			t.Fatalf("descriptor dim = %d", len(kp.Descriptor))
+		}
+		// Descriptors are ~unit L2 norm.
+		if n := l2(kp.Descriptor, make([]float64, len(kp.Descriptor))); math.Abs(n-1) > 1e-6 {
+			t.Fatalf("descriptor norm = %v", n)
+		}
+		if kp.Response <= 0 {
+			t.Fatalf("non-positive response %v", kp.Response)
+		}
+	}
+}
+
+func TestDetectKeypointsFlatImageEmpty(t *testing.T) {
+	kps, err := DetectKeypoints(solid(imagesim.RGB{R: 128, G: 128, B: 128}), DefaultSIFTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kps) != 0 {
+		t.Fatalf("flat image produced %d keypoints", len(kps))
+	}
+}
+
+func TestDetectKeypointsCapAndValidation(t *testing.T) {
+	cfg := DefaultSIFTConfig()
+	cfg.MaxKeypoints = 3
+	kps, err := DetectKeypoints(textured(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kps) > 3 {
+		t.Fatalf("cap ignored: %d keypoints", len(kps))
+	}
+	// Strongest-first ordering.
+	for i := 1; i < len(kps); i++ {
+		if kps[i].Response > kps[i-1].Response {
+			t.Fatal("keypoints not ordered by response")
+		}
+	}
+	if _, err := DetectKeypoints(nil, cfg); !errors.Is(err, ErrNilImage) {
+		t.Fatal("nil image accepted")
+	}
+	bad := cfg
+	bad.GridCells = 0
+	if _, err := DetectKeypoints(textured(1), bad); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestBoWTrainAndExtract(t *testing.T) {
+	var train []*imagesim.Image
+	for i := int64(0); i < 6; i++ {
+		train = append(train, textured(i))
+	}
+	bow, err := TrainBoW(train, DefaultSIFTConfig(), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bow.Dim() == 0 || bow.Dim() > 8 {
+		t.Fatalf("vocab size = %d", bow.Dim())
+	}
+	v, err := bow.Extract(textured(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, x := range v {
+		if x < 0 {
+			t.Fatal("negative word count")
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("BoW not L1-normalised: %v", sum)
+	}
+	// Flat image: zero vector, no error.
+	flat, err := bow.Extract(solid(imagesim.RGB{R: 100, G: 100, B: 100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range flat {
+		if x != 0 {
+			t.Fatal("flat image should map to zero BoW vector")
+		}
+	}
+}
+
+func TestBoWErrors(t *testing.T) {
+	if _, err := TrainBoW([]*imagesim.Image{solid(imagesim.RGB{})}, DefaultSIFTConfig(), 4, 1); err == nil {
+		t.Fatal("keypoint-free training set accepted")
+	}
+	b := &BoW{Cfg: DefaultSIFTConfig()}
+	if _, err := b.Extract(textured(1)); !errors.Is(err, ErrNoVocabulary) {
+		t.Fatal("untrained BoW extract accepted")
+	}
+	if _, err := b.Extract(nil); !errors.Is(err, ErrNilImage) {
+		t.Fatal("nil image accepted")
+	}
+}
+
+func TestImageToTensor(t *testing.T) {
+	img := solid(imagesim.RGB{R: 255, G: 0, B: 0})
+	tns, err := ImageToTensor(img, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tns) != 3*8*8 {
+		t.Fatalf("tensor len = %d", len(tns))
+	}
+	// Per-image normalization applies, so check the layout relatively:
+	// the red plane dominates and G/B planes are equal.
+	if tns[0] <= tns[64] || tns[64] != tns[128] {
+		t.Fatalf("channel layout wrong: %v %v %v", tns[0], tns[64], tns[128])
+	}
+	// Zero mean, unit variance.
+	mean, varsum := 0.0, 0.0
+	for _, v := range tns {
+		mean += v
+	}
+	mean /= float64(len(tns))
+	for _, v := range tns {
+		varsum += (v - mean) * (v - mean)
+	}
+	if math.Abs(mean) > 1e-9 || math.Abs(varsum/float64(len(tns))-1) > 1e-9 {
+		t.Fatalf("tensor not standardized: mean=%v var=%v", mean, varsum/float64(len(tns)))
+	}
+	if _, err := ImageToTensor(nil, 8); !errors.Is(err, ErrNilImage) {
+		t.Fatal("nil image accepted")
+	}
+}
+
+func TestTrainCNNAndExtract(t *testing.T) {
+	// Two visually distinct classes: red-dominant vs blue-dominant.
+	rng := rand.New(rand.NewSource(4))
+	var imgs []*imagesim.Image
+	var labels []int
+	for i := 0; i < 40; i++ {
+		img := imagesim.MustNew(16, 16)
+		cls := i % 2
+		for j := range img.Pix {
+			n := uint8(rng.Intn(60))
+			if cls == 0 {
+				img.Pix[j] = imagesim.RGB{R: 180 + n/2, G: n, B: n}
+			} else {
+				img.Pix[j] = imagesim.RGB{R: n, G: n, B: 180 + n/2}
+			}
+		}
+		imgs = append(imgs, img)
+		labels = append(labels, cls)
+	}
+	cfg := CNNTrainConfig{
+		Net: nn.FeatureNetConfig{
+			In: nn.Shape{C: 3, H: 16, W: 16}, Conv1: 4, Conv2: 8, Hidden: 16,
+			Classes: 2, KernelSz: 3, Seed: 2,
+		},
+		Train: nn.TrainConfig{Epochs: 6, BatchSize: 8, LR: 0.05, Momentum: 0.9, Seed: 3},
+	}
+	ex, err := TrainCNN(imgs, labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Dim() != 16 {
+		t.Fatalf("feature dim = %d", ex.Dim())
+	}
+	// Features of same-class images are closer than cross-class.
+	f0a, _ := ex.Extract(imgs[0])
+	f0b, _ := ex.Extract(imgs[2])
+	f1, _ := ex.Extract(imgs[1])
+	if l2(f0a, f0b) >= l2(f0a, f1) {
+		t.Fatalf("CNN features not class-separated: same=%.3f cross=%.3f", l2(f0a, f0b), l2(f0a, f1))
+	}
+	if ex.Kind() != KindCNN {
+		t.Fatal("kind wrong")
+	}
+}
+
+func TestTrainCNNValidation(t *testing.T) {
+	if _, err := TrainCNN(nil, nil, DefaultCNNTrainConfig(2)); err == nil {
+		t.Fatal("empty training accepted")
+	}
+	if _, err := TrainCNN([]*imagesim.Image{solid(imagesim.RGB{})}, []int{0, 1}, DefaultCNNTrainConfig(2)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad := DefaultCNNTrainConfig(2)
+	bad.Net.In = nn.Shape{C: 3, H: 8, W: 16}
+	if _, err := TrainCNN([]*imagesim.Image{solid(imagesim.RGB{})}, []int{0}, bad); err == nil {
+		t.Fatal("non-square input accepted")
+	}
+	un := &CNNExtractor{}
+	if _, err := un.Extract(solid(imagesim.RGB{})); !errors.Is(err, ErrNotTrained) {
+		t.Fatal("untrained extract accepted")
+	}
+}
+
+func TestExtractAll(t *testing.T) {
+	ch := NewColorHistogram()
+	vs, err := ExtractAll(ch, []*imagesim.Image{solid(imagesim.RGB{R: 255}), solid(imagesim.RGB{B: 255})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || len(vs[0]) != 50 {
+		t.Fatalf("ExtractAll shape wrong")
+	}
+	if _, err := ExtractAll(ch, []*imagesim.Image{nil}); err == nil {
+		t.Fatal("nil element accepted")
+	}
+}
+
+func TestKinds(t *testing.T) {
+	if NewColorHistogram().Kind() != KindColorHist {
+		t.Fatal("color kind")
+	}
+	if (&BoW{}).Kind() != KindSIFTBoW {
+		t.Fatal("bow kind")
+	}
+}

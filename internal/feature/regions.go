@@ -1,0 +1,139 @@
+package feature
+
+import (
+	"sort"
+
+	"repro/internal/imagesim"
+)
+
+// Region detection. The paper's annotation descriptor optionally bounds
+// "a visual part of the image" (§IV-A); this detector proposes those
+// parts: pixels that deviate strongly from the local background are
+// grouped into connected components and returned as bounding boxes,
+// largest first. It is deliberately simple — a saliency proposer, not an
+// object detector — but it grounds region-level annotations end to end.
+
+// Region is one proposed salient part of an image, in pixel coordinates
+// with an exclusive upper bound ([X0,X1) × [Y0,Y1)).
+type Region struct {
+	X0, Y0, X1, Y1 int
+	// Area is the number of salient pixels in the component (not the
+	// box area).
+	Area int
+}
+
+// Width returns the box width.
+func (r Region) Width() int { return r.X1 - r.X0 }
+
+// Height returns the box height.
+func (r Region) Height() int { return r.Y1 - r.Y0 }
+
+// RegionConfig controls detection.
+type RegionConfig struct {
+	// Threshold is the minimum per-channel deviation (0-255 units) from
+	// the row-local background for a pixel to count as salient.
+	Threshold float64
+	// MinArea discards components smaller than this many pixels.
+	MinArea int
+	// MaxRegions caps the output (largest areas win); 0 = unlimited.
+	MaxRegions int
+}
+
+// DefaultRegionConfig returns thresholds tuned for the synthetic street
+// scenes (objects deviate strongly from the banded backdrop).
+func DefaultRegionConfig() RegionConfig {
+	return RegionConfig{Threshold: 45, MinArea: 12, MaxRegions: 8}
+}
+
+// DetectRegions proposes salient regions of img.
+func DetectRegions(img *imagesim.Image, cfg RegionConfig) ([]Region, error) {
+	if img == nil {
+		return nil, ErrNilImage
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 45
+	}
+	if cfg.MinArea <= 0 {
+		cfg.MinArea = 1
+	}
+	w, h := img.W, img.H
+	// Row-local background: the median gray of each row (the backdrop is
+	// horizontally banded, so rows are good background units).
+	gray := img.GrayPlane()
+	rowMedian := make([]float64, h)
+	buf := make([]float64, w)
+	for y := 0; y < h; y++ {
+		copy(buf, gray[y*w:(y+1)*w])
+		sort.Float64s(buf)
+		rowMedian[y] = buf[w/2]
+	}
+	salient := make([]bool, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := gray[y*w+x] - rowMedian[y]
+			if d < 0 {
+				d = -d
+			}
+			salient[y*w+x] = d >= cfg.Threshold
+		}
+	}
+	// Connected components (4-connectivity) via iterative flood fill.
+	seen := make([]bool, w*h)
+	var out []Region
+	var stack []int
+	for start := range salient {
+		if !salient[start] || seen[start] {
+			continue
+		}
+		stack = append(stack[:0], start)
+		seen[start] = true
+		reg := Region{X0: w, Y0: h, X1: 0, Y1: 0}
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := p%w, p/w
+			reg.Area++
+			if x < reg.X0 {
+				reg.X0 = x
+			}
+			if y < reg.Y0 {
+				reg.Y0 = y
+			}
+			if x+1 > reg.X1 {
+				reg.X1 = x + 1
+			}
+			if y+1 > reg.Y1 {
+				reg.Y1 = y + 1
+			}
+			for _, q := range [4]int{p - 1, p + 1, p - w, p + w} {
+				if q < 0 || q >= w*h {
+					continue
+				}
+				// Prevent row wrap-around on horizontal moves.
+				if (q == p-1 || q == p+1) && q/w != y {
+					continue
+				}
+				if salient[q] && !seen[q] {
+					seen[q] = true
+					stack = append(stack, q)
+				}
+			}
+		}
+		if reg.Area >= cfg.MinArea {
+			out = append(out, reg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Area != out[j].Area {
+			return out[i].Area > out[j].Area
+		}
+		if out[i].Y0 != out[j].Y0 {
+			return out[i].Y0 < out[j].Y0
+		}
+		return out[i].X0 < out[j].X0
+	})
+	if cfg.MaxRegions > 0 && len(out) > cfg.MaxRegions {
+		out = out[:cfg.MaxRegions]
+	}
+	return out, nil
+}

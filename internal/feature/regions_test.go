@@ -1,0 +1,110 @@
+package feature
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/imagesim"
+)
+
+func TestDetectRegionsFindsObjects(t *testing.T) {
+	img := imagesim.MustNew(40, 40)
+	img.Fill(imagesim.RGB{R: 120, G: 120, B: 120})
+	// Two bright objects of different sizes.
+	img.FillRect(5, 5, 15, 12, imagesim.RGB{R: 250, G: 250, B: 250})
+	img.FillRect(25, 25, 30, 30, imagesim.RGB{R: 10, G: 10, B: 10})
+	regs, err := DetectRegions(img, DefaultRegionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regions = %+v", regs)
+	}
+	// Largest first.
+	if regs[0].Area < regs[1].Area {
+		t.Fatal("regions not area-ordered")
+	}
+	big := regs[0]
+	if big.X0 != 5 || big.Y0 != 5 || big.X1 != 15 || big.Y1 != 12 {
+		t.Fatalf("big region box = %+v", big)
+	}
+	if big.Width() != 10 || big.Height() != 7 {
+		t.Fatalf("big region dims = %dx%d", big.Width(), big.Height())
+	}
+	if big.Area != 70 {
+		t.Fatalf("big region area = %d", big.Area)
+	}
+}
+
+func TestDetectRegionsUniformImageEmpty(t *testing.T) {
+	img := imagesim.MustNew(20, 20)
+	img.Fill(imagesim.RGB{R: 99, G: 99, B: 99})
+	regs, err := DetectRegions(img, DefaultRegionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("uniform image produced regions: %+v", regs)
+	}
+}
+
+func TestDetectRegionsMinAreaAndCap(t *testing.T) {
+	img := imagesim.MustNew(40, 40)
+	img.Fill(imagesim.RGB{R: 120, G: 120, B: 120})
+	// Many tiny specks and one large block.
+	for i := 0; i < 10; i++ {
+		img.Set(2+i*3, 2, imagesim.RGB{R: 255, G: 255, B: 255})
+	}
+	// Keep the block under half the row width: the detector's row-median
+	// background model assumes objects are a row minority.
+	img.FillRect(10, 20, 24, 35, imagesim.RGB{R: 255, G: 255, B: 255})
+	cfg := RegionConfig{Threshold: 45, MinArea: 12, MaxRegions: 1}
+	regs, err := DetectRegions(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regions = %+v", regs)
+	}
+	if regs[0].Area != 14*15 {
+		t.Fatalf("kept region area = %d", regs[0].Area)
+	}
+}
+
+func TestDetectRegionsNoRowWraparound(t *testing.T) {
+	// A salient pixel at a row's right edge must not merge with one at
+	// the next row's left edge.
+	img := imagesim.MustNew(10, 4)
+	img.Fill(imagesim.RGB{R: 120, G: 120, B: 120})
+	img.Set(9, 1, imagesim.RGB{R: 255, G: 255, B: 255})
+	img.Set(0, 2, imagesim.RGB{R: 255, G: 255, B: 255})
+	regs, err := DetectRegions(img, RegionConfig{Threshold: 45, MinArea: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("wrap-around merge: %+v", regs)
+	}
+}
+
+func TestDetectRegionsNil(t *testing.T) {
+	if _, err := DetectRegions(nil, DefaultRegionConfig()); !errors.Is(err, ErrNilImage) {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestDetectRegionsOnSyntheticScenes(t *testing.T) {
+	// Object-bearing classes should propose at least one region more
+	// often than clean scenes do. (Statistical: illumination noise can
+	// trip either way on single images.)
+	img := imagesim.MustNew(48, 48)
+	img.Fill(imagesim.RGB{R: 130, G: 130, B: 130})
+	img.FillRect(10, 25, 30, 37, imagesim.RGB{R: 40, G: 30, B: 20}) // a couch
+	regs, err := DetectRegions(img, DefaultRegionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) == 0 {
+		t.Fatal("no region proposed for a clear object")
+	}
+}

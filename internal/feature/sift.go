@@ -1,0 +1,299 @@
+package feature
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/imagesim"
+	"repro/internal/ml"
+)
+
+// Keypoint is one detected interest point with its local descriptor.
+type Keypoint struct {
+	X, Y       int
+	Response   float64
+	Descriptor []float64
+}
+
+// SIFTConfig sizes the simplified SIFT pipeline: a difference-of-Gaussians
+// response for detection and a gradient-orientation-histogram descriptor
+// over a square patch, matching the structure (not the full scale-space
+// machinery) of Lowe's detector.
+type SIFTConfig struct {
+	// MaxKeypoints caps detections per image (strongest responses win).
+	MaxKeypoints int
+	// PatchRadius is the half-size of the descriptor patch.
+	PatchRadius int
+	// GridCells splits the patch into GridCells x GridCells spatial cells.
+	GridCells int
+	// OrientBins is the number of gradient-orientation bins per cell.
+	OrientBins int
+	// ResponseThreshold discards weak DoG responses.
+	ResponseThreshold float64
+}
+
+// DefaultSIFTConfig returns the harness configuration: 4x4 cells of
+// 8 orientation bins (the classic 128-d layout) over 8-pixel-radius
+// patches, up to 40 keypoints per image.
+func DefaultSIFTConfig() SIFTConfig {
+	return SIFTConfig{
+		MaxKeypoints: 40, PatchRadius: 8, GridCells: 4, OrientBins: 8,
+		ResponseThreshold: 4,
+	}
+}
+
+// DescriptorDim returns the per-keypoint descriptor length.
+func (c SIFTConfig) DescriptorDim() int { return c.GridCells * c.GridCells * c.OrientBins }
+
+// DetectKeypoints runs the simplified SIFT detector and descriptor on img.
+func DetectKeypoints(img *imagesim.Image, cfg SIFTConfig) ([]Keypoint, error) {
+	if img == nil {
+		return nil, ErrNilImage
+	}
+	if cfg.PatchRadius < 1 || cfg.GridCells < 1 || cfg.OrientBins < 1 {
+		return nil, fmt.Errorf("feature: invalid SIFT config %+v", cfg)
+	}
+	gray := img.GrayPlane()
+	w, h := img.W, img.H
+	// Two Gaussian blurs (sigma ratio ~1.6) approximated by box passes.
+	g1 := boxBlur(gray, w, h, 1)
+	g2 := boxBlur(gray, w, h, 2)
+	dog := make([]float64, len(gray))
+	for i := range dog {
+		dog[i] = g1[i] - g2[i]
+	}
+	// Local extrema of |DoG| above threshold, away from borders.
+	margin := cfg.PatchRadius + 1
+	var kps []Keypoint
+	for y := margin; y < h-margin; y++ {
+		for x := margin; x < w-margin; x++ {
+			v := dog[y*w+x]
+			if math.Abs(v) < cfg.ResponseThreshold {
+				continue
+			}
+			if isLocalExtremum(dog, w, x, y, v) {
+				kps = append(kps, Keypoint{X: x, Y: y, Response: math.Abs(v)})
+			}
+		}
+	}
+	sort.Slice(kps, func(i, j int) bool {
+		if kps[i].Response != kps[j].Response {
+			return kps[i].Response > kps[j].Response
+		}
+		if kps[i].Y != kps[j].Y {
+			return kps[i].Y < kps[j].Y
+		}
+		return kps[i].X < kps[j].X
+	})
+	if cfg.MaxKeypoints > 0 && len(kps) > cfg.MaxKeypoints {
+		kps = kps[:cfg.MaxKeypoints]
+	}
+	for i := range kps {
+		kps[i].Descriptor = describePatch(g1, w, h, kps[i].X, kps[i].Y, cfg)
+	}
+	return kps, nil
+}
+
+func isLocalExtremum(dog []float64, w, x, y int, v float64) bool {
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			n := dog[(y+dy)*w+x+dx]
+			if v > 0 && n >= v {
+				return false
+			}
+			if v < 0 && n <= v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// boxBlur performs `passes` 3x3 box filter passes (border clamped).
+func boxBlur(src []float64, w, h, passes int) []float64 {
+	cur := append([]float64(nil), src...)
+	next := make([]float64, len(src))
+	at := func(buf []float64, x, y int) float64 {
+		if x < 0 {
+			x = 0
+		}
+		if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= h {
+			y = h - 1
+		}
+		return buf[y*w+x]
+	}
+	for p := 0; p < passes; p++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				s := 0.0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						s += at(cur, x+dx, y+dy)
+					}
+				}
+				next[y*w+x] = s / 9
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// describePatch builds the grid-of-orientation-histograms descriptor,
+// L2-normalised with the SIFT 0.2 clamp-and-renormalise step.
+func describePatch(gray []float64, w, h, cx, cy int, cfg SIFTConfig) []float64 {
+	desc := make([]float64, cfg.DescriptorDim())
+	r := cfg.PatchRadius
+	cell := float64(2*r) / float64(cfg.GridCells)
+	at := func(x, y int) float64 {
+		if x < 0 {
+			x = 0
+		}
+		if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= h {
+			y = h - 1
+		}
+		return gray[y*w+x]
+	}
+	for dy := -r; dy < r; dy++ {
+		for dx := -r; dx < r; dx++ {
+			x, y := cx+dx, cy+dy
+			gx := at(x+1, y) - at(x-1, y)
+			gy := at(x, y+1) - at(x, y-1)
+			mag := math.Hypot(gx, gy)
+			if mag == 0 {
+				continue
+			}
+			theta := math.Atan2(gy, gx) // [-pi, pi]
+			bin := int((theta + math.Pi) / (2 * math.Pi) * float64(cfg.OrientBins))
+			if bin >= cfg.OrientBins {
+				bin = cfg.OrientBins - 1
+			}
+			gcx := int(float64(dx+r) / cell)
+			gcy := int(float64(dy+r) / cell)
+			if gcx >= cfg.GridCells {
+				gcx = cfg.GridCells - 1
+			}
+			if gcy >= cfg.GridCells {
+				gcy = cfg.GridCells - 1
+			}
+			desc[(gcy*cfg.GridCells+gcx)*cfg.OrientBins+bin] += mag
+		}
+	}
+	l2normalize(desc)
+	for i, v := range desc {
+		if v > 0.2 {
+			desc[i] = 0.2
+		}
+	}
+	l2normalize(desc)
+	return desc
+}
+
+func l2normalize(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	if s == 0 {
+		return
+	}
+	n := math.Sqrt(s)
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// BoW is a trained bag-of-visual-words vocabulary: keypoint descriptors
+// are quantised against a kMeans codebook and pooled into a normalised
+// word-count vector (paper §IV-A, "SIFT-BoW").
+type BoW struct {
+	Cfg      SIFTConfig
+	Codebook *ml.KMeansResult
+}
+
+// ErrNoVocabulary reports quantisation before training.
+var ErrNoVocabulary = errors.New("feature: BoW vocabulary not trained")
+
+// TrainBoW extracts keypoints from the training images and clusters their
+// descriptors into a k-word vocabulary. The paper uses k=1000 over 80% of
+// the 22K-image corpus; the harness default scales k down with the corpus.
+func TrainBoW(imgs []*imagesim.Image, cfg SIFTConfig, k int, seed int64) (*BoW, error) {
+	var descs [][]float64
+	for i, img := range imgs {
+		kps, err := DetectKeypoints(img, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("feature: BoW training image %d: %w", i, err)
+		}
+		for _, kp := range kps {
+			descs = append(descs, kp.Descriptor)
+		}
+	}
+	if len(descs) == 0 {
+		return nil, errors.New("feature: no keypoints detected in BoW training set")
+	}
+	if k > len(descs) {
+		k = len(descs)
+	}
+	code, err := ml.KMeans(descs, ml.DefaultKMeansConfig(k, seed))
+	if err != nil {
+		return nil, fmt.Errorf("feature: BoW clustering: %w", err)
+	}
+	return &BoW{Cfg: cfg, Codebook: code}, nil
+}
+
+// Kind implements Extractor.
+func (b *BoW) Kind() Kind { return KindSIFTBoW }
+
+// Dim implements Extractor.
+func (b *BoW) Dim() int {
+	if b.Codebook == nil {
+		return 0
+	}
+	return len(b.Codebook.Centroids)
+}
+
+// Extract implements Extractor: histogram of quantised keypoint words,
+// L1-normalised (all-zero for images with no detected keypoints).
+func (b *BoW) Extract(img *imagesim.Image) ([]float64, error) {
+	if img == nil {
+		return nil, ErrNilImage
+	}
+	if b.Codebook == nil {
+		return nil, ErrNoVocabulary
+	}
+	kps, err := DetectKeypoints(img, b.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	hist := make([]float64, b.Dim())
+	for _, kp := range kps {
+		w, err := b.Codebook.Quantize(kp.Descriptor)
+		if err != nil {
+			return nil, err
+		}
+		hist[w]++
+	}
+	if len(kps) > 0 {
+		for i := range hist {
+			hist[i] /= float64(len(kps))
+		}
+	}
+	return hist, nil
+}

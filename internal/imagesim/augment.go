@@ -1,0 +1,205 @@
+package imagesim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Augmentation operations. The paper's data model distinguishes "original"
+// and "augmented" visual data, with augmented images synthesised by image
+// processing such as cropping and rotating (paper §IV-B, footnote 2, citing
+// the Python Augmentor library). This file is that library's TVDP-native
+// equivalent.
+
+// ErrBadCrop reports an invalid crop window.
+var ErrBadCrop = errors.New("imagesim: invalid crop window")
+
+// Crop returns the sub-image [x0,x0+w)×[y0,y0+h).
+func Crop(m *Image, x0, y0, w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 || x0 < 0 || y0 < 0 || x0+w > m.W || y0+h > m.H {
+		return nil, fmt.Errorf("%w: (%d,%d) %dx%d of %dx%d", ErrBadCrop, x0, y0, w, h, m.W, m.H)
+	}
+	out := MustNew(w, h)
+	for y := 0; y < h; y++ {
+		copy(out.Pix[y*w:(y+1)*w], m.Pix[(y0+y)*m.W+x0:(y0+y)*m.W+x0+w])
+	}
+	return out, nil
+}
+
+// FlipH returns m mirrored left-right.
+func FlipH(m *Image) *Image {
+	out := MustNew(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			out.Pix[y*m.W+x] = m.Pix[y*m.W+(m.W-1-x)]
+		}
+	}
+	return out
+}
+
+// FlipV returns m mirrored top-bottom.
+func FlipV(m *Image) *Image {
+	out := MustNew(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		copy(out.Pix[y*m.W:(y+1)*m.W], m.Pix[(m.H-1-y)*m.W:(m.H-y)*m.W])
+	}
+	return out
+}
+
+// Rotate returns m rotated by deg degrees counterclockwise about its
+// center, same output size, nearest-neighbour sampling with edge clamping.
+func Rotate(m *Image, deg float64) *Image {
+	out := MustNew(m.W, m.H)
+	rad := deg * math.Pi / 180
+	sin, cos := math.Sin(rad), math.Cos(rad)
+	cx, cy := float64(m.W-1)/2, float64(m.H-1)/2
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			// Inverse mapping: rotate destination back into source space.
+			dx, dy := float64(x)-cx, float64(y)-cy
+			sx := cos*dx + sin*dy + cx
+			sy := -sin*dx + cos*dy + cy
+			out.Pix[y*m.W+x] = m.At(int(math.Round(sx)), int(math.Round(sy)))
+		}
+	}
+	return out
+}
+
+// AdjustBrightness scales every channel by factor (1 = unchanged), clamping
+// to [0,255].
+func AdjustBrightness(m *Image, factor float64) *Image {
+	out := MustNew(m.W, m.H)
+	scale := func(v uint8) uint8 {
+		f := float64(v) * factor
+		if f < 0 {
+			f = 0
+		}
+		if f > 255 {
+			f = 255
+		}
+		return uint8(math.Round(f))
+	}
+	for i, p := range m.Pix {
+		out.Pix[i] = RGB{R: scale(p.R), G: scale(p.G), B: scale(p.B)}
+	}
+	return out
+}
+
+// AddGaussianNoise adds zero-mean Gaussian noise with the given standard
+// deviation (in 0-255 channel units) to every channel.
+func AddGaussianNoise(m *Image, stddev float64, rng *rand.Rand) *Image {
+	out := MustNew(m.W, m.H)
+	jitter := func(v uint8, n float64) uint8 {
+		f := float64(v) + n
+		if f < 0 {
+			f = 0
+		}
+		if f > 255 {
+			f = 255
+		}
+		return uint8(math.Round(f))
+	}
+	for i, p := range m.Pix {
+		out.Pix[i] = RGB{
+			R: jitter(p.R, rng.NormFloat64()*stddev),
+			G: jitter(p.G, rng.NormFloat64()*stddev),
+			B: jitter(p.B, rng.NormFloat64()*stddev),
+		}
+	}
+	return out
+}
+
+// Op identifies one augmentation operation in a pipeline.
+type Op int
+
+// Supported augmentation operations.
+const (
+	OpCrop Op = iota
+	OpFlipH
+	OpFlipV
+	OpRotate
+	OpBrightness
+	OpNoise
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpCrop:
+		return "crop"
+	case OpFlipH:
+		return "flip_h"
+	case OpFlipV:
+		return "flip_v"
+	case OpRotate:
+		return "rotate"
+	case OpBrightness:
+		return "brightness"
+	case OpNoise:
+		return "noise"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Augmentor applies a randomised pipeline of augmentation ops, producing
+// the "augmented images" rows of the TVDP schema from originals.
+type Augmentor struct {
+	Ops []Op
+	rng *rand.Rand
+}
+
+// NewAugmentor returns an Augmentor with the given op set and seed. An
+// empty op set defaults to the full pipeline.
+func NewAugmentor(seed int64, ops ...Op) *Augmentor {
+	if len(ops) == 0 {
+		ops = []Op{OpCrop, OpFlipH, OpRotate, OpBrightness, OpNoise}
+	}
+	return &Augmentor{Ops: ops, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Apply produces one augmented variant of m by applying each configured op
+// with probability 1/2 and randomised parameters. The result always has
+// the same dimensions as the input (crops are re-expanded), so downstream
+// feature extractors need no special casing.
+func (a *Augmentor) Apply(m *Image) *Image {
+	out := m
+	for _, op := range a.Ops {
+		if a.rng.Float64() < 0.5 {
+			continue
+		}
+		switch op {
+		case OpCrop:
+			w := m.W * 3 / 4
+			h := m.H * 3 / 4
+			if w < 1 || h < 1 {
+				continue
+			}
+			x0 := a.rng.Intn(m.W - w + 1)
+			y0 := a.rng.Intn(m.H - h + 1)
+			c, err := Crop(out, x0, y0, w, h)
+			if err != nil {
+				continue
+			}
+			if r, err := c.Resize(m.W, m.H); err == nil {
+				out = r
+			}
+		case OpFlipH:
+			out = FlipH(out)
+		case OpFlipV:
+			out = FlipV(out)
+		case OpRotate:
+			out = Rotate(out, a.rng.Float64()*30-15)
+		case OpBrightness:
+			out = AdjustBrightness(out, 0.7+a.rng.Float64()*0.6)
+		case OpNoise:
+			out = AddGaussianNoise(out, 4+a.rng.Float64()*8, a.rng)
+		}
+	}
+	if out == m {
+		out = m.Clone()
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package index
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Inverted is a keyword → posting-list index with TF-IDF ranking for the
+// textual queries of §IV-C (Zobel & Moffat style inverted files).
+type Inverted struct {
+	// postings[term][docID] = term frequency.
+	postings map[string]map[uint64]int
+	// docLens[docID] = token count; also the document registry.
+	docLens map[uint64]int
+}
+
+// NewInverted returns an empty index.
+func NewInverted() *Inverted {
+	return &Inverted{
+		postings: make(map[string]map[uint64]int),
+		docLens:  make(map[uint64]int),
+	}
+}
+
+// Tokenize lower-cases and splits text on non-alphanumeric runes.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	})
+}
+
+// Add indexes the document's terms; re-adding an ID merges new terms into
+// the existing posting lists (keywords accumulate on TVDP images).
+func (ix *Inverted) Add(id uint64, terms []string) {
+	for _, t := range terms {
+		t = strings.ToLower(t)
+		if t == "" {
+			continue
+		}
+		m := ix.postings[t]
+		if m == nil {
+			m = make(map[uint64]int)
+			ix.postings[t] = m
+		}
+		m[id]++
+		ix.docLens[id]++
+	}
+}
+
+// AddText tokenizes free text and indexes it.
+func (ix *Inverted) AddText(id uint64, text string) {
+	ix.Add(id, Tokenize(text))
+}
+
+// Remove deletes a document from every posting list.
+func (ix *Inverted) Remove(id uint64) {
+	if _, ok := ix.docLens[id]; !ok {
+		return
+	}
+	for term, m := range ix.postings {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(ix.postings, term)
+		}
+	}
+	delete(ix.docLens, id)
+}
+
+// Docs returns the number of indexed documents.
+func (ix *Inverted) Docs() int { return len(ix.docLens) }
+
+// Terms returns the vocabulary size.
+func (ix *Inverted) Terms() int { return len(ix.postings) }
+
+// SearchAny returns documents matching at least one query term, ranked by
+// TF-IDF score descending (ties by ascending ID).
+func (ix *Inverted) SearchAny(terms []string) []Match {
+	scores := make(map[uint64]float64)
+	n := float64(len(ix.docLens))
+	if n == 0 {
+		return nil
+	}
+	for _, t := range terms {
+		t = strings.ToLower(t)
+		m := ix.postings[t]
+		if len(m) == 0 {
+			continue
+		}
+		idf := math.Log2(n/float64(len(m))) + 1
+		for id, tf := range m {
+			scores[id] += float64(tf) * idf
+		}
+	}
+	out := make([]Match, 0, len(scores))
+	for id, s := range scores {
+		// Higher score = better; reuse Match.Dist as the score with
+		// descending sort below.
+		out = append(out, Match{ID: id, Dist: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist > out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// SearchAll returns documents containing every query term (conjunctive),
+// ranked by TF-IDF.
+func (ix *Inverted) SearchAll(terms []string) []Match {
+	if len(terms) == 0 {
+		return nil
+	}
+	any := ix.SearchAny(terms)
+	out := any[:0]
+	for _, m := range any {
+		hasAll := true
+		for _, t := range terms {
+			if ix.postings[strings.ToLower(t)][m.ID] == 0 {
+				hasAll = false
+				break
+			}
+		}
+		if hasAll {
+			out = append(out, m)
+		}
+	}
+	return out
+}

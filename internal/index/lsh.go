@@ -1,0 +1,227 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// LSH is a locality-sensitive hash index for Euclidean (L2) similarity
+// over feature vectors, using p-stable (Gaussian) projections (Datar et
+// al., SoCG 2004) — the visual-query index of the paper's §IV-C.
+type LSH struct {
+	cfg LSHConfig
+	dim int
+	// tables[t][bucketKey] -> ids
+	tables []map[string][]uint64
+	// proj[t][h] is one projection vector; offsets[t][h] its bias.
+	proj    [][][]float64
+	offsets [][]float64
+	// vectors retains indexed data for exact re-ranking.
+	vectors map[uint64][]float64
+}
+
+// LSHConfig sizes the hash family.
+type LSHConfig struct {
+	// Tables is the number of independent hash tables L.
+	Tables int
+	// Hashes is the number of concatenated hash functions per table k.
+	Hashes int
+	// W is the quantisation bucket width of each projection.
+	W float64
+	// Seed drives projection sampling.
+	Seed int64
+}
+
+// DefaultLSHConfig returns L=8 tables of k=6 hashes with W=4.
+func DefaultLSHConfig(seed int64) LSHConfig {
+	return LSHConfig{Tables: 8, Hashes: 6, W: 4, Seed: seed}
+}
+
+// NewLSH returns an empty index over dim-dimensional vectors.
+func NewLSH(dim int, cfg LSHConfig) (*LSH, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("%w: dim %d", ErrBadConfig, dim)
+	}
+	if cfg.Tables <= 0 || cfg.Hashes <= 0 || cfg.W <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	l := &LSH{
+		cfg:     cfg,
+		dim:     dim,
+		tables:  make([]map[string][]uint64, cfg.Tables),
+		proj:    make([][][]float64, cfg.Tables),
+		offsets: make([][]float64, cfg.Tables),
+		vectors: make(map[uint64][]float64),
+	}
+	for t := 0; t < cfg.Tables; t++ {
+		l.tables[t] = make(map[string][]uint64)
+		l.proj[t] = make([][]float64, cfg.Hashes)
+		l.offsets[t] = make([]float64, cfg.Hashes)
+		for h := 0; h < cfg.Hashes; h++ {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			l.proj[t][h] = v
+			l.offsets[t][h] = rng.Float64() * cfg.W
+		}
+	}
+	return l, nil
+}
+
+// Len returns the number of indexed vectors.
+func (l *LSH) Len() int { return len(l.vectors) }
+
+// Dim returns the indexed dimensionality.
+func (l *LSH) Dim() int { return l.dim }
+
+func (l *LSH) key(t int, x []float64) string {
+	var b strings.Builder
+	for h := 0; h < l.cfg.Hashes; h++ {
+		dot := l.offsets[t][h]
+		for j, v := range x {
+			dot += l.proj[t][h][j] * v
+		}
+		fmt.Fprintf(&b, "%d|", int(math.Floor(dot/l.cfg.W)))
+	}
+	return b.String()
+}
+
+// ErrDimMismatch reports a vector of the wrong length.
+var ErrDimMismatch = errors.New("index: vector dimension mismatch")
+
+// Insert adds (id, vec). Re-inserting an ID replaces its vector.
+func (l *LSH) Insert(id uint64, vec []float64) error {
+	if len(vec) != l.dim {
+		return fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(vec), l.dim)
+	}
+	if _, ok := l.vectors[id]; ok {
+		l.Remove(id)
+	}
+	cp := append([]float64(nil), vec...)
+	l.vectors[id] = cp
+	for t := range l.tables {
+		k := l.key(t, cp)
+		l.tables[t][k] = append(l.tables[t][k], id)
+	}
+	return nil
+}
+
+// Remove deletes an ID; absent IDs are a no-op.
+func (l *LSH) Remove(id uint64) {
+	vec, ok := l.vectors[id]
+	if !ok {
+		return
+	}
+	for t := range l.tables {
+		k := l.key(t, vec)
+		bucket := l.tables[t][k]
+		for i, v := range bucket {
+			if v == id {
+				l.tables[t][k] = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(l.tables[t][k]) == 0 {
+			delete(l.tables[t], k)
+		}
+	}
+	delete(l.vectors, id)
+}
+
+// Match is a scored search hit.
+type Match struct {
+	ID   uint64
+	Dist float64
+}
+
+// candidates gathers the union of bucket contents across tables.
+func (l *LSH) candidates(q []float64) map[uint64]bool {
+	set := make(map[uint64]bool)
+	for t := range l.tables {
+		for _, id := range l.tables[t][l.key(t, q)] {
+			set[id] = true
+		}
+	}
+	return set
+}
+
+// TopK returns up to k approximate nearest neighbours of q by exact
+// re-ranking of LSH candidates, ordered by ascending L2 distance.
+func (l *LSH) TopK(q []float64, k int) ([]Match, error) {
+	if len(q) != l.dim {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), l.dim)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	cands := l.candidates(q)
+	out := make([]Match, 0, len(cands))
+	for id := range cands {
+		out = append(out, Match{ID: id, Dist: l2(q, l.vectors[id])})
+	}
+	sortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// WithinRadius returns all candidates within L2 distance <= r of q,
+// ordered by ascending distance (the threshold visual query of §IV-C).
+func (l *LSH) WithinRadius(q []float64, r float64) ([]Match, error) {
+	if len(q) != l.dim {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), l.dim)
+	}
+	var out []Match
+	for id := range l.candidates(q) {
+		if d := l2(q, l.vectors[id]); d <= r {
+			out = append(out, Match{ID: id, Dist: d})
+		}
+	}
+	sortMatches(out)
+	return out, nil
+}
+
+// ExactTopK linearly scans every indexed vector — the ground-truth
+// baseline the LSH ablation (bench A2) compares against.
+func (l *LSH) ExactTopK(q []float64, k int) ([]Match, error) {
+	if len(q) != l.dim {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), l.dim)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	out := make([]Match, 0, len(l.vectors))
+	for id, v := range l.vectors {
+		out = append(out, Match{ID: id, Dist: l2(q, v)})
+	}
+	sortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Dist != ms[j].Dist {
+			return ms[i].Dist < ms[j].Dist
+		}
+		return ms[i].ID < ms[j].ID
+	})
+}
+
+func l2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,97 @@
+package index
+
+import (
+	"sort"
+	"time"
+)
+
+// Temporal indexes items by timestamp for the temporal-filter queries of
+// §IV-C. It keeps a sorted slice with binary-search range scans —
+// append-mostly insertion stays near O(1) amortised because captures
+// arrive roughly in time order.
+type Temporal struct {
+	entries []temporalEntry
+	sorted  bool
+}
+
+type temporalEntry struct {
+	at time.Time
+	id uint64
+}
+
+// NewTemporal returns an empty index.
+func NewTemporal() *Temporal { return &Temporal{sorted: true} }
+
+// Len returns the number of indexed entries.
+func (t *Temporal) Len() int { return len(t.entries) }
+
+// Insert adds (id, at). Out-of-order inserts mark the index for a lazy
+// re-sort on the next query.
+func (t *Temporal) Insert(id uint64, at time.Time) {
+	if n := len(t.entries); n > 0 && at.Before(t.entries[n-1].at) {
+		t.sorted = false
+	}
+	t.entries = append(t.entries, temporalEntry{at: at, id: id})
+}
+
+// Remove deletes the entry with the given id and timestamp; absent pairs
+// are a no-op.
+func (t *Temporal) Remove(id uint64, at time.Time) {
+	t.ensureSorted()
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return !t.entries[i].at.Before(at)
+	})
+	for ; i < len(t.entries) && t.entries[i].at.Equal(at); i++ {
+		if t.entries[i].id == id {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+func (t *Temporal) ensureSorted() {
+	if t.sorted {
+		return
+	}
+	sort.Slice(t.entries, func(i, j int) bool {
+		if !t.entries[i].at.Equal(t.entries[j].at) {
+			return t.entries[i].at.Before(t.entries[j].at)
+		}
+		return t.entries[i].id < t.entries[j].id
+	})
+	t.sorted = true
+}
+
+// Range returns the IDs captured in [from, to] in ascending time order.
+func (t *Temporal) Range(from, to time.Time) []uint64 {
+	if to.Before(from) {
+		return nil
+	}
+	t.ensureSorted()
+	lo := sort.Search(len(t.entries), func(i int) bool {
+		return !t.entries[i].at.Before(from)
+	})
+	var out []uint64
+	for i := lo; i < len(t.entries) && !t.entries[i].at.After(to); i++ {
+		out = append(out, t.entries[i].id)
+	}
+	return out
+}
+
+// Latest returns up to k IDs with the most recent timestamps, newest
+// first.
+func (t *Temporal) Latest(k int) []uint64 {
+	if k <= 0 {
+		return nil
+	}
+	t.ensureSorted()
+	n := len(t.entries)
+	if k > n {
+		k = n
+	}
+	out := make([]uint64, 0, k)
+	for i := n - 1; i >= n-k; i-- {
+		out = append(out, t.entries[i].id)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansConfig controls Lloyd's algorithm.
+type KMeansConfig struct {
+	K        int
+	MaxIters int
+	Seed     int64
+	// Tol stops iteration once total centroid movement falls below it.
+	Tol float64
+}
+
+// DefaultKMeansConfig returns defaults sized for BoW dictionary training.
+func DefaultKMeansConfig(k int, seed int64) KMeansConfig {
+	return KMeansConfig{K: k, MaxIters: 50, Seed: seed, Tol: 1e-6}
+}
+
+// KMeansResult is a fitted codebook.
+type KMeansResult struct {
+	Centroids [][]float64
+	// Assign maps each input row to its centroid.
+	Assign []int
+	// Inertia is the final sum of squared distances to assigned centroids.
+	Inertia float64
+	// Iters is the number of Lloyd iterations executed.
+	Iters int
+}
+
+// ErrBadK reports an invalid cluster count.
+var ErrBadK = errors.New("ml: k must be in [1, len(points)]")
+
+// KMeans clusters points with kMeans++ initialisation followed by Lloyd
+// iterations. It is the quantiser behind the SIFT bag-of-words dictionary
+// (paper §VII-A: "clustered into 1000 clusters (using kMeans)").
+func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
+	if len(points) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	if cfg.K < 1 || cfg.K > len(points) {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrBadK, cfg.K, len(points))
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("%w: row %d has %d dims, want %d", ErrDimMismatch, i, len(p), dim)
+		}
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 50
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cents := kmeansPlusPlus(points, cfg.K, rng)
+	assign := make([]int, len(points))
+	counts := make([]int, cfg.K)
+	iters := 0
+	for ; iters < cfg.MaxIters; iters++ {
+		// Assignment step.
+		for i, p := range points {
+			best, bd := 0, math.Inf(1)
+			for c, cent := range cents {
+				if d := SquaredL2(p, cent); d < bd {
+					best, bd = c, d
+				}
+			}
+			assign[i] = best
+		}
+		// Update step.
+		next := make([][]float64, cfg.K)
+		for c := range next {
+			next[c] = make([]float64, dim)
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				next[c][j] += v
+			}
+		}
+		moved := 0.0
+		for c := range next {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(next[c], points[rng.Intn(len(points))])
+			} else {
+				for j := range next[c] {
+					next[c][j] /= float64(counts[c])
+				}
+			}
+			moved += math.Sqrt(SquaredL2(next[c], cents[c]))
+		}
+		cents = next
+		if moved < cfg.Tol {
+			iters++
+			break
+		}
+	}
+	inertia := 0.0
+	for i, p := range points {
+		inertia += SquaredL2(p, cents[assign[i]])
+	}
+	return &KMeansResult{Centroids: cents, Assign: assign, Inertia: inertia, Iters: iters}, nil
+}
+
+// kmeansPlusPlus seeds centroids with D² weighting.
+func kmeansPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	cents := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	cents = append(cents, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(cents) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range cents {
+				if d := SquaredL2(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var next []float64
+		if total == 0 {
+			next = points[rng.Intn(len(points))]
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			next = points[len(points)-1]
+			for i, w := range d2 {
+				acc += w
+				if acc >= r {
+					next = points[i]
+					break
+				}
+			}
+		}
+		cents = append(cents, append([]float64(nil), next...))
+	}
+	return cents
+}
+
+// Quantize returns the index of the nearest centroid to x.
+func (r *KMeansResult) Quantize(x []float64) (int, error) {
+	if len(r.Centroids) == 0 {
+		return 0, ErrNotFitted
+	}
+	if len(x) != len(r.Centroids[0]) {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(x), len(r.Centroids[0]))
+	}
+	best, bd := 0, math.Inf(1)
+	for c, cent := range r.Centroids {
+		if d := SquaredL2(x, cent); d < bd {
+			best, bd = c, d
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,239 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbour classifier with Euclidean distance and
+// majority vote (ties broken by the nearer neighbour set, then lower class
+// id for determinism).
+type KNN struct {
+	K    int
+	data Dataset
+	fit  bool
+}
+
+// NewKNN returns a kNN classifier; k is clamped to at least 1.
+func NewKNN(k int) *KNN {
+	if k < 1 {
+		k = 1
+	}
+	return &KNN{K: k}
+}
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return fmt.Sprintf("kNN(k=%d)", k.K) }
+
+// Fit implements Classifier. kNN is a lazy learner: fitting just retains
+// the training set.
+func (k *KNN) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	k.data = d
+	k.fit = true
+	return nil
+}
+
+// SquaredL2 returns the squared Euclidean distance between equal-length
+// vectors; it is the shared distance kernel of kNN, kMeans and LSH.
+func SquaredL2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+type neighbour struct {
+	dist  float64
+	label int
+}
+
+// Predict implements Classifier.
+func (k *KNN) Predict(x []float64) (int, error) {
+	if !k.fit {
+		return 0, ErrNotFitted
+	}
+	if len(x) != k.data.Dim() {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(x), k.data.Dim())
+	}
+	p, err := k.PredictProba(x)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for i := range p {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// PredictProba implements ProbClassifier: the vote share per class among
+// the k nearest neighbours.
+func (k *KNN) PredictProba(x []float64) ([]float64, error) {
+	if !k.fit {
+		return nil, ErrNotFitted
+	}
+	if len(x) != k.data.Dim() {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(x), k.data.Dim())
+	}
+	kk := k.K
+	if kk > k.data.Len() {
+		kk = k.data.Len()
+	}
+	ns := make([]neighbour, k.data.Len())
+	for i, row := range k.data.X {
+		ns[i] = neighbour{dist: SquaredL2(x, row), label: k.data.Y[i]}
+	}
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].dist != ns[j].dist {
+			return ns[i].dist < ns[j].dist
+		}
+		return ns[i].label < ns[j].label
+	})
+	votes := make([]float64, k.data.Classes)
+	for _, n := range ns[:kk] {
+		votes[n.label] += 1 / float64(kk)
+	}
+	return votes, nil
+}
+
+// GaussianNB is a Gaussian naive Bayes classifier: features are modelled
+// as class-conditionally independent normals.
+type GaussianNB struct {
+	classes  int
+	dim      int
+	logPrior []float64
+	mean     [][]float64
+	variance [][]float64
+	fit      bool
+}
+
+// NewGaussianNB returns an unfitted Gaussian naive Bayes classifier.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{} }
+
+// Name implements Classifier.
+func (g *GaussianNB) Name() string { return "NaiveBayes" }
+
+// Fit implements Classifier.
+func (g *GaussianNB) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	g.classes, g.dim = d.Classes, d.Dim()
+	counts := make([]int, d.Classes)
+	g.mean = make([][]float64, d.Classes)
+	g.variance = make([][]float64, d.Classes)
+	for c := 0; c < d.Classes; c++ {
+		g.mean[c] = make([]float64, g.dim)
+		g.variance[c] = make([]float64, g.dim)
+	}
+	for i, row := range d.X {
+		c := d.Y[i]
+		counts[c]++
+		for j, v := range row {
+			g.mean[c][j] += v
+		}
+	}
+	for c := 0; c < d.Classes; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range g.mean[c] {
+			g.mean[c][j] /= float64(counts[c])
+		}
+	}
+	for i, row := range d.X {
+		c := d.Y[i]
+		for j, v := range row {
+			dv := v - g.mean[c][j]
+			g.variance[c][j] += dv * dv
+		}
+	}
+	const varFloor = 1e-9
+	for c := 0; c < d.Classes; c++ {
+		for j := range g.variance[c] {
+			if counts[c] > 0 {
+				g.variance[c][j] /= float64(counts[c])
+			}
+			if g.variance[c][j] < varFloor {
+				g.variance[c][j] = varFloor
+			}
+		}
+	}
+	g.logPrior = make([]float64, d.Classes)
+	for c := range g.logPrior {
+		if counts[c] == 0 {
+			g.logPrior[c] = math.Inf(-1)
+			continue
+		}
+		g.logPrior[c] = math.Log(float64(counts[c]) / float64(d.Len()))
+	}
+	g.fit = true
+	return nil
+}
+
+func (g *GaussianNB) logLikelihoods(x []float64) ([]float64, error) {
+	if !g.fit {
+		return nil, ErrNotFitted
+	}
+	if len(x) != g.dim {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(x), g.dim)
+	}
+	ll := make([]float64, g.classes)
+	for c := 0; c < g.classes; c++ {
+		s := g.logPrior[c]
+		for j, v := range x {
+			d := v - g.mean[c][j]
+			s += -0.5*math.Log(2*math.Pi*g.variance[c][j]) - d*d/(2*g.variance[c][j])
+		}
+		ll[c] = s
+	}
+	return ll, nil
+}
+
+// Predict implements Classifier.
+func (g *GaussianNB) Predict(x []float64) (int, error) {
+	ll, err := g.logLikelihoods(x)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for c := range ll {
+		if ll[c] > ll[best] {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// PredictProba implements ProbClassifier via normalised posteriors.
+func (g *GaussianNB) PredictProba(x []float64) ([]float64, error) {
+	ll, err := g.logLikelihoods(x)
+	if err != nil {
+		return nil, err
+	}
+	mx := math.Inf(-1)
+	for _, v := range ll {
+		if v > mx {
+			mx = v
+		}
+	}
+	sum := 0.0
+	out := make([]float64, len(ll))
+	for i, v := range ll {
+		e := math.Exp(v - mx)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out, nil
+}

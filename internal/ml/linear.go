@@ -1,0 +1,316 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LinearConfig controls the SGD-trained linear models (logistic regression
+// and linear SVM).
+type LinearConfig struct {
+	Epochs int
+	LR     float64
+	// Lambda is the L2 regularisation strength.
+	Lambda float64
+	Seed   int64
+}
+
+// DefaultLinearConfig returns the configuration used across the Fig. 6
+// sweep: enough epochs to converge on standardized features at harness
+// scale.
+func DefaultLinearConfig(seed int64) LinearConfig {
+	return LinearConfig{Epochs: 60, LR: 0.1, Lambda: 1e-4, Seed: seed}
+}
+
+// linearModel holds one weight row per class plus bias (multinomial or
+// one-vs-rest layouts share this storage).
+type linearModel struct {
+	classes int
+	dim     int
+	w       [][]float64
+	b       []float64
+	fit     bool
+}
+
+func (m *linearModel) init(classes, dim int) {
+	m.classes, m.dim = classes, dim
+	m.w = make([][]float64, classes)
+	for c := range m.w {
+		m.w[c] = make([]float64, dim)
+	}
+	m.b = make([]float64, classes)
+	m.fit = true
+}
+
+func (m *linearModel) scores(x []float64) ([]float64, error) {
+	if !m.fit {
+		return nil, ErrNotFitted
+	}
+	if len(x) != m.dim {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(x), m.dim)
+	}
+	s := make([]float64, m.classes)
+	for c := 0; c < m.classes; c++ {
+		v := m.b[c]
+		row := m.w[c]
+		for j, xv := range x {
+			v += row[j] * xv
+		}
+		s[c] = v
+	}
+	return s, nil
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := range v {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// LogisticRegression is multinomial (softmax) logistic regression trained
+// with minibatch-free SGD and L2 regularisation.
+type LogisticRegression struct {
+	Cfg LinearConfig
+	linearModel
+}
+
+// NewLogisticRegression returns an unfitted model.
+func NewLogisticRegression(cfg LinearConfig) *LogisticRegression {
+	return &LogisticRegression{Cfg: cfg}
+}
+
+// Name implements Classifier.
+func (l *LogisticRegression) Name() string { return "LogReg" }
+
+// Fit implements Classifier.
+func (l *LogisticRegression) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	l.init(d.Classes, d.Dim())
+	rng := rand.New(rand.NewSource(l.Cfg.Seed))
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < l.Cfg.Epochs; epoch++ {
+		lr := l.Cfg.LR / (1 + 0.05*float64(epoch))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			s, err := l.scores(d.X[i])
+			if err != nil {
+				return err
+			}
+			p := softmaxInPlace(s)
+			for c := 0; c < l.classes; c++ {
+				g := p[c]
+				if c == d.Y[i] {
+					g -= 1
+				}
+				row := l.w[c]
+				for j, xv := range d.X[i] {
+					row[j] -= lr * (g*xv + l.Cfg.Lambda*row[j])
+				}
+				l.b[c] -= lr * g
+			}
+		}
+	}
+	return nil
+}
+
+func softmaxInPlace(s []float64) []float64 {
+	mx := math.Inf(-1)
+	for _, v := range s {
+		if v > mx {
+			mx = v
+		}
+	}
+	sum := 0.0
+	for i, v := range s {
+		e := math.Exp(v - mx)
+		s[i] = e
+		sum += e
+	}
+	for i := range s {
+		s[i] /= sum
+	}
+	return s
+}
+
+// Predict implements Classifier.
+func (l *LogisticRegression) Predict(x []float64) (int, error) {
+	s, err := l.scores(x)
+	if err != nil {
+		return 0, err
+	}
+	return argmax(s), nil
+}
+
+// PredictProba implements ProbClassifier.
+func (l *LogisticRegression) PredictProba(x []float64) ([]float64, error) {
+	s, err := l.scores(x)
+	if err != nil {
+		return nil, err
+	}
+	return softmaxInPlace(s), nil
+}
+
+// LinearSVM is a one-vs-rest linear support vector machine trained with
+// Pegasos-style stochastic subgradient descent on the hinge loss, using
+// iterate averaging over the second half of training for stability. The
+// paper's best Fig. 6 classifier is an SVM.
+type LinearSVM struct {
+	Cfg LinearConfig
+	linearModel
+}
+
+// NewLinearSVM returns an unfitted model.
+func NewLinearSVM(cfg LinearConfig) *LinearSVM { return &LinearSVM{Cfg: cfg} }
+
+// Name implements Classifier.
+func (s *LinearSVM) Name() string { return "SVM" }
+
+// Fit implements Classifier.
+func (s *LinearSVM) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	s.init(d.Classes, d.Dim())
+	rng := rand.New(rand.NewSource(s.Cfg.Seed))
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	lambda := s.Cfg.Lambda
+	if lambda <= 0 {
+		lambda = 1e-4
+	}
+	// Iterate averaging: accumulate weights over the second half of
+	// training and use the mean as the final model (averaged Pegasos).
+	avgW := make([][]float64, s.classes)
+	for c := range avgW {
+		avgW[c] = make([]float64, s.dim)
+	}
+	avgB := make([]float64, s.classes)
+	avgFrom := s.Cfg.Epochs / 2
+	avgCount := 0
+	for epoch := 0; epoch < s.Cfg.Epochs; epoch++ {
+		eta := s.Cfg.LR / (1 + 0.05*float64(epoch))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			x := d.X[i]
+			for c := 0; c < s.classes; c++ {
+				yc := -1.0
+				if d.Y[i] == c {
+					yc = 1
+				}
+				row := s.w[c]
+				margin := s.b[c]
+				for j, xv := range x {
+					margin += row[j] * xv
+				}
+				margin *= yc
+				// Hinge-loss SGD: always apply L2 shrinkage, add the
+				// subgradient on margin violation.
+				shrink := 1 - eta*lambda
+				if shrink < 0 {
+					shrink = 0
+				}
+				for j := range row {
+					row[j] *= shrink
+				}
+				if margin < 1 {
+					for j, xv := range x {
+						row[j] += eta * yc * xv
+					}
+					s.b[c] += eta * yc
+				}
+			}
+		}
+		if epoch >= avgFrom {
+			for c := 0; c < s.classes; c++ {
+				for j, v := range s.w[c] {
+					avgW[c][j] += v
+				}
+				avgB[c] += s.b[c]
+			}
+			avgCount++
+		}
+	}
+	if avgCount > 0 {
+		for c := 0; c < s.classes; c++ {
+			for j := range avgW[c] {
+				s.w[c][j] = avgW[c][j] / float64(avgCount)
+			}
+			s.b[c] = avgB[c] / float64(avgCount)
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier: the class with the largest OvR margin.
+func (s *LinearSVM) Predict(x []float64) (int, error) {
+	sc, err := s.scores(x)
+	if err != nil {
+		return 0, err
+	}
+	return argmax(sc), nil
+}
+
+// PredictProba implements ProbClassifier with a softmax over margins — a
+// crude calibration, sufficient for uncertainty ranking on the edge.
+func (s *LinearSVM) PredictProba(x []float64) ([]float64, error) {
+	sc, err := s.scores(x)
+	if err != nil {
+		return nil, err
+	}
+	return softmaxInPlace(sc), nil
+}
+
+// Weights returns a copy of the fitted per-class weight rows.
+func (m *linearModel) Weights() ([][]float64, error) {
+	if !m.fit {
+		return nil, ErrNotFitted
+	}
+	out := make([][]float64, m.classes)
+	for c := range m.w {
+		out[c] = append([]float64(nil), m.w[c]...)
+	}
+	return out, nil
+}
+
+// Bias returns a copy of the fitted per-class biases.
+func (m *linearModel) Bias() ([]float64, error) {
+	if !m.fit {
+		return nil, ErrNotFitted
+	}
+	return append([]float64(nil), m.b...), nil
+}
+
+// SetParams restores a fitted state from exported weights — the model
+// download/import path of the platform API.
+func (m *linearModel) SetParams(w [][]float64, b []float64) error {
+	if len(w) == 0 || len(w) != len(b) {
+		return fmt.Errorf("%w: %d weight rows, %d biases", ErrDimMismatch, len(w), len(b))
+	}
+	dim := len(w[0])
+	if dim == 0 {
+		return fmt.Errorf("%w: empty weight rows", ErrDimMismatch)
+	}
+	for _, row := range w {
+		if len(row) != dim {
+			return fmt.Errorf("%w: ragged weight rows", ErrDimMismatch)
+		}
+	}
+	m.init(len(w), dim)
+	for c := range w {
+		copy(m.w[c], w[c])
+	}
+	copy(m.b, b)
+	return nil
+}

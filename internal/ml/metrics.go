@@ -1,0 +1,240 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ConfusionMatrix counts predictions: M[actual][predicted].
+type ConfusionMatrix struct {
+	Classes int
+	M       [][]int
+}
+
+// NewConfusionMatrix returns a zeroed matrix for the given class count.
+func NewConfusionMatrix(classes int) *ConfusionMatrix {
+	m := make([][]int, classes)
+	for i := range m {
+		m[i] = make([]int, classes)
+	}
+	return &ConfusionMatrix{Classes: classes, M: m}
+}
+
+// ConfusionFromPredictions tallies actual vs. predicted label slices.
+func ConfusionFromPredictions(actual, predicted []int, classes int) (*ConfusionMatrix, error) {
+	if len(actual) != len(predicted) {
+		return nil, fmt.Errorf("ml: %d actual vs %d predicted labels", len(actual), len(predicted))
+	}
+	cm := NewConfusionMatrix(classes)
+	for i := range actual {
+		if err := cm.Add(actual[i], predicted[i]); err != nil {
+			return nil, err
+		}
+	}
+	return cm, nil
+}
+
+// Add records one (actual, predicted) observation.
+func (c *ConfusionMatrix) Add(actual, predicted int) error {
+	if actual < 0 || actual >= c.Classes || predicted < 0 || predicted >= c.Classes {
+		return fmt.Errorf("ml: confusion add (%d,%d) out of range [0,%d)", actual, predicted, c.Classes)
+	}
+	c.M[actual][predicted]++
+	return nil
+}
+
+// Total returns the number of recorded observations.
+func (c *ConfusionMatrix) Total() int {
+	t := 0
+	for _, row := range c.M {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Accuracy returns the trace fraction.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < c.Classes; i++ {
+		correct += c.M[i][i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// ClassMetrics holds per-class precision, recall, F1 and support.
+type ClassMetrics struct {
+	Precision, Recall, F1 float64
+	Support               int
+}
+
+// PerClass returns metrics for every class. A class with no predicted
+// positives has precision 0; a class with no support has recall 0.
+func (c *ConfusionMatrix) PerClass() []ClassMetrics {
+	out := make([]ClassMetrics, c.Classes)
+	for k := 0; k < c.Classes; k++ {
+		tp := c.M[k][k]
+		fp, fn := 0, 0
+		for j := 0; j < c.Classes; j++ {
+			if j == k {
+				continue
+			}
+			fp += c.M[j][k]
+			fn += c.M[k][j]
+		}
+		var p, r float64
+		if tp+fp > 0 {
+			p = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			r = float64(tp) / float64(tp+fn)
+		}
+		f1 := 0.0
+		if p+r > 0 {
+			f1 = 2 * p * r / (p + r)
+		}
+		out[k] = ClassMetrics{Precision: p, Recall: r, F1: f1, Support: tp + fn}
+	}
+	return out
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores — the headline
+// metric of the paper's Fig. 6.
+func (c *ConfusionMatrix) MacroF1() float64 {
+	per := c.PerClass()
+	if len(per) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, m := range per {
+		s += m.F1
+	}
+	return s / float64(len(per))
+}
+
+// WeightedF1 returns the support-weighted mean of per-class F1 scores.
+func (c *ConfusionMatrix) WeightedF1() float64 {
+	per := c.PerClass()
+	total := 0
+	s := 0.0
+	for _, m := range per {
+		s += m.F1 * float64(m.Support)
+		total += m.Support
+	}
+	if total == 0 {
+		return 0
+	}
+	return s / float64(total)
+}
+
+// String renders the matrix with optional class names set via Format.
+func (c *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d classes, n=%d, acc=%.3f)\n", c.Classes, c.Total(), c.Accuracy())
+	for i, row := range c.M {
+		fmt.Fprintf(&b, "  actual %d: %v\n", i, row)
+	}
+	return b.String()
+}
+
+// EvalResult bundles the metrics one (feature, classifier) cell reports.
+type EvalResult struct {
+	Confusion *ConfusionMatrix
+	MacroF1   float64
+	Accuracy  float64
+	PerClass  []ClassMetrics
+}
+
+// Evaluate fits c on train and scores it on test.
+func Evaluate(c Classifier, train, test Dataset) (EvalResult, error) {
+	if err := train.Validate(); err != nil {
+		return EvalResult{}, fmt.Errorf("ml: train set: %w", err)
+	}
+	if err := test.Validate(); err != nil {
+		return EvalResult{}, fmt.Errorf("ml: test set: %w", err)
+	}
+	if err := c.Fit(train); err != nil {
+		return EvalResult{}, err
+	}
+	pred, err := PredictAll(c, test.X)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	cm, err := ConfusionFromPredictions(test.Y, pred, test.Classes)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	return EvalResult{
+		Confusion: cm,
+		MacroF1:   cm.MacroF1(),
+		Accuracy:  cm.Accuracy(),
+		PerClass:  cm.PerClass(),
+	}, nil
+}
+
+// ErrBadFolds reports an invalid k for cross-validation.
+var ErrBadFolds = errors.New("ml: folds must be in [2, len(dataset)]")
+
+// CrossValidate performs stratified-free k-fold cross-validation (the paper
+// uses 10-fold on the training split) and returns per-fold macro F1 scores.
+func CrossValidate(f Factory, d Dataset, folds int, seed int64) ([]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if folds < 2 || folds > d.Len() {
+		return nil, fmt.Errorf("%w: folds=%d n=%d", ErrBadFolds, folds, d.Len())
+	}
+	idx := shuffledIndices(d.Len(), seed)
+	scores := make([]float64, 0, folds)
+	for k := 0; k < folds; k++ {
+		lo := k * d.Len() / folds
+		hi := (k + 1) * d.Len() / folds
+		test := d.Subset(idx[lo:hi])
+		trainIdx := append(append([]int{}, idx[:lo]...), idx[hi:]...)
+		train := d.Subset(trainIdx)
+		res, err := Evaluate(f(), train, test)
+		if err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", k, err)
+		}
+		scores = append(scores, res.MacroF1)
+	}
+	return scores, nil
+}
+
+// Mean returns the arithmetic mean of vs (zero for empty input).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// Report renders a classification report in the style the paper's
+// scikit-learn workflow produced: per-class precision/recall/F1/support
+// plus accuracy and macro F1. labels supplies display names (falls back
+// to class indices when too short).
+func (c *ConfusionMatrix) Report(labels []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %9s %9s %9s %9s\n", "", "precision", "recall", "f1", "support")
+	for i, m := range c.PerClass() {
+		name := fmt.Sprintf("class %d", i)
+		if i < len(labels) {
+			name = labels[i]
+		}
+		fmt.Fprintf(&b, "%-24s %9.3f %9.3f %9.3f %9d\n", name, m.Precision, m.Recall, m.F1, m.Support)
+	}
+	fmt.Fprintf(&b, "\n%-24s %9.3f\n", "accuracy", c.Accuracy())
+	fmt.Fprintf(&b, "%-24s %9.3f\n", "macro f1", c.MacroF1())
+	fmt.Fprintf(&b, "%-24s %9.3f\n", "weighted f1", c.WeightedF1())
+	return b.String()
+}

@@ -1,0 +1,125 @@
+// Package ml implements the classical machine-learning substrate of TVDP:
+// the classifier families the paper sweeps in its Fig. 6 evaluation (kNN,
+// naive Bayes, decision tree, random forest, logistic regression, linear
+// SVM), the kMeans quantiser behind the SIFT bag-of-words dictionary, and
+// the evaluation protocol (train/test splits, k-fold cross-validation,
+// confusion matrices, per-class and macro precision/recall/F1).
+//
+// All estimators follow one interface so the experiment harness can sweep
+// feature × classifier grids generically, mirroring how the paper's authors
+// swept scikit-learn estimators over a shared feature store.
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Dataset is a design matrix with integer class labels in [0, Classes).
+type Dataset struct {
+	X       [][]float64
+	Y       []int
+	Classes int
+}
+
+// Errors shared by the package's estimators.
+var (
+	ErrEmptyDataset = errors.New("ml: empty dataset")
+	ErrNotFitted    = errors.New("ml: classifier not fitted")
+	ErrDimMismatch  = errors.New("ml: feature dimension mismatch")
+)
+
+// Validate checks the dataset's internal consistency.
+func (d Dataset) Validate() error {
+	if len(d.X) == 0 {
+		return ErrEmptyDataset
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(d.X), len(d.Y))
+	}
+	if d.Classes <= 0 {
+		return fmt.Errorf("ml: classes = %d, want > 0", d.Classes)
+	}
+	dim := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != dim {
+			return fmt.Errorf("%w: row %d has %d features, want %d", ErrDimMismatch, i, len(row), dim)
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.Classes {
+			return fmt.Errorf("ml: label %d of row %d out of [0,%d)", y, i, d.Classes)
+		}
+	}
+	return nil
+}
+
+// Dim returns the feature dimension (zero for an empty dataset).
+func (d Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Len returns the number of rows.
+func (d Dataset) Len() int { return len(d.X) }
+
+// Subset returns the dataset restricted to the given row indices. The rows
+// are shared, not copied.
+func (d Dataset) Subset(idx []int) Dataset {
+	out := Dataset{Classes: d.Classes, X: make([][]float64, len(idx)), Y: make([]int, len(idx))}
+	for i, j := range idx {
+		out.X[i] = d.X[j]
+		out.Y[i] = d.Y[j]
+	}
+	return out
+}
+
+// Classifier is a multi-class estimator.
+type Classifier interface {
+	// Name identifies the estimator family in experiment tables.
+	Name() string
+	// Fit trains on the dataset, replacing any previous fit.
+	Fit(d Dataset) error
+	// Predict returns the class of one feature vector.
+	Predict(x []float64) (int, error)
+}
+
+// ProbClassifier is a Classifier that also yields class probabilities
+// (needed by the edge component's uncertainty-driven data selection).
+type ProbClassifier interface {
+	Classifier
+	// PredictProba returns a probability (or calibrated score) per class.
+	PredictProba(x []float64) ([]float64, error)
+}
+
+// PredictAll applies c to every row of xs.
+func PredictAll(c Classifier, xs [][]float64) ([]int, error) {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		p, err := c.Predict(x)
+		if err != nil {
+			return nil, fmt.Errorf("ml: predicting row %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Factory builds a fresh, unfitted classifier; cross-validation uses it to
+// avoid state leaking between folds.
+type Factory func() Classifier
+
+// Standard returns the paper's Fig. 6 classifier sweep in display order.
+// seed controls the stochastic estimators (forest, SVM, logistic).
+func Standard(seed int64) []Factory {
+	return []Factory{
+		func() Classifier { return NewKNN(5) },
+		func() Classifier { return NewGaussianNB() },
+		func() Classifier { return NewDecisionTree(DefaultTreeConfig()) },
+		func() Classifier { return NewRandomForest(DefaultForestConfig(seed)) },
+		func() Classifier { return NewLogisticRegression(DefaultLinearConfig(seed)) },
+		func() Classifier { return NewLinearSVM(DefaultLinearConfig(seed)) },
+	}
+}

@@ -1,0 +1,238 @@
+package nn
+
+import "math/rand"
+
+// Conv2D is a 2-D convolution with square kernels, stride 1, and zero
+// padding that preserves spatial size ("same" padding, odd kernel sizes).
+// Activations are (C, H, W) volumes flattened channel-major.
+type Conv2D struct {
+	InC, OutC, K int
+	in           Shape
+	W            []float64 // OutC x InC x K x K
+	B            []float64
+	gW, gB       []float64
+	vW, vB       []float64
+	lastX        []float64
+}
+
+// NewConv2D returns a Conv2D layer for inShape inputs. k must be odd.
+func NewConv2D(inShape Shape, outC, k int, rng *rand.Rand) *Conv2D {
+	if k%2 == 0 {
+		panic("nn: Conv2D kernel size must be odd")
+	}
+	n := outC * inShape.C * k * k
+	c := &Conv2D{
+		InC: inShape.C, OutC: outC, K: k, in: inShape,
+		W: make([]float64, n), B: make([]float64, outC),
+		gW: make([]float64, n), gB: make([]float64, outC),
+		vW: make([]float64, n), vB: make([]float64, outC),
+	}
+	fanIn := inShape.C * k * k
+	for i := range c.W {
+		c.W[i] = xavier(rng, fanIn)
+	}
+	return c
+}
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in Shape) Shape {
+	return Shape{C: c.OutC, H: in.H, W: in.W}
+}
+
+func (c *Conv2D) widx(oc, ic, ky, kx int) int {
+	return ((oc*c.InC+ic)*c.K+ky)*c.K + kx
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x []float64) []float64 {
+	c.lastX = x
+	h, w := c.in.H, c.in.W
+	half := c.K / 2
+	y := make([]float64, c.OutC*h*w)
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < h; oy++ {
+			for ox := 0; ox < w; ox++ {
+				s := c.B[oc]
+				for ic := 0; ic < c.InC; ic++ {
+					base := ic * h * w
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy + ky - half
+						if iy < 0 || iy >= h {
+							continue
+						}
+						rowBase := base + iy*w
+						wBase := c.widx(oc, ic, ky, 0)
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox + kx - half
+							if ix < 0 || ix >= w {
+								continue
+							}
+							s += c.W[wBase+kx] * x[rowBase+ix]
+						}
+					}
+				}
+				y[(oc*h+oy)*w+ox] = s
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut []float64) []float64 {
+	h, w := c.in.H, c.in.W
+	half := c.K / 2
+	gin := make([]float64, c.InC*h*w)
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < h; oy++ {
+			for ox := 0; ox < w; ox++ {
+				g := gradOut[(oc*h+oy)*w+ox]
+				if g == 0 {
+					continue
+				}
+				c.gB[oc] += g
+				for ic := 0; ic < c.InC; ic++ {
+					base := ic * h * w
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy + ky - half
+						if iy < 0 || iy >= h {
+							continue
+						}
+						rowBase := base + iy*w
+						wBase := c.widx(oc, ic, ky, 0)
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox + kx - half
+							if ix < 0 || ix >= w {
+								continue
+							}
+							c.gW[wBase+kx] += g * c.lastX[rowBase+ix]
+							gin[rowBase+ix] += g * c.W[wBase+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gin
+}
+
+// Update implements Layer.
+func (c *Conv2D) Update(lr, mu, scale float64) {
+	sgd(c.W, c.gW, c.vW, lr, mu, scale)
+	sgd(c.B, c.gB, c.vB, lr, mu, scale)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() int { return len(c.W) + len(c.B) }
+
+// FLOPs implements Layer.
+func (c *Conv2D) FLOPs() int64 {
+	return int64(c.OutC) * int64(c.in.H) * int64(c.in.W) * int64(c.InC) * int64(c.K*c.K)
+}
+
+// MaxPool2 is 2x2 max pooling with stride 2. Odd trailing rows/columns are
+// dropped (floor semantics).
+type MaxPool2 struct {
+	in     Shape
+	argmax []int
+}
+
+// NewMaxPool2 returns a MaxPool2 layer for inShape inputs.
+func NewMaxPool2(inShape Shape) *MaxPool2 { return &MaxPool2{in: inShape} }
+
+// OutShape implements Layer.
+func (p *MaxPool2) OutShape(in Shape) Shape {
+	return Shape{C: in.C, H: in.H / 2, W: in.W / 2}
+}
+
+// Forward implements Layer.
+func (p *MaxPool2) Forward(x []float64) []float64 {
+	oh, ow := p.in.H/2, p.in.W/2
+	y := make([]float64, p.in.C*oh*ow)
+	p.argmax = make([]int, len(y))
+	for c := 0; c < p.in.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := -1
+				bv := 0.0
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						idx := (c*p.in.H+(oy*2+dy))*p.in.W + ox*2 + dx
+						if best == -1 || x[idx] > bv {
+							best, bv = idx, x[idx]
+						}
+					}
+				}
+				out := (c*oh+oy)*ow + ox
+				y[out] = bv
+				p.argmax[out] = best
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool2) Backward(gradOut []float64) []float64 {
+	gin := make([]float64, p.in.Size())
+	for i, g := range gradOut {
+		gin[p.argmax[i]] += g
+	}
+	return gin
+}
+
+// Update implements Layer.
+func (p *MaxPool2) Update(lr, mu, scale float64) {}
+
+// Params implements Layer.
+func (p *MaxPool2) Params() int { return 0 }
+
+// FLOPs implements Layer.
+func (p *MaxPool2) FLOPs() int64 { return 0 }
+
+// GlobalAvgPool averages each channel plane to a single value.
+type GlobalAvgPool struct {
+	in Shape
+}
+
+// NewGlobalAvgPool returns a GlobalAvgPool for inShape inputs.
+func NewGlobalAvgPool(inShape Shape) *GlobalAvgPool { return &GlobalAvgPool{in: inShape} }
+
+// OutShape implements Layer.
+func (p *GlobalAvgPool) OutShape(in Shape) Shape { return Shape{C: in.C, H: 1, W: 1} }
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(x []float64) []float64 {
+	plane := p.in.H * p.in.W
+	y := make([]float64, p.in.C)
+	for c := 0; c < p.in.C; c++ {
+		s := 0.0
+		for i := c * plane; i < (c+1)*plane; i++ {
+			s += x[i]
+		}
+		y[c] = s / float64(plane)
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool) Backward(gradOut []float64) []float64 {
+	plane := p.in.H * p.in.W
+	gin := make([]float64, p.in.Size())
+	for c := 0; c < p.in.C; c++ {
+		g := gradOut[c] / float64(plane)
+		for i := c * plane; i < (c+1)*plane; i++ {
+			gin[i] = g
+		}
+	}
+	return gin
+}
+
+// Update implements Layer.
+func (p *GlobalAvgPool) Update(lr, mu, scale float64) {}
+
+// Params implements Layer.
+func (p *GlobalAvgPool) Params() int { return 0 }
+
+// FLOPs implements Layer.
+func (p *GlobalAvgPool) FLOPs() int64 { return 0 }

@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Network is a feed-forward stack of layers trained with softmax
+// cross-entropy and minibatch SGD.
+type Network struct {
+	In     Shape
+	Layers []Layer
+}
+
+// ErrShapeMismatch reports an input of the wrong length.
+var ErrShapeMismatch = errors.New("nn: input length does not match network input shape")
+
+// NewNetwork returns an empty network accepting inputs of shape in.
+func NewNetwork(in Shape) *Network { return &Network{In: in} }
+
+// Add appends layers to the network and returns it for chaining.
+func (n *Network) Add(layers ...Layer) *Network {
+	n.Layers = append(n.Layers, layers...)
+	return n
+}
+
+// OutShape returns the network's output shape.
+func (n *Network) OutShape() Shape {
+	s := n.In
+	for _, l := range n.Layers {
+		s = l.OutShape(s)
+	}
+	return s
+}
+
+// Params returns the total number of learnable parameters.
+func (n *Network) Params() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.Params()
+	}
+	return total
+}
+
+// FLOPs returns the multiply-accumulate cost of one forward pass.
+func (n *Network) FLOPs() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.FLOPs()
+	}
+	return total
+}
+
+// Forward runs the full network and returns the final activations (logits).
+func (n *Network) Forward(x []float64) ([]float64, error) {
+	if len(x) != n.In.Size() {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrShapeMismatch, len(x), n.In.Size())
+	}
+	a := x
+	for _, l := range n.Layers {
+		a = l.Forward(a)
+	}
+	return a, nil
+}
+
+// FeatureVector runs the network through all but the last `skip` layers and
+// returns the penultimate activations — the "CNN feature" representation
+// the platform stores per image (paper §IV-A).
+func (n *Network) FeatureVector(x []float64, skip int) ([]float64, error) {
+	if len(x) != n.In.Size() {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrShapeMismatch, len(x), n.In.Size())
+	}
+	if skip < 0 || skip > len(n.Layers) {
+		return nil, fmt.Errorf("nn: skip %d out of range [0,%d]", skip, len(n.Layers))
+	}
+	a := x
+	for _, l := range n.Layers[:len(n.Layers)-skip] {
+		a = l.Forward(a)
+	}
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out, nil
+}
+
+// Softmax returns the softmax of logits (numerically stable).
+func Softmax(logits []float64) []float64 {
+	mx := math.Inf(-1)
+	for _, v := range logits {
+		if v > mx {
+			mx = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - mx)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Predict returns the argmax class and its softmax probability.
+func (n *Network) Predict(x []float64) (class int, prob float64, err error) {
+	logits, err := n.Forward(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	p := Softmax(logits)
+	best := 0
+	for i := range p {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best, p[best], nil
+}
+
+// TrainConfig controls SGD training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	Seed      int64
+	// Verbose receives one line per epoch when non-nil.
+	Verbose func(epoch int, loss float64)
+}
+
+// DefaultTrainConfig returns sensible small-scale defaults.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 10, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 1}
+}
+
+// Train fits the network to (xs, ys) with softmax cross-entropy and returns
+// the final mean epoch loss.
+func (n *Network) Train(xs [][]float64, ys []int, cfg TrainConfig) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("nn: empty training set")
+	}
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("nn: %d inputs but %d labels", len(xs), len(ys))
+	}
+	classes := n.OutShape().Size()
+	for i, y := range ys {
+		if y < 0 || y >= classes {
+			return 0, fmt.Errorf("nn: label %d of sample %d out of range [0,%d)", y, i, classes)
+		}
+		if len(xs[i]) != n.In.Size() {
+			return 0, fmt.Errorf("%w: sample %d has %d values, want %d", ErrShapeMismatch, i, len(xs[i]), n.In.Size())
+		}
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss := 0.0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			for _, idx := range batch {
+				logits, err := n.Forward(xs[idx])
+				if err != nil {
+					return 0, err
+				}
+				p := Softmax(logits)
+				epochLoss += -math.Log(math.Max(p[ys[idx]], 1e-12))
+				// Gradient of softmax cross-entropy w.r.t. logits.
+				grad := make([]float64, len(p))
+				copy(grad, p)
+				grad[ys[idx]] -= 1
+				for i := len(n.Layers) - 1; i >= 0; i-- {
+					grad = n.Layers[i].Backward(grad)
+				}
+			}
+			for _, l := range n.Layers {
+				l.Update(cfg.LR, cfg.Momentum, float64(len(batch)))
+			}
+		}
+		lastLoss = epochLoss / float64(len(xs))
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, lastLoss)
+		}
+	}
+	return lastLoss, nil
+}
+
+// Accuracy returns the fraction of samples whose argmax prediction matches.
+func (n *Network) Accuracy(xs [][]float64, ys []int) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("nn: empty evaluation set")
+	}
+	correct := 0
+	for i := range xs {
+		c, _, err := n.Predict(xs[i])
+		if err != nil {
+			return 0, err
+		}
+		if c == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs)), nil
+}

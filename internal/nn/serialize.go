@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Serialization: networks are exported as an explicit layer-spec list so
+// edge devices can download models ("Download machine learning models",
+// paper §V) and run them locally. The format captures architecture and
+// weights; optimiser state (momentum) is not persisted.
+
+// layerSpec is the gob-encodable description of one layer.
+type layerSpec struct {
+	Kind string
+	// Dense / Conv2D payloads.
+	In, Out, K int
+	InShape    Shape
+	W, B       []float64
+}
+
+type networkSpec struct {
+	In     Shape
+	Layers []layerSpec
+}
+
+// Marshal serialises the network (architecture + weights).
+func Marshal(n *Network) ([]byte, error) {
+	spec := networkSpec{In: n.In}
+	shape := n.In
+	for i, l := range n.Layers {
+		var ls layerSpec
+		switch v := l.(type) {
+		case *Dense:
+			ls = layerSpec{Kind: "dense", In: v.In, Out: v.Out,
+				W: append([]float64(nil), v.W...), B: append([]float64(nil), v.B...)}
+		case *Conv2D:
+			ls = layerSpec{Kind: "conv2d", In: v.InC, Out: v.OutC, K: v.K, InShape: v.in,
+				W: append([]float64(nil), v.W...), B: append([]float64(nil), v.B...)}
+		case *ReLU:
+			ls = layerSpec{Kind: "relu"}
+		case *MaxPool2:
+			ls = layerSpec{Kind: "maxpool2", InShape: v.in}
+		case *GlobalAvgPool:
+			ls = layerSpec{Kind: "gap", InShape: v.in}
+		default:
+			return nil, fmt.Errorf("nn: cannot marshal layer %d (%T)", i, l)
+		}
+		spec.Layers = append(spec.Layers, ls)
+		shape = l.OutShape(shape)
+	}
+	_ = shape
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(spec); err != nil {
+		return nil, fmt.Errorf("nn: encoding network: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal reconstructs a network serialised by Marshal.
+func Unmarshal(data []byte) (*Network, error) {
+	var spec networkSpec
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("nn: decoding network: %w", err)
+	}
+	n := NewNetwork(spec.In)
+	for i, ls := range spec.Layers {
+		switch ls.Kind {
+		case "dense":
+			if len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
+				return nil, fmt.Errorf("nn: dense layer %d weight shape mismatch", i)
+			}
+			d := &Dense{
+				In: ls.In, Out: ls.Out,
+				W: append([]float64(nil), ls.W...), B: append([]float64(nil), ls.B...),
+				gW: make([]float64, ls.In*ls.Out), gB: make([]float64, ls.Out),
+				vW: make([]float64, ls.In*ls.Out), vB: make([]float64, ls.Out),
+			}
+			n.Add(d)
+		case "conv2d":
+			want := ls.Out * ls.In * ls.K * ls.K
+			if len(ls.W) != want || len(ls.B) != ls.Out {
+				return nil, fmt.Errorf("nn: conv layer %d weight shape mismatch", i)
+			}
+			c := &Conv2D{
+				InC: ls.In, OutC: ls.Out, K: ls.K, in: ls.InShape,
+				W: append([]float64(nil), ls.W...), B: append([]float64(nil), ls.B...),
+				gW: make([]float64, want), gB: make([]float64, ls.Out),
+				vW: make([]float64, want), vB: make([]float64, ls.Out),
+			}
+			n.Add(c)
+		case "relu":
+			n.Add(NewReLU())
+		case "maxpool2":
+			n.Add(NewMaxPool2(ls.InShape))
+		case "gap":
+			n.Add(NewGlobalAvgPool(ls.InShape))
+		default:
+			return nil, fmt.Errorf("nn: unknown layer kind %q at %d", ls.Kind, i)
+		}
+	}
+	return n, nil
+}

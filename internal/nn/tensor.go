@@ -1,0 +1,180 @@
+// Package nn is TVDP's from-scratch neural-network engine. It provides the
+// small convolutional networks the platform fine-tunes for "CNN features"
+// (paper §IV-A, §VII-A: Caffe transfer learning) and the model-complexity
+// profiles (MobileNetV1/V2, InceptionV3) the edge component dispatches to
+// heterogeneous devices (paper §VI, Fig. 8).
+//
+// The engine is intentionally compact: dense/conv/pool layers over float64
+// tensors, ReLU, softmax cross-entropy, and minibatch SGD with momentum.
+// It trains genuinely (loss decreases, weights update) at the laptop scales
+// used by the reproduction harness.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Shape describes a (channels, height, width) activation volume. Dense
+// vectors use Shape{C: n, H: 1, W: 1}.
+type Shape struct {
+	C, H, W int
+}
+
+// Size returns the number of elements in the volume.
+func (s Shape) Size() int { return s.C * s.H * s.W }
+
+// String implements fmt.Stringer.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// OutShape returns the output volume shape for the given input shape.
+	OutShape(in Shape) Shape
+	// Forward computes the layer output for x (length in.Size()). The
+	// layer may retain x and intermediate state for the next Backward.
+	Forward(x []float64) []float64
+	// Backward consumes the gradient w.r.t. the layer output, accumulates
+	// parameter gradients, and returns the gradient w.r.t. the input.
+	Backward(gradOut []float64) []float64
+	// Update applies accumulated gradients with learning rate lr and
+	// momentum mu, then clears them. scale divides gradients (batch size).
+	Update(lr, mu, scale float64)
+	// Params returns the number of learnable parameters.
+	Params() int
+	// FLOPs returns the multiply-accumulate cost of one forward pass.
+	FLOPs() int64
+}
+
+// xavier returns a weight initialisation scale for fanIn inputs.
+func xavier(rng *rand.Rand, fanIn int) float64 {
+	return rng.NormFloat64() * math.Sqrt(2.0/float64(fanIn))
+}
+
+// Dense is a fully connected layer: y = Wx + b.
+type Dense struct {
+	In, Out int
+	W       []float64 // Out x In, row-major
+	B       []float64
+	gW, gB  []float64
+	vW, vB  []float64 // momentum velocities
+	lastX   []float64
+}
+
+// NewDense returns a Dense layer with Xavier-initialised weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W: make([]float64, in*out), B: make([]float64, out),
+		gW: make([]float64, in*out), gB: make([]float64, out),
+		vW: make([]float64, in*out), vB: make([]float64, out),
+	}
+	for i := range d.W {
+		d.W[i] = xavier(rng, in)
+	}
+	return d
+}
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(Shape) Shape { return Shape{C: d.Out, H: 1, W: 1} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64) []float64 {
+	d.lastX = x
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		row := d.W[o*d.In : (o+1)*d.In]
+		s := d.B[o]
+		for i, xv := range x {
+			s += row[i] * xv
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut []float64) []float64 {
+	gin := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := gradOut[o]
+		d.gB[o] += g
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.gW[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			grow[i] += g * d.lastX[i]
+			gin[i] += g * row[i]
+		}
+	}
+	return gin
+}
+
+// Update implements Layer.
+func (d *Dense) Update(lr, mu, scale float64) {
+	sgd(d.W, d.gW, d.vW, lr, mu, scale)
+	sgd(d.B, d.gB, d.vB, lr, mu, scale)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() int { return len(d.W) + len(d.B) }
+
+// FLOPs implements Layer.
+func (d *Dense) FLOPs() int64 { return int64(d.In) * int64(d.Out) }
+
+func sgd(w, g, v []float64, lr, mu, scale float64) {
+	for i := range w {
+		v[i] = mu*v[i] - lr*g[i]/scale
+		w[i] += v[i]
+		g[i] = 0
+	}
+}
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in Shape) Shape { return in }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x []float64) []float64 {
+	y := make([]float64, len(x))
+	if cap(r.mask) < len(x) {
+		r.mask = make([]bool, len(x))
+	}
+	r.mask = r.mask[:len(x)]
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut []float64) []float64 {
+	gin := make([]float64, len(gradOut))
+	for i, g := range gradOut {
+		if r.mask[i] {
+			gin[i] = g
+		}
+	}
+	return gin
+}
+
+// Update implements Layer.
+func (r *ReLU) Update(lr, mu, scale float64) {}
+
+// Params implements Layer.
+func (r *ReLU) Params() int { return 0 }
+
+// FLOPs implements Layer.
+func (r *ReLU) FLOPs() int64 { return 0 }

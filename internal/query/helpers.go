@@ -1,0 +1,103 @@
+package query
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Convenience wrappers over Run for the common single- and dual-modal
+// query shapes the REST API and examples use.
+
+// SpatialRange returns images whose scenes intersect r.
+func (e *Engine) SpatialRange(r geo.Rect) ([]Result, error) {
+	out, _, err := e.Run(Query{Spatial: &SpatialClause{Rect: &r}})
+	return out, err
+}
+
+// KNearest returns the k images closest to p.
+func (e *Engine) KNearest(p geo.Point, k int) ([]Result, error) {
+	out, _, err := e.Run(Query{Spatial: &SpatialClause{Near: &p, K: k}})
+	return out, err
+}
+
+// VisualTopK returns the k most similar images under a feature kind.
+func (e *Engine) VisualTopK(kind string, vec []float64, k int) ([]Result, error) {
+	out, _, err := e.Run(Query{Visual: &VisualClause{Kind: kind, Vec: vec, K: k}})
+	return out, err
+}
+
+// ByLabel returns images annotated with the label.
+func (e *Engine) ByLabel(classification, label string) ([]Result, error) {
+	out, _, err := e.Run(Query{Categorical: &CategoricalClause{Classification: classification, Label: label}})
+	return out, err
+}
+
+// ByKeywords returns images matching any keyword, TF-IDF ranked.
+func (e *Engine) ByKeywords(terms ...string) ([]Result, error) {
+	out, _, err := e.Run(Query{Textual: &TextualClause{Terms: terms}})
+	return out, err
+}
+
+// TimeRange returns images captured in [from, to].
+func (e *Engine) TimeRange(from, to time.Time) ([]Result, error) {
+	out, _, err := e.Run(Query{Temporal: &TemporalClause{From: from, To: to}})
+	return out, err
+}
+
+// SpatialVisual returns the k visually closest images within r; the
+// planner uses the hybrid tree when the store maintains one.
+func (e *Engine) SpatialVisual(r geo.Rect, kind string, vec []float64, k int) ([]Result, Plan, error) {
+	return e.Run(Query{
+		Spatial: &SpatialClause{Rect: &r},
+		Visual:  &VisualClause{Kind: kind, Vec: vec, K: k},
+	})
+}
+
+// TwoPhaseSpatialVisual forces the two-phase plan — r-tree filter, then
+// per-candidate visual re-rank — regardless of hybrid availability. It is
+// the baseline of ablation A3.
+func (e *Engine) TwoPhaseSpatialVisual(r geo.Rect, kind string, vec []float64, k int) ([]Result, error) {
+	ids := e.st.SearchScene(r)
+	type sc struct {
+		id uint64
+		d  float64
+	}
+	out := make([]sc, 0, len(ids))
+	for _, id := range ids {
+		f, err := e.st.GetFeature(id, kind)
+		if err != nil {
+			continue // images without the feature are not rankable
+		}
+		s := 0.0
+		for j := range f {
+			d := f[j] - vec[j]
+			s += d * d
+		}
+		out = append(out, sc{id: id, d: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].d != out[j].d {
+			return out[i].d < out[j].d
+		}
+		return out[i].id < out[j].id
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	rs := make([]Result, len(out))
+	for i, s := range out {
+		rs[i] = Result{ID: s.id, Score: s.d}
+	}
+	return rs, nil
+}
+
+// SpatialTextual returns keyword matches restricted to a geographic
+// region — the spatial-textual hybrid query the paper names in §IV-C.
+func (e *Engine) SpatialTextual(r geo.Rect, terms ...string) ([]Result, Plan, error) {
+	return e.Run(Query{
+		Spatial: &SpatialClause{Rect: &r},
+		Textual: &TextualClause{Terms: terms},
+	})
+}

@@ -1,0 +1,478 @@
+// Package query is TVDP's query engine (paper §IV-C). It exposes the five
+// single-modal query types — spatial, visual, categorical, textual,
+// temporal — and hybrid combinations of them over the store's secondary
+// indexes, with a small planner that picks the driving index by estimated
+// selectivity and explains the chosen plan.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/store"
+)
+
+// Engine executes queries against one store.
+type Engine struct {
+	st *store.Store
+}
+
+// New returns an engine over st.
+func New(st *store.Store) *Engine { return &Engine{st: st} }
+
+// Result is one ranked hit.
+type Result struct {
+	ID uint64
+	// Score is clause-dependent: visual distance (ascending is better),
+	// TF-IDF score (descending is better), or 0 for unranked filters.
+	Score float64
+}
+
+// SpatialClause restricts results to a geographic region or ranks by
+// proximity to a point.
+type SpatialClause struct {
+	// Rect filters to scenes intersecting the rectangle.
+	Rect *geo.Rect
+	// Near ranks by proximity to the point (used with K).
+	Near *geo.Point
+	// K bounds Near-driven results.
+	K int
+}
+
+// VisualClause ranks by feature-space similarity to an example image's
+// feature vector.
+type VisualClause struct {
+	Kind string
+	Vec  []float64
+	// K bounds results; Radius instead returns all within the distance
+	// when > 0.
+	K      int
+	Radius float64
+	// Exact forces a linear scan instead of LSH (ground truth).
+	Exact bool
+}
+
+// CategoricalClause filters to images annotated with a label.
+type CategoricalClause struct {
+	Classification string
+	Label          string
+	// MinConfidence drops weaker machine annotations.
+	MinConfidence float64
+}
+
+// TextualClause filters/ranks by manual keywords.
+type TextualClause struct {
+	Terms []string
+	// MatchAll requires every term (conjunctive).
+	MatchAll bool
+}
+
+// TemporalClause filters by capture time.
+type TemporalClause struct {
+	From, To time.Time
+}
+
+// Query combines clauses; nil clauses are absent. The engine intersects
+// all present clauses and ranks by the most informative one.
+type Query struct {
+	Spatial     *SpatialClause
+	Visual      *VisualClause
+	Categorical *CategoricalClause
+	// Categoricals holds additional label restrictions, possibly under
+	// different classification schemes — the cross-scheme translational
+	// query of §VII-B (e.g. Encampment AND Graffiti). The most selective
+	// drives; the rest filter.
+	Categoricals []CategoricalClause
+	Textual      *TextualClause
+	Temporal     *TemporalClause
+	// Limit bounds the result count (0 = no bound).
+	Limit int
+}
+
+// categoricals merges the sugar field into the list form.
+func (q Query) categoricals() []CategoricalClause {
+	var out []CategoricalClause
+	if q.Categorical != nil {
+		out = append(out, *q.Categorical)
+	}
+	return append(out, q.Categoricals...)
+}
+
+// Plan records how a query executed, for observability and tests.
+type Plan struct {
+	Driving string
+	Steps   []string
+}
+
+// String implements fmt.Stringer.
+func (p Plan) String() string {
+	return fmt.Sprintf("driving=%s steps=[%s]", p.Driving, strings.Join(p.Steps, " -> "))
+}
+
+// ErrEmptyQuery reports a query with no clauses.
+var ErrEmptyQuery = errors.New("query: no clauses")
+
+// Run plans and executes q.
+func (e *Engine) Run(q Query) ([]Result, Plan, error) {
+	if q.Spatial == nil && q.Visual == nil && q.Categorical == nil &&
+		len(q.Categoricals) == 0 && q.Textual == nil && q.Temporal == nil {
+		return nil, Plan{}, ErrEmptyQuery
+	}
+	var plan Plan
+
+	// Single-pass hybrid path: spatial rect + visual top-k over a kind
+	// with a maintained hybrid tree.
+	if q.Spatial != nil && q.Spatial.Rect != nil && q.Visual != nil && q.Visual.K > 0 &&
+		q.Visual.Radius == 0 && !q.Visual.Exact &&
+		len(q.categoricals()) == 0 && q.Textual == nil && q.Temporal == nil {
+		ms, ok, err := e.st.SearchHybrid(q.Visual.Kind, *q.Spatial.Rect, q.Visual.Vec, q.Visual.K)
+		if err != nil {
+			return nil, plan, err
+		}
+		if ok {
+			plan.Driving = "hybrid"
+			plan.Steps = append(plan.Steps, "hybrid-tree spatial-visual search")
+			out := make([]Result, len(ms))
+			for i, m := range ms {
+				out[i] = Result{ID: m.ID, Score: m.Dist}
+			}
+			return clip(out, q.Limit), plan, nil
+		}
+	}
+
+	// Pick the driving clause by typical selectivity: categorical >
+	// conjunctive text > temporal > spatial rect > visual > disjunctive
+	// text > spatial near.
+	cands, ordered, err := e.drive(q, &plan)
+	if err != nil {
+		return nil, plan, err
+	}
+	// Apply remaining clauses as filters.
+	cands, err = e.filter(q, cands, &plan)
+	if err != nil {
+		return nil, plan, err
+	}
+	// Rank.
+	out, err := e.rank(q, cands, ordered, &plan)
+	if err != nil {
+		return nil, plan, err
+	}
+	return clip(out, q.Limit), plan, nil
+}
+
+func clip(rs []Result, limit int) []Result {
+	if limit > 0 && len(rs) > limit {
+		return rs[:limit]
+	}
+	return rs
+}
+
+// candidate carries per-id state through filtering.
+type candidate struct {
+	id    uint64
+	score float64
+	// scored marks ids whose score came from the driving index.
+	scored bool
+}
+
+// drive evaluates the most selective clause into a candidate list.
+// ordered reports that the returned order is meaningful (distance or time)
+// and must be preserved absent a re-ranking clause.
+func (e *Engine) drive(q Query, plan *Plan) (cands []candidate, ordered bool, err error) {
+	cats := q.categoricals()
+	switch {
+	case len(cats) > 0:
+		plan.Driving = "categorical"
+		plan.Steps = append(plan.Steps, "label index lookup")
+		ids, err := e.labelIDs(cats[0])
+		if err != nil {
+			return nil, false, err
+		}
+		return asCandidates(ids), false, nil
+	case q.Textual != nil && q.Textual.MatchAll:
+		plan.Driving = "textual"
+		plan.Steps = append(plan.Steps, "inverted index conjunctive lookup")
+		ms := e.st.SearchTextAll(q.Textual.Terms)
+		out := make([]candidate, len(ms))
+		for i, m := range ms {
+			out[i] = candidate{id: m.ID, score: m.Dist, scored: true}
+		}
+		return out, true, nil
+	case q.Temporal != nil:
+		plan.Driving = "temporal"
+		plan.Steps = append(plan.Steps, "temporal index range scan")
+		return asCandidates(e.st.SearchTime(q.Temporal.From, q.Temporal.To)), true, nil
+	case q.Spatial != nil && q.Spatial.Rect != nil:
+		plan.Driving = "spatial"
+		plan.Steps = append(plan.Steps, "r-tree range search")
+		return asCandidates(e.st.SearchScene(*q.Spatial.Rect)), false, nil
+	case q.Visual != nil:
+		plan.Driving = "visual"
+		ms, err := e.visualMatches(*q.Visual, plan)
+		if err != nil {
+			return nil, false, err
+		}
+		out := make([]candidate, len(ms))
+		for i, m := range ms {
+			out[i] = candidate{id: m.id, score: m.score, scored: true}
+		}
+		return out, true, nil
+	case q.Textual != nil:
+		plan.Driving = "textual"
+		plan.Steps = append(plan.Steps, "inverted index disjunctive lookup")
+		ms := e.st.SearchText(q.Textual.Terms)
+		out := make([]candidate, len(ms))
+		for i, m := range ms {
+			out[i] = candidate{id: m.ID, score: m.Dist, scored: true}
+		}
+		return out, true, nil
+	case q.Spatial != nil && q.Spatial.Near != nil:
+		plan.Driving = "spatial"
+		plan.Steps = append(plan.Steps, "r-tree nearest-k search")
+		k := q.Spatial.K
+		if k <= 0 {
+			k = q.Limit
+		}
+		if k <= 0 {
+			k = 10
+		}
+		return asCandidates(e.st.SearchNearest(*q.Spatial.Near, k)), true, nil
+	default:
+		return nil, false, fmt.Errorf("query: spatial clause needs Rect or Near")
+	}
+}
+
+type scoredID struct {
+	id    uint64
+	score float64
+}
+
+func (e *Engine) visualMatches(v VisualClause, plan *Plan) ([]scoredID, error) {
+	switch {
+	case v.Exact:
+		plan.Steps = append(plan.Steps, "exact visual scan")
+		ms, err := e.st.SearchVisualExact(v.Kind, v.Vec, maxInt(v.K, 1))
+		if err != nil {
+			return nil, err
+		}
+		return toScored(ms), nil
+	case v.Radius > 0:
+		plan.Steps = append(plan.Steps, "lsh radius probe")
+		ms, err := e.st.SearchVisualRadius(v.Kind, v.Vec, v.Radius)
+		if err != nil {
+			return nil, err
+		}
+		return toScored(ms), nil
+	default:
+		plan.Steps = append(plan.Steps, "lsh top-k probe")
+		ms, err := e.st.SearchVisual(v.Kind, v.Vec, maxInt(v.K, 1))
+		if err != nil {
+			return nil, err
+		}
+		return toScored(ms), nil
+	}
+}
+
+func toScored(ms []index.Match) []scoredID {
+	out := make([]scoredID, len(ms))
+	for i, m := range ms {
+		out[i] = scoredID{id: m.ID, score: m.Dist}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func asCandidates(ids []uint64) []candidate {
+	out := make([]candidate, len(ids))
+	for i, id := range ids {
+		out[i] = candidate{id: id}
+	}
+	return out
+}
+
+func (e *Engine) labelIDs(c CategoricalClause) ([]uint64, error) {
+	cls, err := e.st.ClassificationByName(c.Classification)
+	if err != nil {
+		return nil, err
+	}
+	label := -1
+	for i, l := range cls.Labels {
+		if l == c.Label {
+			label = i
+			break
+		}
+	}
+	if label < 0 {
+		return nil, fmt.Errorf("query: classification %q has no label %q", c.Classification, c.Label)
+	}
+	ids := e.st.ImagesByLabel(cls.ID, label)
+	if c.MinConfidence <= 0 {
+		return ids, nil
+	}
+	var out []uint64
+	for _, id := range ids {
+		for _, a := range e.st.AnnotationsFor(id) {
+			if a.ClassificationID == cls.ID && a.Label == label && a.Confidence >= c.MinConfidence {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// filter applies every non-driving clause as a predicate.
+func (e *Engine) filter(q Query, cands []candidate, plan *Plan) ([]candidate, error) {
+	preds := make([]func(candidate) (bool, error), 0, 4)
+
+	if q.Spatial != nil && q.Spatial.Rect != nil && plan.Driving != "spatial" && plan.Driving != "hybrid" {
+		plan.Steps = append(plan.Steps, "spatial filter")
+		r := *q.Spatial.Rect
+		preds = append(preds, func(c candidate) (bool, error) {
+			img, err := e.st.GetImage(c.id)
+			if err != nil {
+				return false, err
+			}
+			return img.Scene.Intersects(r), nil
+		})
+	}
+	if q.Temporal != nil && plan.Driving != "temporal" {
+		plan.Steps = append(plan.Steps, "temporal filter")
+		tc := *q.Temporal
+		preds = append(preds, func(c candidate) (bool, error) {
+			img, err := e.st.GetImage(c.id)
+			if err != nil {
+				return false, err
+			}
+			ts := img.TimestampCapturing
+			return !ts.Before(tc.From) && !ts.After(tc.To), nil
+		})
+	}
+	cats := q.categoricals()
+	// When categorical drove, the first clause is already applied; the
+	// remaining clauses (possibly under other classification schemes)
+	// filter.
+	if plan.Driving == "categorical" {
+		cats = cats[1:]
+	}
+	for _, cat := range cats {
+		plan.Steps = append(plan.Steps, "categorical filter")
+		ids, err := e.labelIDs(cat)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[uint64]bool, len(ids))
+		for _, id := range ids {
+			set[id] = true
+		}
+		preds = append(preds, func(c candidate) (bool, error) { return set[c.id], nil })
+	}
+	if q.Textual != nil && plan.Driving != "textual" {
+		plan.Steps = append(plan.Steps, "textual filter")
+		var ms []index.Match
+		if q.Textual.MatchAll {
+			ms = e.st.SearchTextAll(q.Textual.Terms)
+		} else {
+			ms = e.st.SearchText(q.Textual.Terms)
+		}
+		set := make(map[uint64]bool, len(ms))
+		for _, m := range ms {
+			set[m.ID] = true
+		}
+		preds = append(preds, func(c candidate) (bool, error) { return set[c.id], nil })
+	}
+
+	if len(preds) == 0 {
+		return cands, nil
+	}
+	out := cands[:0]
+	for _, c := range cands {
+		keep := true
+		for _, p := range preds {
+			ok, err := p(c)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// rank orders the surviving candidates.
+func (e *Engine) rank(q Query, cands []candidate, ordered bool, plan *Plan) ([]Result, error) {
+	// Visual clause not used as driver: score candidates by feature
+	// distance now.
+	if q.Visual != nil && plan.Driving != "visual" && plan.Driving != "hybrid" {
+		plan.Steps = append(plan.Steps, "visual re-rank")
+		for i := range cands {
+			vec, err := e.st.GetFeature(cands[i].id, q.Visual.Kind)
+			if err != nil {
+				// Images without the feature rank last.
+				cands[i].score = -1
+				cands[i].scored = false
+				continue
+			}
+			s := 0.0
+			for j := range vec {
+				d := vec[j] - q.Visual.Vec[j]
+				s += d * d
+			}
+			cands[i].score = s
+			cands[i].scored = true
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].scored != cands[j].scored {
+				return cands[i].scored
+			}
+			if cands[i].score != cands[j].score {
+				return cands[i].score < cands[j].score
+			}
+			return cands[i].id < cands[j].id
+		})
+		if q.Visual.K > 0 && len(cands) > q.Visual.K {
+			cands = cands[:q.Visual.K]
+		}
+	} else if plan.Driving == "textual" {
+		// Text scores rank descending.
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].score != cands[j].score {
+				return cands[i].score > cands[j].score
+			}
+			return cands[i].id < cands[j].id
+		})
+	} else if !ordered && !anyScored(cands) {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = Result{ID: c.id, Score: c.score}
+	}
+	return out, nil
+}
+
+func anyScored(cands []candidate) bool {
+	for _, c := range cands {
+		if c.scored {
+			return true
+		}
+	}
+	return false
+}

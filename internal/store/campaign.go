@@ -1,0 +1,118 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Campaign rows: a participant-created data-collection campaign over a
+// region (paper §III: "enabling a participant to create a data collection
+// campaign for certain types of visual data at specific locations").
+// Images uploaded toward a campaign carry its ID, which lets the platform
+// measure per-campaign progress.
+
+// CampaignRec is the stored campaign entity.
+type CampaignRec struct {
+	ID     uint64
+	Name   string
+	Region geo.Rect
+	// TargetCoverage in (0, 1] is the campaign's goal.
+	TargetCoverage float64
+	// CreatedBy references the owning user (0 = unknown).
+	CreatedBy uint64
+	CreatedAt time.Time
+}
+
+// CreateCampaign registers a campaign and returns its ID.
+func (s *Store) CreateCampaign(c CampaignRec) (uint64, error) {
+	if c.Name == "" {
+		return 0, fmt.Errorf("%w: campaign needs a name", ErrInvalid)
+	}
+	if !c.Region.Valid() || c.Region.Area() == 0 {
+		return 0, fmt.Errorf("%w: campaign needs a non-degenerate region", ErrInvalid)
+	}
+	if c.TargetCoverage <= 0 || c.TargetCoverage > 1 {
+		return 0, fmt.Errorf("%w: target coverage %.3f out of (0,1]", ErrInvalid, c.TargetCoverage)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	s.nextID++
+	c.ID = s.nextID
+	if err := s.applyCampaign(&c); err != nil {
+		return 0, err
+	}
+	if err := s.log(walOp{Kind: opAddCampaign, Campaign: &c}); err != nil {
+		return 0, err
+	}
+	return c.ID, nil
+}
+
+func (s *Store) applyCampaign(c *CampaignRec) error {
+	if _, dup := s.campaigns[c.ID]; dup {
+		return fmt.Errorf("%w: campaign %d", ErrDuplicate, c.ID)
+	}
+	if c.ID > s.nextID {
+		s.nextID = c.ID
+	}
+	s.campaigns[c.ID] = c
+	return nil
+}
+
+// GetCampaign returns a campaign by ID.
+func (s *Store) GetCampaign(id uint64) (CampaignRec, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.campaigns[id]
+	if !ok {
+		return CampaignRec{}, fmt.Errorf("%w: campaign %d", ErrNotFound, id)
+	}
+	return *c, nil
+}
+
+// Campaigns lists all campaigns sorted by ID.
+func (s *Store) Campaigns() []CampaignRec {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]CampaignRec, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CampaignImages returns the IDs of images uploaded toward a campaign,
+// ascending.
+func (s *Store) CampaignImages(campaignID uint64) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []uint64
+	for id, img := range s.images {
+		if img.CampaignID == campaignID {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FOVsInRegion returns the FOVs of all images whose scenes intersect the
+// region — the input to coverage measurement.
+func (s *Store) FOVsInRegion(r geo.Rect) []geo.FOV {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.spatial.SearchRect(r)
+	out := make([]geo.FOV, 0, len(ids))
+	for _, id := range ids {
+		if img, ok := s.images[id]; ok {
+			out = append(out, img.FOV)
+		}
+	}
+	return out
+}

@@ -1,0 +1,876 @@
+package store
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/index"
+)
+
+// Config controls the engine.
+type Config struct {
+	// Dir is the durability directory; empty means memory-only (no WAL,
+	// no snapshots — used by tests and ephemeral pipelines).
+	Dir string
+	// SyncEveryWrite fsyncs the WAL per mutation.
+	SyncEveryWrite bool
+	// RTree sizes the spatial index nodes.
+	RTree index.RTreeConfig
+	// LSH sizes the per-feature-kind visual indexes.
+	LSH index.LSHConfig
+	// HybridKinds lists feature kinds that additionally maintain a
+	// spatial-visual hybrid tree for single-pass hybrid queries.
+	HybridKinds []string
+	// SnapshotEvery auto-compacts the WAL after this many logged
+	// mutations (0 disables auto-compaction).
+	SnapshotEvery int
+}
+
+// DefaultConfig returns a memory-only configuration with standard index
+// parameters.
+func DefaultConfig() Config {
+	return Config{
+		RTree: index.DefaultRTreeConfig(),
+		LSH:   index.DefaultLSHConfig(1),
+	}
+}
+
+// Store is the engine. All exported methods are safe for concurrent use.
+type Store struct {
+	mu  sync.RWMutex
+	cfg Config
+
+	nextID          uint64
+	images          map[uint64]*Image
+	features        map[uint64]map[string][]float64
+	classifications map[uint64]*Classification
+	classByName     map[string]uint64
+	annotations     map[uint64][]Annotation
+	// byLabel[classID][label] -> imageIDs (categorical index).
+	byLabel   map[uint64]map[int][]uint64
+	keywords  map[uint64][]string
+	users     map[uint64]*User
+	apiKeys   map[string]*APIKey
+	videos    map[uint64]*Video
+	campaigns map[uint64]*CampaignRec
+
+	spatial  *index.RTree
+	visual   map[string]*index.LSH
+	hybrid   map[string]*index.HybridTree
+	text     *index.Inverted
+	temporal *index.Temporal
+
+	wal    *walWriter
+	closed bool
+	// walOps counts mutations since the last snapshot (auto-compaction).
+	walOps int
+}
+
+// Open creates or recovers a store.
+func Open(cfg Config) (*Store, error) {
+	if cfg.RTree.MaxEntries == 0 {
+		cfg.RTree = index.DefaultRTreeConfig()
+	}
+	if cfg.LSH.Tables == 0 {
+		cfg.LSH = index.DefaultLSHConfig(1)
+	}
+	s := &Store{cfg: cfg}
+	if err := s.resetState(); err != nil {
+		return nil, err
+	}
+	if cfg.Dir != "" {
+		snap, err := readSnapshot(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if snap != nil {
+			if err := s.loadSnapshot(snap); err != nil {
+				return nil, err
+			}
+		}
+		if err := replayWAL(cfg.Dir, s.applyOp); err != nil {
+			return nil, err
+		}
+		w, err := openWAL(cfg.Dir, cfg.SyncEveryWrite)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = w
+	}
+	return s, nil
+}
+
+func (s *Store) resetState() error {
+	sp, err := index.NewRTree(s.cfg.RTree)
+	if err != nil {
+		return err
+	}
+	s.images = make(map[uint64]*Image)
+	s.features = make(map[uint64]map[string][]float64)
+	s.classifications = make(map[uint64]*Classification)
+	s.classByName = make(map[string]uint64)
+	s.annotations = make(map[uint64][]Annotation)
+	s.byLabel = make(map[uint64]map[int][]uint64)
+	s.keywords = make(map[uint64][]string)
+	s.users = make(map[uint64]*User)
+	s.apiKeys = make(map[string]*APIKey)
+	s.videos = make(map[uint64]*Video)
+	s.campaigns = make(map[uint64]*CampaignRec)
+	s.spatial = sp
+	s.visual = make(map[string]*index.LSH)
+	s.hybrid = make(map[string]*index.HybridTree)
+	s.text = index.NewInverted()
+	s.temporal = index.NewTemporal()
+	s.nextID = 0
+	return nil
+}
+
+// Close flushes and closes the WAL. Further operations fail with
+// ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.close()
+}
+
+// log appends an op when durability is enabled, auto-compacting when the
+// configured threshold is crossed. Callers hold the write lock.
+func (s *Store) log(op walOp) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.append(op); err != nil {
+		return err
+	}
+	s.walOps++
+	if s.cfg.SnapshotEvery > 0 && s.walOps >= s.cfg.SnapshotEvery {
+		if err := s.snapshotLocked(); err != nil {
+			return fmt.Errorf("store: auto-compaction: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyOp replays one WAL op into in-memory state (no re-logging).
+func (s *Store) applyOp(op walOp) error {
+	switch op.Kind {
+	case opAddImage:
+		return s.applyImage(op.Image)
+	case opAddFeature:
+		return s.applyFeature(op.Feature)
+	case opAddClass:
+		return s.applyClassification(op.Classification)
+	case opAddAnnotation:
+		return s.applyAnnotation(op.Annotation)
+	case opAddKeywords:
+		return s.applyKeywords(op.Keyword.ImageID, op.Keyword.Words)
+	case opAddUser:
+		return s.applyUser(op.User)
+	case opAddAPIKey:
+		s.apiKeys[op.APIKey.Key] = op.APIKey
+		return nil
+	case opAddVideo:
+		return s.applyVideo(op.Video)
+	case opAddCampaign:
+		return s.applyCampaign(op.Campaign)
+	case opDeleteImage:
+		return s.applyDeleteImage(op.DeleteImageID)
+	default:
+		return fmt.Errorf("%w: unknown WAL op %q", ErrInvalid, op.Kind)
+	}
+}
+
+func (s *Store) loadSnapshot(st *snapshotState) error {
+	if err := s.resetState(); err != nil {
+		return err
+	}
+	for _, img := range st.Images {
+		if err := s.applyImage(img); err != nil {
+			return err
+		}
+	}
+	for _, c := range st.Classifications {
+		if err := s.applyClassification(c); err != nil {
+			return err
+		}
+	}
+	for _, f := range st.Features {
+		if err := s.applyFeature(f); err != nil {
+			return err
+		}
+	}
+	for _, a := range st.Annotations {
+		if err := s.applyAnnotation(a); err != nil {
+			return err
+		}
+	}
+	for _, k := range st.Keywords {
+		if err := s.applyKeywords(k.ImageID, k.Words); err != nil {
+			return err
+		}
+	}
+	for _, u := range st.Users {
+		if err := s.applyUser(u); err != nil {
+			return err
+		}
+	}
+	for _, k := range st.APIKeys {
+		s.apiKeys[k.Key] = k
+	}
+	for _, v := range st.Videos {
+		if err := s.applyVideo(v); err != nil {
+			return err
+		}
+	}
+	for _, c := range st.Campaigns {
+		if err := s.applyCampaign(c); err != nil {
+			return err
+		}
+	}
+	s.nextID = st.NextID
+	return nil
+}
+
+// Snapshot compacts durability state: writes a full snapshot and
+// truncates the WAL. No-op for memory-only stores.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.snapshotLocked()
+}
+
+// snapshotLocked is Snapshot with the write lock already held.
+func (s *Store) snapshotLocked() error {
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	st := &snapshotState{NextID: s.nextID}
+	for _, img := range s.images {
+		st.Images = append(st.Images, img)
+	}
+	sort.Slice(st.Images, func(i, j int) bool { return st.Images[i].ID < st.Images[j].ID })
+	for id, kinds := range s.features {
+		for kind, vec := range kinds {
+			st.Features = append(st.Features, &Feature{ImageID: id, Kind: kind, Vec: vec})
+		}
+	}
+	sort.Slice(st.Features, func(i, j int) bool {
+		if st.Features[i].ImageID != st.Features[j].ImageID {
+			return st.Features[i].ImageID < st.Features[j].ImageID
+		}
+		return st.Features[i].Kind < st.Features[j].Kind
+	})
+	for _, c := range s.classifications {
+		st.Classifications = append(st.Classifications, c)
+	}
+	sort.Slice(st.Classifications, func(i, j int) bool {
+		return st.Classifications[i].ID < st.Classifications[j].ID
+	})
+	var imgIDs []uint64
+	for id := range s.annotations {
+		imgIDs = append(imgIDs, id)
+	}
+	sort.Slice(imgIDs, func(i, j int) bool { return imgIDs[i] < imgIDs[j] })
+	for _, id := range imgIDs {
+		for i := range s.annotations[id] {
+			a := s.annotations[id][i]
+			st.Annotations = append(st.Annotations, &a)
+		}
+	}
+	imgIDs = imgIDs[:0]
+	for id := range s.keywords {
+		imgIDs = append(imgIDs, id)
+	}
+	sort.Slice(imgIDs, func(i, j int) bool { return imgIDs[i] < imgIDs[j] })
+	for _, id := range imgIDs {
+		st.Keywords = append(st.Keywords, keywordOp{ImageID: id, Words: s.keywords[id]})
+	}
+	for _, u := range s.users {
+		st.Users = append(st.Users, u)
+	}
+	sort.Slice(st.Users, func(i, j int) bool { return st.Users[i].ID < st.Users[j].ID })
+	for _, k := range s.apiKeys {
+		st.APIKeys = append(st.APIKeys, k)
+	}
+	sort.Slice(st.APIKeys, func(i, j int) bool { return st.APIKeys[i].Key < st.APIKeys[j].Key })
+	for _, v := range s.videos {
+		st.Videos = append(st.Videos, v)
+	}
+	sort.Slice(st.Videos, func(i, j int) bool { return st.Videos[i].ID < st.Videos[j].ID })
+	for _, c := range s.campaigns {
+		st.Campaigns = append(st.Campaigns, c)
+	}
+	sort.Slice(st.Campaigns, func(i, j int) bool { return st.Campaigns[i].ID < st.Campaigns[j].ID })
+	if err := writeSnapshot(s.cfg.Dir, st); err != nil {
+		return err
+	}
+	// Reset the WAL: gob encoders carry stream state, so reopen.
+	if err := s.wal.close(); err != nil {
+		return err
+	}
+	if err := truncateWAL(s.cfg.Dir); err != nil {
+		return err
+	}
+	w, err := openWAL(s.cfg.Dir, s.cfg.SyncEveryWrite)
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	s.walOps = 0
+	return nil
+}
+
+// ---- Images ----
+
+// AddImage validates, assigns an ID, derives the scene location, indexes,
+// logs, and returns the stored image's ID.
+func (s *Store) AddImage(img Image) (uint64, error) {
+	if err := img.FOV.Validate(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if img.Pixels == nil {
+		return 0, fmt.Errorf("%w: image has no pixels", ErrInvalid)
+	}
+	if img.Origin == "" {
+		img.Origin = OriginOriginal
+	}
+	if img.TimestampUploading.IsZero() {
+		img.TimestampUploading = img.TimestampCapturing
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	s.nextID++
+	img.ID = s.nextID
+	img.Scene = img.FOV.SceneLocation()
+	if err := s.applyImage(&img); err != nil {
+		return 0, err
+	}
+	if err := s.log(walOp{Kind: opAddImage, Image: &img}); err != nil {
+		return 0, err
+	}
+	return img.ID, nil
+}
+
+func (s *Store) applyImage(img *Image) error {
+	if _, dup := s.images[img.ID]; dup {
+		return fmt.Errorf("%w: image %d", ErrDuplicate, img.ID)
+	}
+	if img.ID > s.nextID {
+		s.nextID = img.ID
+	}
+	s.images[img.ID] = img
+	if err := s.spatial.Insert(index.SpatialItem{ID: img.ID, Rect: img.Scene}); err != nil {
+		return err
+	}
+	s.temporal.Insert(img.ID, img.TimestampCapturing)
+	return nil
+}
+
+// GetImage returns a copy of the stored image.
+func (s *Store) GetImage(id uint64) (Image, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	img, ok := s.images[id]
+	if !ok {
+		return Image{}, fmt.Errorf("%w: image %d", ErrNotFound, id)
+	}
+	return *img, nil
+}
+
+// NumImages returns the image count.
+func (s *Store) NumImages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.images)
+}
+
+// ImageIDs returns all image IDs in ascending order.
+func (s *Store) ImageIDs() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]uint64, 0, len(s.images))
+	for id := range s.images {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DeleteImage removes an image and all dependent rows and index entries.
+func (s *Store) DeleteImage(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.applyDeleteImage(id); err != nil {
+		return err
+	}
+	return s.log(walOp{Kind: opDeleteImage, DeleteImageID: id})
+}
+
+func (s *Store) applyDeleteImage(id uint64) error {
+	img, ok := s.images[id]
+	if !ok {
+		return fmt.Errorf("%w: image %d", ErrNotFound, id)
+	}
+	_ = s.spatial.Delete(id, img.Scene)
+	s.temporal.Remove(id, img.TimestampCapturing)
+	for _, lsh := range s.visual {
+		lsh.Remove(id)
+	}
+	s.text.Remove(id)
+	for _, anns := range [][]Annotation{s.annotations[id]} {
+		for _, a := range anns {
+			s.unlinkLabel(a.ClassificationID, a.Label, id)
+		}
+	}
+	delete(s.annotations, id)
+	delete(s.features, id)
+	delete(s.keywords, id)
+	delete(s.images, id)
+	return nil
+}
+
+func (s *Store) unlinkLabel(classID uint64, label int, imageID uint64) {
+	ids := s.byLabel[classID][label]
+	for i, v := range ids {
+		if v == imageID {
+			s.byLabel[classID][label] = append(ids[:i], ids[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---- Features ----
+
+// PutFeature stores (or replaces) one feature vector for an image and
+// maintains the visual indexes.
+func (s *Store) PutFeature(imageID uint64, kind string, vec []float64) error {
+	if kind == "" || len(vec) == 0 {
+		return fmt.Errorf("%w: empty feature kind or vector", ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.images[imageID]; !ok {
+		return fmt.Errorf("%w: image %d", ErrNotFound, imageID)
+	}
+	f := &Feature{ImageID: imageID, Kind: kind, Vec: append([]float64(nil), vec...)}
+	if err := s.applyFeature(f); err != nil {
+		return err
+	}
+	return s.log(walOp{Kind: opAddFeature, Feature: f})
+}
+
+func (s *Store) applyFeature(f *Feature) error {
+	kinds := s.features[f.ImageID]
+	if kinds == nil {
+		kinds = make(map[string][]float64)
+		s.features[f.ImageID] = kinds
+	}
+	kinds[f.Kind] = f.Vec
+	lsh, ok := s.visual[f.Kind]
+	if !ok {
+		cfg := s.cfg.LSH
+		var err error
+		lsh, err = index.NewLSH(len(f.Vec), cfg)
+		if err != nil {
+			return err
+		}
+		s.visual[f.Kind] = lsh
+	}
+	if err := lsh.Insert(f.ImageID, f.Vec); err != nil {
+		return err
+	}
+	for _, hk := range s.cfg.HybridKinds {
+		if hk != f.Kind {
+			continue
+		}
+		ht, ok := s.hybrid[f.Kind]
+		if !ok {
+			var err error
+			ht, err = index.NewHybridTree(len(f.Vec), s.cfg.RTree)
+			if err != nil {
+				return err
+			}
+			s.hybrid[f.Kind] = ht
+		}
+		img, ok := s.images[f.ImageID]
+		if !ok {
+			return fmt.Errorf("%w: image %d", ErrNotFound, f.ImageID)
+		}
+		if err := ht.Insert(index.HybridItem{ID: f.ImageID, Rect: img.Scene, Vec: f.Vec}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetFeature returns the stored vector of one kind for an image.
+func (s *Store) GetFeature(imageID uint64, kind string) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vec, ok := s.features[imageID][kind]
+	if !ok {
+		return nil, fmt.Errorf("%w: image %d kind %q", ErrUnknownFeature, imageID, kind)
+	}
+	return append([]float64(nil), vec...), nil
+}
+
+// FeatureKinds returns the kinds stored for an image, sorted.
+func (s *Store) FeatureKinds(imageID uint64) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.features[imageID] {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- Classifications & annotations ----
+
+// CreateClassification registers a labelling scheme; names are unique.
+func (s *Store) CreateClassification(name string, labels []string) (uint64, error) {
+	if name == "" || len(labels) == 0 {
+		return 0, fmt.Errorf("%w: classification needs a name and labels", ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if _, dup := s.classByName[name]; dup {
+		return 0, fmt.Errorf("%w: classification %q", ErrDuplicate, name)
+	}
+	s.nextID++
+	c := &Classification{ID: s.nextID, Name: name, Labels: append([]string(nil), labels...)}
+	if err := s.applyClassification(c); err != nil {
+		return 0, err
+	}
+	if err := s.log(walOp{Kind: opAddClass, Classification: c}); err != nil {
+		return 0, err
+	}
+	return c.ID, nil
+}
+
+func (s *Store) applyClassification(c *Classification) error {
+	if _, dup := s.classifications[c.ID]; dup {
+		return fmt.Errorf("%w: classification %d", ErrDuplicate, c.ID)
+	}
+	if c.ID > s.nextID {
+		s.nextID = c.ID
+	}
+	s.classifications[c.ID] = c
+	s.classByName[c.Name] = c.ID
+	s.byLabel[c.ID] = make(map[int][]uint64)
+	return nil
+}
+
+// GetClassification looks a scheme up by ID.
+func (s *Store) GetClassification(id uint64) (Classification, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.classifications[id]
+	if !ok {
+		return Classification{}, fmt.Errorf("%w: classification %d", ErrNotFound, id)
+	}
+	return *c, nil
+}
+
+// ClassificationByName looks a scheme up by name.
+func (s *Store) ClassificationByName(name string) (Classification, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.classByName[name]
+	if !ok {
+		return Classification{}, fmt.Errorf("%w: classification %q", ErrNotFound, name)
+	}
+	return *s.classifications[id], nil
+}
+
+// Classifications lists all schemes sorted by ID.
+func (s *Store) Classifications() []Classification {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Classification, 0, len(s.classifications))
+	for _, c := range s.classifications {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Annotate attaches a label to an image under a classification scheme.
+func (s *Store) Annotate(a Annotation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.images[a.ImageID]; !ok {
+		return fmt.Errorf("%w: image %d", ErrNotFound, a.ImageID)
+	}
+	c, ok := s.classifications[a.ClassificationID]
+	if !ok {
+		return fmt.Errorf("%w: classification %d", ErrNotFound, a.ClassificationID)
+	}
+	if a.Label < 0 || a.Label >= len(c.Labels) {
+		return fmt.Errorf("%w: label %d of %q", ErrUnknownLabel, a.Label, c.Name)
+	}
+	if a.Source == "" {
+		a.Source = SourceMachine
+	}
+	if err := s.applyAnnotation(&a); err != nil {
+		return err
+	}
+	return s.log(walOp{Kind: opAddAnnotation, Annotation: &a})
+}
+
+func (s *Store) applyAnnotation(a *Annotation) error {
+	s.annotations[a.ImageID] = append(s.annotations[a.ImageID], *a)
+	byLabel := s.byLabel[a.ClassificationID]
+	if byLabel == nil {
+		byLabel = make(map[int][]uint64)
+		s.byLabel[a.ClassificationID] = byLabel
+	}
+	byLabel[a.Label] = append(byLabel[a.Label], a.ImageID)
+	return nil
+}
+
+// AnnotationsFor returns all annotations on an image.
+func (s *Store) AnnotationsFor(imageID uint64) []Annotation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Annotation(nil), s.annotations[imageID]...)
+}
+
+// ImagesByLabel returns image IDs annotated with (classificationID,
+// label), ascending.
+func (s *Store) ImagesByLabel(classificationID uint64, label int) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := append([]uint64(nil), s.byLabel[classificationID][label]...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ---- Keywords ----
+
+// AddKeywords attaches manual keywords to an image and indexes them.
+func (s *Store) AddKeywords(imageID uint64, words []string) error {
+	if len(words) == 0 {
+		return fmt.Errorf("%w: no keywords", ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.images[imageID]; !ok {
+		return fmt.Errorf("%w: image %d", ErrNotFound, imageID)
+	}
+	if err := s.applyKeywords(imageID, words); err != nil {
+		return err
+	}
+	return s.log(walOp{Kind: opAddKeywords, Keyword: &keywordOp{ImageID: imageID, Words: words}})
+}
+
+func (s *Store) applyKeywords(imageID uint64, words []string) error {
+	s.keywords[imageID] = append(s.keywords[imageID], words...)
+	s.text.Add(imageID, words)
+	return nil
+}
+
+// KeywordsFor returns the keywords attached to an image.
+func (s *Store) KeywordsFor(imageID uint64) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.keywords[imageID]...)
+}
+
+// ---- Users & API keys ----
+
+// CreateUser registers a participant.
+func (s *Store) CreateUser(name, role string) (uint64, error) {
+	if name == "" {
+		return 0, fmt.Errorf("%w: user needs a name", ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	s.nextID++
+	u := &User{ID: s.nextID, Name: name, Role: role}
+	if err := s.applyUser(u); err != nil {
+		return 0, err
+	}
+	if err := s.log(walOp{Kind: opAddUser, User: u}); err != nil {
+		return 0, err
+	}
+	return u.ID, nil
+}
+
+func (s *Store) applyUser(u *User) error {
+	if _, dup := s.users[u.ID]; dup {
+		return fmt.Errorf("%w: user %d", ErrDuplicate, u.ID)
+	}
+	if u.ID > s.nextID {
+		s.nextID = u.ID
+	}
+	s.users[u.ID] = u
+	return nil
+}
+
+// GetUser returns a user by ID.
+func (s *Store) GetUser(id uint64) (User, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.users[id]
+	if !ok {
+		return User{}, fmt.Errorf("%w: user %d", ErrNotFound, id)
+	}
+	return *u, nil
+}
+
+// IssueAPIKey mints a random key for the user.
+func (s *Store) IssueAPIKey(userID uint64, now time.Time) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	if _, ok := s.users[userID]; !ok {
+		return "", fmt.Errorf("%w: user %d", ErrNotFound, userID)
+	}
+	buf := make([]byte, 16)
+	if _, err := rand.Read(buf); err != nil {
+		return "", fmt.Errorf("store: generating API key: %w", err)
+	}
+	k := &APIKey{Key: hex.EncodeToString(buf), UserID: userID, Issued: now}
+	s.apiKeys[k.Key] = k
+	if err := s.log(walOp{Kind: opAddAPIKey, APIKey: k}); err != nil {
+		return "", err
+	}
+	return k.Key, nil
+}
+
+// Authenticate resolves an API key to its user.
+func (s *Store) Authenticate(key string) (User, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k, ok := s.apiKeys[key]
+	if !ok {
+		return User{}, fmt.Errorf("%w: api key", ErrNotFound)
+	}
+	u, ok := s.users[k.UserID]
+	if !ok {
+		return User{}, fmt.Errorf("%w: user %d", ErrNotFound, k.UserID)
+	}
+	return *u, nil
+}
+
+// ---- Query primitives (composed by internal/query) ----
+
+// SearchScene returns image IDs whose scene MBR intersects r.
+func (s *Store) SearchScene(r geo.Rect) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.spatial.SearchRect(r)
+}
+
+// SearchNearest returns up to k image IDs whose scenes are closest to p.
+func (s *Store) SearchNearest(p geo.Point, k int) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.spatial.NearestK(p, k)
+}
+
+// SearchVisual returns up to k approximate visual neighbours of vec under
+// the given feature kind.
+func (s *Store) SearchVisual(kind string, vec []float64, k int) ([]index.Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lsh, ok := s.visual[kind]
+	if !ok {
+		return nil, fmt.Errorf("%w: no index for feature kind %q", ErrNotFound, kind)
+	}
+	return lsh.TopK(vec, k)
+}
+
+// SearchVisualRadius returns visual matches within distance r.
+func (s *Store) SearchVisualRadius(kind string, vec []float64, r float64) ([]index.Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lsh, ok := s.visual[kind]
+	if !ok {
+		return nil, fmt.Errorf("%w: no index for feature kind %q", ErrNotFound, kind)
+	}
+	return lsh.WithinRadius(vec, r)
+}
+
+// SearchVisualExact linearly re-ranks all vectors of a kind (baseline).
+func (s *Store) SearchVisualExact(kind string, vec []float64, k int) ([]index.Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lsh, ok := s.visual[kind]
+	if !ok {
+		return nil, fmt.Errorf("%w: no index for feature kind %q", ErrNotFound, kind)
+	}
+	return lsh.ExactTopK(vec, k)
+}
+
+// SearchHybrid runs a single-pass spatial-visual query when a hybrid tree
+// is maintained for the kind; ok=false means the caller must fall back to
+// the two-phase plan.
+func (s *Store) SearchHybrid(kind string, r geo.Rect, vec []float64, k int) ([]index.Match, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ht, ok := s.hybrid[kind]
+	if !ok {
+		return nil, false, nil
+	}
+	ms, err := ht.SearchSpatialVisual(r, vec, k)
+	return ms, true, err
+}
+
+// SearchText returns keyword matches (disjunctive, TF-IDF ranked).
+func (s *Store) SearchText(terms []string) []index.Match {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.text.SearchAny(terms)
+}
+
+// SearchTextAll returns conjunctive keyword matches.
+func (s *Store) SearchTextAll(terms []string) []index.Match {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.text.SearchAll(terms)
+}
+
+// SearchTime returns image IDs captured in [from, to].
+func (s *Store) SearchTime(from, to time.Time) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.temporal.Range(from, to)
+}

@@ -1,0 +1,200 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/imagesim"
+)
+
+// Video support. Per the paper's data model (§IV-B, footnote 1), a video
+// is represented by its key frames: each frame is a full Image row with
+// its own fine-granularity FOV (the MediaQ property), linked to a Video
+// entity. All image-level queries therefore work on frames for free; the
+// video layer only adds grouping and ordering.
+
+// Video is one registered video (e.g. a garbage-truck run or drone
+// flight).
+type Video struct {
+	ID uint64
+	// Description is free text ("wildfire survey flight 3").
+	Description string
+	// WorkerID identifies the capturing platform.
+	WorkerID string
+	// Start/End bound the frames' capture times.
+	Start, End time.Time
+	// FrameIDs lists the frame images in capture order.
+	FrameIDs []uint64
+}
+
+// Frame is one key frame to ingest.
+type Frame struct {
+	Pixels     *imagesim.Image
+	FOV        geo.FOV
+	CapturedAt time.Time
+	Keywords   []string
+}
+
+// AddVideo ingests a video as ordered key frames, each stored as a full
+// Image row, and returns the video ID plus per-frame image IDs.
+func (s *Store) AddVideo(description, workerID string, frames []Frame) (uint64, []uint64, error) {
+	if len(frames) == 0 {
+		return 0, nil, fmt.Errorf("%w: video needs frames", ErrInvalid)
+	}
+	// Validate everything before mutating.
+	for i, f := range frames {
+		if f.Pixels == nil {
+			return 0, nil, fmt.Errorf("%w: frame %d has no pixels", ErrInvalid, i)
+		}
+		if err := f.FOV.Validate(); err != nil {
+			return 0, nil, fmt.Errorf("%w: frame %d: %v", ErrInvalid, i, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, nil, ErrClosed
+	}
+	s.nextID++
+	videoID := s.nextID
+	v := &Video{
+		ID: videoID, Description: description, WorkerID: workerID,
+		Start: frames[0].CapturedAt, End: frames[0].CapturedAt,
+	}
+	frameIDs := make([]uint64, 0, len(frames))
+	for i, f := range frames {
+		s.nextID++
+		img := &Image{
+			ID:                 s.nextID,
+			Origin:             OriginOriginal,
+			FOV:                f.FOV,
+			Scene:              f.FOV.SceneLocation(),
+			Pixels:             f.Pixels,
+			TimestampCapturing: f.CapturedAt,
+			TimestampUploading: f.CapturedAt,
+			WorkerID:           workerID,
+			VideoID:            videoID,
+			FrameIndex:         i,
+		}
+		if err := s.applyImage(img); err != nil {
+			return 0, nil, err
+		}
+		if err := s.log(walOp{Kind: opAddImage, Image: img}); err != nil {
+			return 0, nil, err
+		}
+		if len(f.Keywords) > 0 {
+			if err := s.applyKeywords(img.ID, f.Keywords); err != nil {
+				return 0, nil, err
+			}
+			if err := s.log(walOp{Kind: opAddKeywords, Keyword: &keywordOp{ImageID: img.ID, Words: f.Keywords}}); err != nil {
+				return 0, nil, err
+			}
+		}
+		frameIDs = append(frameIDs, img.ID)
+		if f.CapturedAt.Before(v.Start) {
+			v.Start = f.CapturedAt
+		}
+		if f.CapturedAt.After(v.End) {
+			v.End = f.CapturedAt
+		}
+	}
+	v.FrameIDs = frameIDs
+	if err := s.applyVideo(v); err != nil {
+		return 0, nil, err
+	}
+	if err := s.log(walOp{Kind: opAddVideo, Video: v}); err != nil {
+		return 0, nil, err
+	}
+	return videoID, frameIDs, nil
+}
+
+func (s *Store) applyVideo(v *Video) error {
+	if _, dup := s.videos[v.ID]; dup {
+		return fmt.Errorf("%w: video %d", ErrDuplicate, v.ID)
+	}
+	if v.ID > s.nextID {
+		s.nextID = v.ID
+	}
+	s.videos[v.ID] = v
+	return nil
+}
+
+// GetVideo returns a video's metadata and frame list.
+func (s *Store) GetVideo(id uint64) (Video, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.videos[id]
+	if !ok {
+		return Video{}, fmt.Errorf("%w: video %d", ErrNotFound, id)
+	}
+	out := *v
+	out.FrameIDs = append([]uint64(nil), v.FrameIDs...)
+	return out, nil
+}
+
+// Videos lists all videos sorted by ID.
+func (s *Store) Videos() []Video {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Video, 0, len(s.videos))
+	for _, v := range s.videos {
+		cp := *v
+		cp.FrameIDs = append([]uint64(nil), v.FrameIDs...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AddAugmented stores an augmented derivative of an existing image,
+// inheriting its spatial and temporal descriptors (paper §IV-B).
+func (s *Store) AddAugmented(parentID uint64, pixels *imagesim.Image) (uint64, error) {
+	if pixels == nil {
+		return 0, fmt.Errorf("%w: augmented image has no pixels", ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	parent, ok := s.images[parentID]
+	if !ok {
+		return 0, fmt.Errorf("%w: parent image %d", ErrNotFound, parentID)
+	}
+	s.nextID++
+	img := &Image{
+		ID:                 s.nextID,
+		Origin:             OriginAugmented,
+		ParentID:           parentID,
+		FOV:                parent.FOV,
+		Scene:              parent.Scene,
+		Pixels:             pixels,
+		TimestampCapturing: parent.TimestampCapturing,
+		TimestampUploading: parent.TimestampUploading,
+		WorkerID:           parent.WorkerID,
+	}
+	if err := s.applyImage(img); err != nil {
+		return 0, err
+	}
+	if err := s.log(walOp{Kind: opAddImage, Image: img}); err != nil {
+		return 0, err
+	}
+	return img.ID, nil
+}
+
+// AugmentedOf returns the IDs of augmented derivatives of an image,
+// ascending.
+func (s *Store) AugmentedOf(parentID uint64) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []uint64
+	for id, img := range s.images {
+		if img.Origin == OriginAugmented && img.ParentID == parentID {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,187 @@
+package store
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Durability layout: <dir>/snapshot.gob holds a full state image;
+// <dir>/wal.gob holds operations applied since the snapshot. Open loads
+// the snapshot (if any) and replays the WAL; Snapshot() compacts by
+// writing a fresh snapshot and truncating the WAL.
+
+const (
+	snapshotFile = "snapshot.gob"
+	walFile      = "wal.gob"
+)
+
+// walOp is one durable mutation. Exactly one payload field is set,
+// selected by Kind.
+type walOp struct {
+	Kind           string
+	Image          *Image
+	Feature        *Feature
+	Classification *Classification
+	Annotation     *Annotation
+	Keyword        *keywordOp
+	User           *User
+	APIKey         *APIKey
+	Video          *Video
+	Campaign       *CampaignRec
+	DeleteImageID  uint64
+}
+
+type keywordOp struct {
+	ImageID uint64
+	Words   []string
+}
+
+// WAL op kinds.
+const (
+	opAddImage      = "add_image"
+	opAddFeature    = "add_feature"
+	opAddClass      = "add_classification"
+	opAddAnnotation = "add_annotation"
+	opAddKeywords   = "add_keywords"
+	opAddUser       = "add_user"
+	opAddAPIKey     = "add_api_key"
+	opAddVideo      = "add_video"
+	opAddCampaign   = "add_campaign"
+	opDeleteImage   = "delete_image"
+)
+
+// walWriter appends ops to the log file.
+type walWriter struct {
+	f   *os.File
+	enc *gob.Encoder
+	// syncEvery forces an fsync per append (slower, stronger durability).
+	syncEvery bool
+}
+
+func openWAL(dir string, syncEvery bool) (*walWriter, error) {
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	return &walWriter{f: f, enc: gob.NewEncoder(f), syncEvery: syncEvery}, nil
+}
+
+func (w *walWriter) append(op walOp) error {
+	if err := w.enc.Encode(op); err != nil {
+		return fmt.Errorf("store: appending WAL op %s: %w", op.Kind, err)
+	}
+	if w.syncEvery {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+func (w *walWriter) close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// replayWAL streams ops from the log, invoking apply for each. A
+// truncated trailing record (torn write) ends replay without error; any
+// other decode failure is surfaced.
+func replayWAL(dir string, apply func(walOp) error) error {
+	f, err := os.Open(filepath.Join(dir, walFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: opening WAL for replay: %w", err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	for {
+		var op walOp
+		err := dec.Decode(&op)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("store: replaying WAL: %w", err)
+		}
+		if err := apply(op); err != nil {
+			return fmt.Errorf("store: applying WAL op %s: %w", op.Kind, err)
+		}
+	}
+}
+
+// snapshotState is the gob-serialised full state.
+type snapshotState struct {
+	NextID          uint64
+	Images          []*Image
+	Features        []*Feature
+	Classifications []*Classification
+	Annotations     []*Annotation
+	Keywords        []keywordOp
+	Users           []*User
+	APIKeys         []*APIKey
+	Videos          []*Video
+	Campaigns       []*CampaignRec
+}
+
+func writeSnapshot(dir string, st *snapshotState) error {
+	tmp := filepath.Join(dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotFile)); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	return nil
+}
+
+func readSnapshot(dir string) (*snapshotState, error) {
+	f, err := os.Open(filepath.Join(dir, snapshotFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	var st snapshotState
+	if err := gob.NewDecoder(f).Decode(&st); err != nil {
+		return nil, fmt.Errorf("store: decoding snapshot: %w", err)
+	}
+	return &st, nil
+}
+
+func truncateWAL(dir string) error {
+	err := os.Truncate(filepath.Join(dir, walFile), 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,312 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/imagesim"
+)
+
+// Scene rendering. Every class shares the same street backdrop (sky band,
+// building band, sidewalk, road) so that global colour statistics overlap
+// heavily; class identity lives mainly in object geometry.
+
+func jitterColor(rng *rand.Rand, base imagesim.RGB, spread int) imagesim.RGB {
+	j := func(v uint8) uint8 {
+		n := int(v) + rng.Intn(2*spread+1) - spread
+		if n < 0 {
+			n = 0
+		}
+		if n > 255 {
+			n = 255
+		}
+		return uint8(n)
+	}
+	return imagesim.RGB{R: j(base.R), G: j(base.G), B: j(base.B)}
+}
+
+// renderBackdrop paints the common street scene.
+func (g *Generator) renderBackdrop(img *imagesim.Image) {
+	sz := img.H
+	skyEnd := sz / 5
+	buildingEnd := sz / 2
+	sidewalkEnd := sz * 7 / 10
+	sky := imagesim.RGB{R: 170, G: 190, B: 215}
+	building := imagesim.RGB{R: 150, G: 140, B: 130}
+	sidewalk := imagesim.RGB{R: 160, G: 158, B: 152}
+	road := imagesim.RGB{R: 95, G: 95, B: 98}
+	for y := 0; y < sz; y++ {
+		var base imagesim.RGB
+		switch {
+		case y < skyEnd:
+			base = sky
+		case y < buildingEnd:
+			base = building
+		case y < sidewalkEnd:
+			base = sidewalk
+		default:
+			base = road
+		}
+		for x := 0; x < img.W; x++ {
+			img.Set(x, y, jitterColor(g.rng, base, 10))
+		}
+	}
+	// Building windows give every class some texture.
+	for i := 0; i < 4; i++ {
+		wx := 2 + g.rng.Intn(img.W-8)
+		wy := skyEnd + 2 + g.rng.Intn(buildingEnd-skyEnd-6)
+		img.FillRect(wx, wy, wx+3, wy+4, jitterColor(g.rng, imagesim.RGB{R: 70, G: 80, B: 100}, 15))
+	}
+	// Street trees appear in every class with moderate probability, so
+	// green pixels alone cannot identify the vegetation class.
+	if g.rng.Float64() < 0.6 {
+		tx := 3 + g.rng.Intn(img.W-6)
+		ty := buildingEnd - 2 - g.rng.Intn(3)
+		for i := 0; i < 25; i++ {
+			img.Set(tx+g.rng.Intn(7)-3, ty+g.rng.Intn(5)-2,
+				jitterColor(g.rng, imagesim.RGB{R: 60, G: 125, B: 50}, 30))
+		}
+		img.DrawLine(tx, ty+2, tx, sidewalkEnd, imagesim.RGB{R: 90, G: 70, B: 50})
+	}
+	// Curb line.
+	img.DrawLine(0, sidewalkEnd, img.W-1, sidewalkEnd, imagesim.RGB{R: 200, G: 200, B: 200})
+}
+
+// applyIllumination simulates capture-time lighting: a global brightness
+// factor (time of day) and a warm/cool colour cast. This is the main
+// reason global colour histograms generalise poorly across the corpus
+// while gradient-based and learned features stay informative.
+func (g *Generator) applyIllumination(img *imagesim.Image) {
+	bright := 0.55 + g.rng.Float64()*0.75
+	castR := 1 + (g.rng.Float64()-0.5)*0.3
+	castB := 1 + (g.rng.Float64()-0.5)*0.3
+	scale := func(v uint8, f float64) uint8 {
+		x := float64(v) * f
+		if x > 255 {
+			x = 255
+		}
+		if x < 0 {
+			x = 0
+		}
+		return uint8(x)
+	}
+	for i, p := range img.Pix {
+		img.Pix[i] = imagesim.RGB{
+			R: scale(p.R, bright*castR),
+			G: scale(p.G, bright),
+			B: scale(p.B, bright*castB),
+		}
+	}
+}
+
+// fillTriangle rasterises a filled triangle (used for tents).
+func fillTriangle(img *imagesim.Image, x0, y0, x1, y1, x2, y2 int, c imagesim.RGB) {
+	minX := min3(x0, x1, x2)
+	maxX := max3(x0, x1, x2)
+	minY := min3(y0, y1, y2)
+	maxY := max3(y0, y1, y2)
+	sign := func(ax, ay, bx, by, cx, cy int) int {
+		return (ax-cx)*(by-cy) - (bx-cx)*(ay-cy)
+	}
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			d1 := sign(x, y, x0, y0, x1, y1)
+			d2 := sign(x, y, x1, y1, x2, y2)
+			d3 := sign(x, y, x2, y2, x0, y0)
+			neg := d1 < 0 || d2 < 0 || d3 < 0
+			pos := d1 > 0 || d2 > 0 || d3 > 0
+			if !(neg && pos) {
+				img.Set(x, y, c)
+			}
+		}
+	}
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// renderScene draws one class-conditional street scene.
+func (g *Generator) renderScene(c Class) *imagesim.Image {
+	sz := g.cfg.ImageSize
+	img := imagesim.MustNew(sz, sz)
+	g.renderBackdrop(img)
+	groundTop := sz / 2 // objects sit below the building band
+	switch c {
+	case BulkyItem:
+		g.renderBulky(img, groundTop)
+	case IllegalDumping:
+		g.renderDumping(img, groundTop)
+	case Encampment:
+		g.renderEncampment(img, groundTop)
+	case OvergrownVegetation:
+		g.renderVegetation(img, groundTop)
+	case Clean:
+		// The backdrop only, plus an occasional lamppost.
+		if g.rng.Float64() < 0.5 {
+			x := 4 + g.rng.Intn(sz-8)
+			img.DrawLine(x, sz/4, x, sz*7/10, imagesim.RGB{R: 60, G: 60, B: 60})
+		}
+	}
+	g.applyIllumination(img)
+	return imagesim.AddGaussianNoise(img, 6, g.rng)
+}
+
+// Object base colours of the scene model. Tents and trash bags share a
+// grey-blue palette on purpose (Fig. 7's encampment/dumping confusion);
+// vegetation is distinctively green.
+var (
+	bagBase  = imagesim.RGB{R: 75, G: 82, B: 95}
+	tentBase = imagesim.RGB{R: 80, G: 88, B: 105}
+	vegBase  = imagesim.RGB{R: 55, G: 130, B: 45}
+)
+
+// couchPalette spans the real-world variety of discarded furniture;
+// colour alone cannot identify the bulky-item class.
+var couchPalette = []imagesim.RGB{
+	{R: 140, G: 95, B: 60},   // brown
+	{R: 130, G: 45, B: 45},   // dark red
+	{R: 105, G: 105, B: 105}, // grey
+	{R: 55, G: 70, B: 110},   // navy
+	{R: 110, G: 110, B: 70},  // olive
+	{R: 185, G: 170, B: 140}, // beige
+}
+
+// renderBulky draws 1-2 couch/mattress silhouettes: a large slab with a
+// backrest — big rectangles, few but strong corners, varied colours.
+func (g *Generator) renderBulky(img *imagesim.Image, groundTop int) {
+	sz := img.H
+	n := 1 + g.rng.Intn(2)
+	for i := 0; i < n; i++ {
+		w := sz/3 + g.rng.Intn(sz/4)
+		h := sz/6 + g.rng.Intn(sz/8)
+		x := g.rng.Intn(sz - w)
+		y := groundTop + g.rng.Intn(sz/3)
+		if y+h >= sz {
+			y = sz - h - 1
+		}
+		body := jitterColor(g.rng, couchPalette[g.rng.Intn(len(couchPalette))], 25)
+		img.FillRect(x, y, x+w, y+h, body)
+		// Backrest.
+		img.FillRect(x, y-h/2, x+w/4, y, jitterColor(g.rng, body, 10))
+		// Seat cushion seams.
+		img.DrawLine(x+w/2, y, x+w/2, y+h-1, imagesim.RGB{R: 90, G: 60, B: 40})
+	}
+}
+
+// renderDumping draws a cluster of small dark grey-blue trash bags with
+// scattered litter around it — many small blobs and a distinctive
+// high-frequency debris halo, but a palette shared with tents.
+func (g *Generator) renderDumping(img *imagesim.Image, groundTop int) {
+	sz := img.H
+	cx := 6 + g.rng.Intn(sz-12)
+	cy := groundTop + sz/6 + g.rng.Intn(sz/5)
+	n := 4 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		x := cx + g.rng.Intn(13) - 6
+		y := cy + g.rng.Intn(9) - 4
+		r := 2 + g.rng.Intn(3)
+		bag := jitterColor(g.rng, bagBase, 20)
+		img.FillCircle(x, y, r, bag)
+		// Highlight speck: sharp local contrast for the keypoint detector.
+		img.Set(x-1, y-1, imagesim.RGB{R: 180, G: 185, B: 195})
+	}
+	// Litter halo: loose debris scattered around the pile.
+	for i := 0; i < 14+g.rng.Intn(10); i++ {
+		x := cx + g.rng.Intn(25) - 12
+		y := cy + g.rng.Intn(15) - 7
+		img.Set(x, y, jitterColor(g.rng, imagesim.RGB{R: 190, G: 185, B: 170}, 40))
+	}
+}
+
+// renderEncampment draws 1-3 tents: grey-blue triangles. The palette
+// deliberately matches dumping bags so colour alone confuses the two —
+// the paper's Fig. 7 reports encampment as the hardest category.
+func (g *Generator) renderEncampment(img *imagesim.Image, groundTop int) {
+	sz := img.H
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		// Tent sizes vary: distant tents shrink toward trash-bag scale,
+		// which is what makes encampment the hardest category.
+		w := sz/6 + g.rng.Intn(sz/4)
+		h := sz/9 + g.rng.Intn(sz/6)
+		// Occasionally a tent is partially cut by the image border.
+		x := g.rng.Intn(sz) - w/4
+		base := groundTop + sz/5 + g.rng.Intn(sz/5)
+		if base >= sz {
+			base = sz - 1
+		}
+		tent := jitterColor(g.rng, tentBase, 20)
+		fillTriangle(img, x, base, x+w, base, x+w/2, base-h, tent)
+		// Ridge seam.
+		img.DrawLine(x+w/2, base-h, x+w/2, base, jitterColor(g.rng, imagesim.RGB{R: 50, G: 55, B: 70}, 10))
+	}
+}
+
+// renderVegetation draws an overgrown patch: dense green speckle rising
+// from the sidewalk — a distinctive hue (easiest class in Fig. 7).
+func (g *Generator) renderVegetation(img *imagesim.Image, groundTop int) {
+	sz := img.H
+	x0 := g.rng.Intn(sz / 2)
+	w := sz/2 + g.rng.Intn(sz/3)
+	top := groundTop + g.rng.Intn(sz/6)
+	for i := 0; i < sz*w/6; i++ {
+		x := x0 + g.rng.Intn(w)
+		// Denser near the ground.
+		y := top + int(math.Sqrt(g.rng.Float64())*float64(sz-top-1))
+		green := jitterColor(g.rng, vegBase, 30)
+		img.Set(x, y, green)
+		if g.rng.Float64() < 0.2 {
+			img.Set(x, y-1, green)
+		}
+	}
+}
+
+// graffitiPalette holds the saturated spray colours of a tag.
+var graffitiPalette = []imagesim.RGB{
+	{R: 220, G: 40, B: 160},
+	{R: 40, G: 190, B: 220},
+	{R: 235, G: 200, B: 40},
+	{R: 150, G: 40, B: 220},
+}
+
+// renderGraffiti sprays a colourful tag on the building band — saturated
+// blobs and strokes that no other scene element produces. Applied before
+// illumination so lighting variance affects tags like everything else...
+// (callers invoke it after renderScene, which has already applied
+// illumination; the tag keeps extra saturation, which is realistic for
+// fresh paint).
+func (g *Generator) renderGraffiti(img *imagesim.Image) {
+	sz := img.H
+	bandTop := sz / 5
+	bandBottom := sz / 2
+	x0 := 3 + g.rng.Intn(sz-14)
+	y0 := bandTop + 2 + g.rng.Intn(bandBottom-bandTop-8)
+	c := graffitiPalette[g.rng.Intn(len(graffitiPalette))]
+	// A modest stroke run of overlapping blobs: distinctive hue, small
+	// footprint, so tags do not drown the cleanliness signal.
+	n := 3 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		img.FillCircle(x0+i*3, y0+g.rng.Intn(3)-1, 1+g.rng.Intn(2), jitterColor(g.rng, c, 15))
+	}
+	if g.rng.Float64() < 0.5 {
+		c2 := graffitiPalette[g.rng.Intn(len(graffitiPalette))]
+		img.DrawLine(x0, y0+3, x0+n*3, y0+2, jitterColor(g.rng, c2, 15))
+	}
+}

@@ -1,0 +1,42 @@
+// Package tvdp is the public face of the Translational Visual Data
+// Platform (TVDP), a reproduction of "TVDP: Translational Visual Data
+// Platform for Smart Cities" (Kim, Alfarrarjeh, Constantinou, Shahabi —
+// ICDE 2019). It re-exports the platform core (internal/core): a unified
+// layer over the paper's four services — Acquisition (spatial
+// crowdsourcing), Access (multi-modal indexed storage), Analysis (feature
+// extraction and shareable ML models), and Action (capability-aware edge
+// dispatch and crowd-based learning).
+//
+// Quickstart:
+//
+//	p, err := tvdp.Open(tvdp.Config{Dir: "./data"})
+//	...
+//	id, err := p.Ingest(img, fov, capturedAt, []string{"tent"})
+//	spec, err := p.TrainModel(analysis.TrainConfig{...})
+//	results, plan, err := p.Search(query.Query{...})
+//
+// See the runnable programs under examples/ for full scenarios.
+package tvdp
+
+import (
+	"repro/internal/core"
+	"repro/internal/ml"
+)
+
+// Config controls platform construction. See core.Config.
+type Config = core.Config
+
+// Platform is one running TVDP instance. See core.Platform.
+type Platform = core.Platform
+
+// Stats summarises platform contents. See core.Stats.
+type Stats = core.Stats
+
+// Open creates or recovers a platform.
+func Open(cfg Config) (*Platform, error) { return core.Open(cfg) }
+
+// DefaultClassifierFactory returns the paper's best estimator (linear
+// SVM) as an ml.Factory for TrainModel configs.
+func DefaultClassifierFactory(seed int64) ml.Factory {
+	return core.DefaultClassifierFactory(seed)
+}

@@ -1,0 +1,35 @@
+package tvdp
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// The integration suite for the platform lives in internal/core; this
+// test pins the public aliases: a downstream user's Open/Config/Platform
+// round trip works through the root package.
+func TestPublicAliases(t *testing.T) {
+	p, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var _ *Platform = p
+	g, err := synth.NewGenerator(synth.DefaultConfig(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range g.Generate(5) {
+		if _, err := p.IngestRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var st Stats = p.Stats()
+	if st.Images != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if DefaultClassifierFactory(1)().Name() != "SVM" {
+		t.Fatal("factory alias broken")
+	}
+}
