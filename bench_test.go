@@ -6,6 +6,8 @@ package tvdp
 // reproduction record; `cmd/tvdp-bench` prints the full tables.
 
 import (
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/ml"
 	"repro/internal/nn"
+	"repro/internal/par"
 	"repro/internal/store"
 	"repro/internal/synth"
 )
@@ -27,21 +30,95 @@ import (
 // full-scale run lives in cmd/tvdp-bench.
 var benchScale = experiments.Scale{N: 500, BoWVocab: 48, CNNEpochs: 8, CNNAugment: 1, Seed: 1}
 
+// The corpus is built once and shared by every figure benchmark, so it is
+// read-only by contract: benchmarks must not mutate records, labels, split
+// indices, or feature vectors. benchCorpus enforces the contract with a
+// checksum taken right after the build and re-verified on every later use.
 var (
 	corpusOnce sync.Once
 	corpus     *experiments.Corpus
 	corpusErr  error
+	corpusSum  uint64
 )
+
+// corpusChecksum folds every feature bit and label of the corpus into one
+// FNV-1a hash.
+func corpusChecksum(c *experiments.Corpus) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	for _, kind := range experiments.FeatureNames {
+		for _, vec := range c.Features[kind] {
+			for _, v := range vec {
+				put(math.Float64bits(v))
+			}
+		}
+	}
+	for _, y := range c.Labels {
+		put(uint64(y))
+	}
+	for _, i := range c.TrainIdx {
+		put(uint64(i))
+	}
+	for _, i := range c.TestIdx {
+		put(uint64(i))
+	}
+	return h.Sum64()
+}
 
 func benchCorpus(b *testing.B) *experiments.Corpus {
 	b.Helper()
 	corpusOnce.Do(func() {
 		corpus, corpusErr = experiments.BuildCorpus(benchScale)
+		if corpusErr == nil {
+			corpusSum = corpusChecksum(corpus)
+		}
 	})
 	if corpusErr != nil {
 		b.Fatal(corpusErr)
 	}
+	if sum := corpusChecksum(corpus); sum != corpusSum {
+		b.Fatalf("shared benchmark corpus was mutated (checksum %x, want %x): benchmarks must treat it as read-only", sum, corpusSum)
+	}
 	return corpus
+}
+
+// BenchmarkParCorpusBuild measures the data-parallel corpus pipeline
+// (synthesis, BoW, kMeans, CNN training, feature extraction) and reports
+// the wall-clock speedup of the default worker count over one worker. On a
+// single-core machine the speedup hovers around 1.0; on >= 4 cores the
+// fan-out stages dominate and the ratio climbs well above 2.
+func BenchmarkParCorpusBuild(b *testing.B) {
+	scale := experiments.Scale{N: 150, BoWVocab: 16, CNNEpochs: 2, CNNAugment: 0, Seed: 5}
+	prev := par.SetWorkers(1)
+	start := time.Now()
+	ref, err := experiments.BuildCorpus(scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(start)
+	par.SetWorkers(prev)
+	b.ResetTimer()
+	var c *experiments.Corpus
+	for i := 0; i < b.N; i++ {
+		c, err = experiments.BuildCorpus(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Worker count must not change the output (the determinism contract).
+	if corpusChecksum(c) != corpusChecksum(ref) {
+		b.Fatal("parallel corpus differs from serial corpus")
+	}
+	parallel := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(par.Workers()), "workers")
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-x")
 }
 
 // BenchmarkFig6FeatureClassifierGrid reproduces Fig. 6: macro F1 of every

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/par"
 )
 
 func main() {
@@ -26,7 +27,8 @@ func main() {
 		n         = flag.Int("n", 0, "override corpus size")
 		folds     = flag.Int("folds", 0, "cross-validation folds for Fig. 6 (0 = skip)")
 		scaleName = flag.String("scale", "default", "corpus scale: smoke, default, or paper")
-		seed      = flag.Int64("seed", 1, "experiment seed")
+		seed      = flag.Int64("seed", 2, "experiment seed")
+		workers   = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = all CPUs); results are identical for any value")
 	)
 	flag.Parse()
 	if *fig == "" && !*ablations {
@@ -34,6 +36,10 @@ func main() {
 		os.Exit(2)
 	}
 	log.SetFlags(0)
+	if *workers > 0 {
+		par.SetWorkers(*workers)
+	}
+	log.Printf("parallel stages: %d worker(s)", par.Workers())
 
 	scale := experiments.DefaultScale()
 	switch *scaleName {
@@ -75,20 +81,24 @@ func main() {
 			name, f1 := r.Best(kind)
 			fmt.Printf("  best for %-12s %-14s F1=%.3f\n", kind, name, f1)
 		}
-		fmt.Printf("  (%s)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (elapsed %s, %d worker(s))\n\n", time.Since(start).Round(time.Millisecond), par.Workers())
 	}
 	if *fig == "7" || *fig == "all" {
+		start := time.Now()
 		r, err := experiments.RunFig7(corpus)
 		if err != nil {
 			log.Fatalf("fig 7: %v", err)
 		}
 		fmt.Println(r.Render())
 		best, worst := r.CNNBestWorst()
-		fmt.Printf("  CNN best category: %s, worst: %s\n\n", best, worst)
+		fmt.Printf("  CNN best category: %s, worst: %s\n", best, worst)
+		fmt.Printf("  (elapsed %s, %d worker(s))\n\n", time.Since(start).Round(time.Millisecond), par.Workers())
 	}
 	if *fig == "8" || *fig == "all" {
+		start := time.Now()
 		r := experiments.RunFig8(*seed, 50)
 		fmt.Println(r.Render())
+		fmt.Printf("  (elapsed %s, %d worker(s))\n\n", time.Since(start).Round(time.Millisecond), par.Workers())
 	}
 
 	if *ablations {

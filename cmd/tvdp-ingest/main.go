@@ -13,21 +13,27 @@ import (
 	"time"
 
 	tvdp "repro"
+	"repro/internal/par"
 	"repro/internal/synth"
 )
 
 func main() {
 	var (
-		dir   = flag.String("dir", "", "store directory (required)")
-		n     = flag.Int("n", 500, "number of images to generate")
-		seed  = flag.Int64("seed", 1, "generator seed")
-		label = flag.Bool("label", true, "attach ground-truth cleanliness labels")
+		dir     = flag.String("dir", "", "store directory (required)")
+		n       = flag.Int("n", 500, "number of images to generate")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		label   = flag.Bool("label", true, "attach ground-truth cleanliness labels")
+		workers = flag.Int("workers", 0, "worker goroutines for corpus rendering (0 = all CPUs); output is identical for any value")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	if *dir == "" {
 		log.Fatal("-dir is required")
 	}
+	if *workers > 0 {
+		par.SetWorkers(*workers)
+	}
+	log.Printf("rendering with %d worker(s)", par.Workers())
 	p, err := tvdp.Open(tvdp.Config{Dir: *dir})
 	if err != nil {
 		log.Fatalf("opening platform: %v", err)

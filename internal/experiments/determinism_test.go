@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// detScale is a deliberately tiny corpus: the determinism contract is about
+// bit patterns, not model quality, so the cheapest end-to-end pipeline run
+// that exercises every parallel stage (synthesis, BoW, kMeans, CNN
+// training, extraction, Fig. 6 classification) is enough.
+var detScale = Scale{N: 75, BoWVocab: 8, CNNEpochs: 2, CNNAugment: 1, Seed: 7}
+
+// buildAt builds the detScale corpus and its Fig. 6 table with a fixed
+// worker count, restoring the previous override afterwards.
+func buildAt(t *testing.T, workers int) (*Corpus, *Fig6Result) {
+	t.Helper()
+	prev := par.SetWorkers(workers)
+	defer par.SetWorkers(prev)
+	c, err := BuildCorpus(detScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunFig6(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, r
+}
+
+// TestPipelineDeterministicAcrossWorkerCounts is the regression test for
+// the par layer's core contract: the full analysis pipeline — corpus
+// synthesis, SIFT-BoW vocabulary training, CNN fine-tuning, feature
+// extraction, and the Fig. 6 classifier grid — produces bit-identical
+// results with one worker and with eight.
+func TestPipelineDeterministicAcrossWorkerCounts(t *testing.T) {
+	c1, r1 := buildAt(t, 1)
+	c8, r8 := buildAt(t, 8)
+
+	// Every feature vector of every family must match bit for bit.
+	for _, kind := range FeatureNames {
+		f1, f8 := c1.Features[kind], c8.Features[kind]
+		if len(f1) != len(f8) {
+			t.Fatalf("%s: %d vs %d vectors", kind, len(f1), len(f8))
+		}
+		for i := range f1 {
+			if len(f1[i]) != len(f8[i]) {
+				t.Fatalf("%s[%d]: dim %d vs %d", kind, i, len(f1[i]), len(f8[i]))
+			}
+			for j := range f1[i] {
+				if math.Float64bits(f1[i][j]) != math.Float64bits(f8[i][j]) {
+					t.Fatalf("%s[%d][%d]: %v (1 worker) != %v (8 workers)",
+						kind, i, j, f1[i][j], f8[i][j])
+				}
+			}
+		}
+	}
+
+	// Rendered corpora must match pixel for pixel.
+	for i := range c1.Records {
+		p1, p8 := c1.Records[i].Image.Pix, c8.Records[i].Image.Pix
+		if len(p1) != len(p8) {
+			t.Fatalf("record %d: %d vs %d pixels", i, len(p1), len(p8))
+		}
+		for j := range p1 {
+			if p1[j] != p8[j] {
+				t.Fatalf("record %d pixel %d: %v != %v", i, j, p1[j], p8[j])
+			}
+		}
+		if c1.Records[i].WorkerID != c8.Records[i].WorkerID ||
+			!c1.Records[i].CapturedAt.Equal(c8.Records[i].CapturedAt) {
+			t.Fatalf("record %d metadata differs across worker counts", i)
+		}
+	}
+
+	// The downstream F1 tables must agree exactly.
+	for _, kind := range FeatureNames {
+		for _, clf := range ClassifierNames {
+			v1, v8 := r1.F1[kind][clf], r8.F1[kind][clf]
+			if math.Float64bits(v1) != math.Float64bits(v8) {
+				t.Fatalf("F1[%s][%s]: %v (1 worker) != %v (8 workers)", kind, clf, v1, v8)
+			}
+		}
+	}
+}
+
+// TestBuildCorpusRepeatable guards same-worker-count reproducibility: two
+// builds at the same seed and worker count are identical (the baseline the
+// cross-worker test depends on).
+func TestBuildCorpusRepeatable(t *testing.T) {
+	prev := par.SetWorkers(3)
+	defer par.SetWorkers(prev)
+	a, err := BuildCorpus(detScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCorpus(detScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range FeatureNames {
+		for i := range a.Features[kind] {
+			for j := range a.Features[kind][i] {
+				if math.Float64bits(a.Features[kind][i][j]) != math.Float64bits(b.Features[kind][i][j]) {
+					t.Fatalf("%s[%d][%d] differs between identical builds", kind, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package feature
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/imagesim"
+	"repro/internal/par"
+	"repro/internal/synth"
+)
+
+// TestCNNExtractionDeterministicAcrossWorkerCounts trains the feature net
+// and extracts CNN features with one worker and with eight: the sharded
+// gradient reduction and the stateless inference path must make both the
+// trained weights and every extracted vector bit-identical.
+func TestCNNExtractionDeterministicAcrossWorkerCounts(t *testing.T) {
+	g, err := synth.NewGenerator(synth.DefaultConfig(40, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Generate(40)
+	imgs := make([]*imagesim.Image, len(recs))
+	labels := make([]int, len(recs))
+	for i, r := range recs {
+		imgs[i] = r.Image
+		labels[i] = int(r.Class)
+	}
+	run := func(workers int) [][]float64 {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		cfg := DefaultCNNTrainConfig(synth.NumClasses)
+		cfg.Train.Epochs = 2
+		cfg.Augment = 1
+		cnn, err := TrainCNN(imgs, labels, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feats, err := ExtractAll(cnn, imgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return feats
+	}
+	base := run(1)
+	got := run(8)
+	for i := range base {
+		for j := range base[i] {
+			if math.Float64bits(base[i][j]) != math.Float64bits(got[i][j]) {
+				t.Fatalf("feature[%d][%d]: %v (1 worker) != %v (8 workers)",
+					i, j, base[i][j], got[i][j])
+			}
+		}
+	}
+}
+
+// TestBoWDeterministicAcrossWorkerCounts checks the parallel keypoint
+// fan-out and sharded kMeans under the BoW trainer.
+func TestBoWDeterministicAcrossWorkerCounts(t *testing.T) {
+	g, err := synth.NewGenerator(synth.DefaultConfig(30, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Generate(30)
+	imgs := make([]*imagesim.Image, len(recs))
+	for i, r := range recs {
+		imgs[i] = r.Image
+	}
+	run := func(workers int) [][]float64 {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		bow, err := TrainBoW(imgs, DefaultSIFTConfig(), 8, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feats, err := ExtractAll(bow, imgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return feats
+	}
+	base := run(1)
+	got := run(8)
+	for i := range base {
+		for j := range base[i] {
+			if math.Float64bits(base[i][j]) != math.Float64bits(got[i][j]) {
+				t.Fatalf("hist[%d][%d]: %v (1 worker) != %v (8 workers)",
+					i, j, base[i][j], got[i][j])
+			}
+		}
+	}
+}

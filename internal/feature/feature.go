@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/imagesim"
+	"repro/internal/par"
 )
 
 // Kind identifies a feature family in the store and experiment tables.
@@ -36,17 +37,18 @@ type Extractor interface {
 // ErrNilImage reports a nil image input.
 var ErrNilImage = errors.New("feature: nil image")
 
-// ExtractAll applies e to every image.
+// ExtractAll applies e to every image, fanning the per-image work out over
+// the par worker pool with index-ordered results. Every Extractor in this
+// package is safe for concurrent Extract calls (colour histograms and SIFT
+// are pure; the CNN extractor uses the network's stateless inference path).
 func ExtractAll(e Extractor, imgs []*imagesim.Image) ([][]float64, error) {
-	out := make([][]float64, len(imgs))
-	for i, img := range imgs {
-		v, err := e.Extract(img)
+	return par.Map(len(imgs), func(i int) ([]float64, error) {
+		v, err := e.Extract(imgs[i])
 		if err != nil {
 			return nil, fmt.Errorf("feature: image %d: %w", i, err)
 		}
-		out[i] = v
-	}
-	return out, nil
+		return v, nil
+	})
 }
 
 // ColorHistogram is the HSV colour histogram descriptor. The paper's

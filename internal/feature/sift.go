@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/imagesim"
 	"repro/internal/ml"
+	"repro/internal/par"
 )
 
 // Keypoint is one detected interest point with its local descriptor.
@@ -234,16 +235,26 @@ var ErrNoVocabulary = errors.New("feature: BoW vocabulary not trained")
 // TrainBoW extracts keypoints from the training images and clusters their
 // descriptors into a k-word vocabulary. The paper uses k=1000 over 80% of
 // the 22K-image corpus; the harness default scales k down with the corpus.
+// Detection fans out per image; descriptors are flattened in image order so
+// the kMeans input (and therefore the codebook) is order-deterministic.
 func TrainBoW(imgs []*imagesim.Image, cfg SIFTConfig, k int, seed int64) (*BoW, error) {
-	var descs [][]float64
-	for i, img := range imgs {
-		kps, err := DetectKeypoints(img, cfg)
+	perImage, err := par.Map(len(imgs), func(i int) ([][]float64, error) {
+		kps, err := DetectKeypoints(imgs[i], cfg)
 		if err != nil {
 			return nil, fmt.Errorf("feature: BoW training image %d: %w", i, err)
 		}
-		for _, kp := range kps {
-			descs = append(descs, kp.Descriptor)
+		ds := make([][]float64, len(kps))
+		for j, kp := range kps {
+			ds[j] = kp.Descriptor
 		}
+		return ds, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var descs [][]float64
+	for _, ds := range perImage {
+		descs = append(descs, ds...)
 	}
 	if len(descs) == 0 {
 		return nil, errors.New("feature: no keypoints detected in BoW training set")

@@ -1,0 +1,115 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func clusteredPoints(n, dim, clusters int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		v := make([]float64, dim)
+		c := float64(i % clusters)
+		for j := range v {
+			v[j] = c*3 + rng.NormFloat64()
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+// TestKMeansDeterministicAcrossWorkerCounts checks the shard-ordered
+// reduction: the fitted codebook, assignments, and inertia are bit-identical
+// for any worker count.
+func TestKMeansDeterministicAcrossWorkerCounts(t *testing.T) {
+	pts := clusteredPoints(700, 8, 5, 11)
+	run := func(workers int) *KMeansResult {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		r, err := KMeans(pts, DefaultKMeansConfig(5, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 8} {
+		r := run(w)
+		if r.Iters != base.Iters {
+			t.Fatalf("workers=%d: %d iters, want %d", w, r.Iters, base.Iters)
+		}
+		if math.Float64bits(r.Inertia) != math.Float64bits(base.Inertia) {
+			t.Fatalf("workers=%d: inertia %v, want %v", w, r.Inertia, base.Inertia)
+		}
+		for i := range base.Assign {
+			if r.Assign[i] != base.Assign[i] {
+				t.Fatalf("workers=%d: assign[%d] = %d, want %d", w, i, r.Assign[i], base.Assign[i])
+			}
+		}
+		for c := range base.Centroids {
+			for j := range base.Centroids[c] {
+				if math.Float64bits(r.Centroids[c][j]) != math.Float64bits(base.Centroids[c][j]) {
+					t.Fatalf("workers=%d: centroid[%d][%d] = %v, want %v",
+						w, c, j, r.Centroids[c][j], base.Centroids[c][j])
+				}
+			}
+		}
+	}
+}
+
+// TestKMeansEarlyExit checks the stable-assignment early exit: on
+// well-separated clusters Lloyd converges long before MaxIters.
+func TestKMeansEarlyExit(t *testing.T) {
+	pts := clusteredPoints(300, 4, 3, 21)
+	r, err := KMeans(pts, DefaultKMeansConfig(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Iters >= 50 {
+		t.Fatalf("no early exit: %d iterations on trivially separable clusters", r.Iters)
+	}
+}
+
+// TestForestAndCVDeterministicAcrossWorkerCounts checks that per-tree seed
+// splitting keeps the fitted forest (and the cross-validation grid built on
+// top of classifiers like it) worker-count-invariant.
+func TestForestAndCVDeterministicAcrossWorkerCounts(t *testing.T) {
+	pts := clusteredPoints(200, 6, 4, 31)
+	d := Dataset{X: pts, Classes: 4}
+	for i := range pts {
+		d.Y = append(d.Y, i%4)
+	}
+	run := func(workers int) ([]int, []float64) {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		f := NewRandomForest(DefaultForestConfig(5))
+		if err := f.Fit(d); err != nil {
+			t.Fatal(err)
+		}
+		preds, err := PredictAll(f, d.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv, err := CrossValidate(func() Classifier { return NewRandomForest(DefaultForestConfig(5)) }, d, 4, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return preds, cv
+	}
+	basePreds, baseCV := run(1)
+	preds8, cv8 := run(8)
+	for i := range basePreds {
+		if preds8[i] != basePreds[i] {
+			t.Fatalf("forest pred[%d] = %d with 8 workers, want %d", i, preds8[i], basePreds[i])
+		}
+	}
+	for k := range baseCV {
+		if math.Float64bits(cv8[k]) != math.Float64bits(baseCV[k]) {
+			t.Fatalf("CV fold %d = %v with 8 workers, want %v", k, cv8[k], baseCV[k])
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/par"
 )
 
 // KMeansConfig controls Lloyd's algorithm.
@@ -12,7 +14,8 @@ type KMeansConfig struct {
 	K        int
 	MaxIters int
 	Seed     int64
-	// Tol stops iteration once total centroid movement falls below it.
+	// Tol stops iteration once the summed squared centroid movement falls
+	// below it (squared distances avoid a sqrt per centroid per iteration).
 	Tol float64
 }
 
@@ -35,9 +38,28 @@ type KMeansResult struct {
 // ErrBadK reports an invalid cluster count.
 var ErrBadK = errors.New("ml: k must be in [1, len(points)]")
 
+// kmeansShardGrain is the fixed shard size of the parallel assignment and
+// accumulation steps. Shard boundaries depend only on the point count, so
+// the shard-ordered reduction of centroid sums is bit-identical for any
+// worker count.
+const kmeansShardGrain = 256
+
+// kmeansShard accumulates one shard's contribution to the update step.
+type kmeansShard struct {
+	sums    [][]float64
+	counts  []int
+	changed int
+	inertia float64
+}
+
 // KMeans clusters points with kMeans++ initialisation followed by Lloyd
 // iterations. It is the quantiser behind the SIFT bag-of-words dictionary
-// (paper §VII-A: "clustered into 1000 clusters (using kMeans)").
+// (paper §VII-A: "clustered into 1000 clusters (using kMeans)"). The
+// assignment step — the O(n·k·d) hot loop — fans out over the par worker
+// pool; per-shard centroid sums are reduced in shard order, keeping the
+// fitted codebook bit-identical for any worker count. Assignment compares
+// squared distances (no sqrt per point×centroid) and iteration stops as
+// soon as no point changes cluster, skipping the redundant update pass.
 func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 	if len(points) == 0 {
 		return nil, ErrEmptyDataset
@@ -57,31 +79,70 @@ func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	cents := kmeansPlusPlus(points, cfg.K, rng)
 	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1 // no point "keeps" its cluster on the first pass
+	}
+	shardCount := par.NumShards(len(points), kmeansShardGrain)
+	shards := make([]kmeansShard, shardCount)
+	for s := range shards {
+		shards[s].sums = make([][]float64, cfg.K)
+		for c := range shards[s].sums {
+			shards[s].sums[c] = make([]float64, dim)
+		}
+		shards[s].counts = make([]int, cfg.K)
+	}
 	counts := make([]int, cfg.K)
 	iters := 0
 	for ; iters < cfg.MaxIters; iters++ {
-		// Assignment step.
-		for i, p := range points {
-			best, bd := 0, math.Inf(1)
-			for c, cent := range cents {
-				if d := SquaredL2(p, cent); d < bd {
-					best, bd = c, d
+		// Fused assignment + sharded accumulation (parallel).
+		par.ForShards(len(points), kmeansShardGrain, func(s, lo, hi int) {
+			sh := &shards[s]
+			for c := range sh.sums {
+				for j := range sh.sums[c] {
+					sh.sums[c][j] = 0
+				}
+				sh.counts[c] = 0
+			}
+			sh.changed = 0
+			for i := lo; i < hi; i++ {
+				p := points[i]
+				best, bd := 0, math.Inf(1)
+				for c, cent := range cents {
+					if d := SquaredL2(p, cent); d < bd {
+						best, bd = c, d
+					}
+				}
+				if assign[i] != best {
+					sh.changed++
+					assign[i] = best
+				}
+				sh.counts[best]++
+				sum := sh.sums[best]
+				for j, v := range p {
+					sum[j] += v
 				}
 			}
-			assign[i] = best
-		}
-		// Update step.
+		})
+		// Deterministic reduction in shard order.
+		changed := 0
 		next := make([][]float64, cfg.K)
 		for c := range next {
 			next[c] = make([]float64, dim)
 			counts[c] = 0
 		}
-		for i, p := range points {
-			c := assign[i]
-			counts[c]++
-			for j, v := range p {
-				next[c][j] += v
+		for s := range shards {
+			changed += shards[s].changed
+			for c := range next {
+				counts[c] += shards[s].counts[c]
+				for j, v := range shards[s].sums[c] {
+					next[c][j] += v
+				}
 			}
+		}
+		if changed == 0 {
+			// Assignments are stable, so recomputing centroids would
+			// reproduce the current ones exactly: converged.
+			break
 		}
 		moved := 0.0
 		for c := range next {
@@ -93,7 +154,7 @@ func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 					next[c][j] /= float64(counts[c])
 				}
 			}
-			moved += math.Sqrt(SquaredL2(next[c], cents[c]))
+			moved += SquaredL2(next[c], cents[c])
 		}
 		cents = next
 		if moved < cfg.Tol {
@@ -101,30 +162,48 @@ func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 			break
 		}
 	}
+	// Final inertia, reduced in shard order for bit-determinism.
+	par.ForShards(len(points), kmeansShardGrain, func(s, lo, hi int) {
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			acc += SquaredL2(points[i], cents[assign[i]])
+		}
+		shards[s].inertia = acc
+	})
 	inertia := 0.0
-	for i, p := range points {
-		inertia += SquaredL2(p, cents[assign[i]])
+	for s := range shards {
+		inertia += shards[s].inertia
 	}
 	return &KMeansResult{Centroids: cents, Assign: assign, Inertia: inertia, Iters: iters}, nil
 }
 
-// kmeansPlusPlus seeds centroids with D² weighting.
+// kmeansPlusPlus seeds centroids with D² weighting. The per-point nearest-
+// centroid distances fan out over the worker pool; the weight total is
+// reduced in shard order so the sampled seeds are worker-count-invariant.
 func kmeansPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
 	cents := make([][]float64, 0, k)
 	first := points[rng.Intn(len(points))]
 	cents = append(cents, append([]float64(nil), first...))
 	d2 := make([]float64, len(points))
+	partial := make([]float64, par.NumShards(len(points), kmeansShardGrain))
 	for len(cents) < k {
-		total := 0.0
-		for i, p := range points {
-			best := math.Inf(1)
-			for _, c := range cents {
-				if d := SquaredL2(p, c); d < best {
-					best = d
+		par.ForShards(len(points), kmeansShardGrain, func(s, lo, hi int) {
+			acc := 0.0
+			for i := lo; i < hi; i++ {
+				best := math.Inf(1)
+				for _, c := range cents {
+					if d := SquaredL2(points[i], c); d < best {
+						best = d
+					}
 				}
+				d2[i] = best
+				acc += best
 			}
-			d2[i] = best
-			total += best
+			partial[s] = acc
+		})
+		total := 0.0
+		for _, p := range partial {
+			total += p
 		}
 		var next []float64
 		if total == 0 {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"repro/internal/par"
 )
 
 // ConfusionMatrix counts predictions: M[actual][predicted].
@@ -183,6 +185,8 @@ var ErrBadFolds = errors.New("ml: folds must be in [2, len(dataset)]")
 
 // CrossValidate performs stratified-free k-fold cross-validation (the paper
 // uses 10-fold on the training split) and returns per-fold macro F1 scores.
+// Folds are independent, so they fan out over the par worker pool; results
+// are collected in fold order.
 func CrossValidate(f Factory, d Dataset, folds int, seed int64) ([]float64, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -191,8 +195,7 @@ func CrossValidate(f Factory, d Dataset, folds int, seed int64) ([]float64, erro
 		return nil, fmt.Errorf("%w: folds=%d n=%d", ErrBadFolds, folds, d.Len())
 	}
 	idx := shuffledIndices(d.Len(), seed)
-	scores := make([]float64, 0, folds)
-	for k := 0; k < folds; k++ {
+	return par.Map(folds, func(k int) (float64, error) {
 		lo := k * d.Len() / folds
 		hi := (k + 1) * d.Len() / folds
 		test := d.Subset(idx[lo:hi])
@@ -200,11 +203,10 @@ func CrossValidate(f Factory, d Dataset, folds int, seed int64) ([]float64, erro
 		train := d.Subset(trainIdx)
 		res, err := Evaluate(f(), train, test)
 		if err != nil {
-			return nil, fmt.Errorf("ml: fold %d: %w", k, err)
+			return 0, fmt.Errorf("ml: fold %d: %w", k, err)
 		}
-		scores = append(scores, res.MacroF1)
-	}
-	return scores, nil
+		return res.MacroF1, nil
+	})
 }
 
 // Mean returns the arithmetic mean of vs (zero for empty input).

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/par"
 )
 
 // TreeConfig controls decision-tree induction.
@@ -316,14 +318,15 @@ func NewRandomForest(cfg ForestConfig) *RandomForest {
 // Name implements Classifier.
 func (f *RandomForest) Name() string { return "RandomForest" }
 
-// Fit implements Classifier.
+// Fit implements Classifier. Each tree's bootstrap and split randomness is
+// derived from a per-tree seed split off the forest seed, so trees are
+// independent and train concurrently over the par worker pool while the
+// fitted ensemble stays identical for any worker count.
 func (f *RandomForest) Fit(d Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
 	f.classes, f.dim = d.Classes, d.Dim()
-	rng := rand.New(rand.NewSource(f.Cfg.Seed))
-	f.trees = make([]*DecisionTree, 0, f.Cfg.Trees)
 	maxFeats := f.Cfg.Tree.MaxFeatures
 	if maxFeats <= 0 {
 		maxFeats = int(math.Sqrt(float64(d.Dim())))
@@ -331,7 +334,8 @@ func (f *RandomForest) Fit(d Dataset) error {
 			maxFeats = 1
 		}
 	}
-	for t := 0; t < f.Cfg.Trees; t++ {
+	trees, err := par.Map(f.Cfg.Trees, func(t int) (*DecisionTree, error) {
+		rng := rand.New(rand.NewSource(par.SplitSeed(f.Cfg.Seed, t)))
 		// Bootstrap sample.
 		idx := make([]int, d.Len())
 		for i := range idx {
@@ -343,10 +347,14 @@ func (f *RandomForest) Fit(d Dataset) error {
 		cfg.Seed = rng.Int63()
 		tree := NewDecisionTree(cfg)
 		if err := tree.Fit(boot); err != nil {
-			return fmt.Errorf("ml: forest tree %d: %w", t, err)
+			return nil, fmt.Errorf("ml: forest tree %d: %w", t, err)
 		}
-		f.trees = append(f.trees, tree)
+		return tree, nil
+	})
+	if err != nil {
+		return err
 	}
+	f.trees = trees
 	return nil
 }
 

@@ -46,6 +46,11 @@ func (c *Conv2D) widx(oc, ic, ky, kx int) int {
 // Forward implements Layer.
 func (c *Conv2D) Forward(x []float64) []float64 {
 	c.lastX = x
+	return c.Infer(x)
+}
+
+// Infer implements Layer.
+func (c *Conv2D) Infer(x []float64) []float64 {
 	h, w := c.in.H, c.in.W
 	half := c.K / 2
 	y := make([]float64, c.OutC*h*w)
@@ -122,6 +127,21 @@ func (c *Conv2D) Update(lr, mu, scale float64) {
 	sgd(c.B, c.gB, c.vB, lr, mu, scale)
 }
 
+// shadow implements shadowLayer: aliased weights, owned gradient buffers.
+func (c *Conv2D) shadow() Layer {
+	return &Conv2D{
+		InC: c.InC, OutC: c.OutC, K: c.K, in: c.in, W: c.W, B: c.B,
+		gW: make([]float64, len(c.gW)), gB: make([]float64, len(c.gB)),
+	}
+}
+
+// absorb implements shadowLayer.
+func (c *Conv2D) absorb(s Layer) {
+	sh := s.(*Conv2D)
+	addInto(c.gW, sh.gW)
+	addInto(c.gB, sh.gB)
+}
+
 // Params implements Layer.
 func (c *Conv2D) Params() int { return len(c.W) + len(c.B) }
 
@@ -147,9 +167,21 @@ func (p *MaxPool2) OutShape(in Shape) Shape {
 
 // Forward implements Layer.
 func (p *MaxPool2) Forward(x []float64) []float64 {
+	y, argmax := p.pool(x)
+	p.argmax = argmax
+	return y
+}
+
+// Infer implements Layer.
+func (p *MaxPool2) Infer(x []float64) []float64 {
+	y, _ := p.pool(x)
+	return y
+}
+
+func (p *MaxPool2) pool(x []float64) ([]float64, []int) {
 	oh, ow := p.in.H/2, p.in.W/2
 	y := make([]float64, p.in.C*oh*ow)
-	p.argmax = make([]int, len(y))
+	argmax := make([]int, len(y))
 	for c := 0; c < p.in.C; c++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -165,12 +197,18 @@ func (p *MaxPool2) Forward(x []float64) []float64 {
 				}
 				out := (c*oh+oy)*ow + ox
 				y[out] = bv
-				p.argmax[out] = best
+				argmax[out] = best
 			}
 		}
 	}
-	return y
+	return y, argmax
 }
+
+// shadow implements shadowLayer.
+func (p *MaxPool2) shadow() Layer { return NewMaxPool2(p.in) }
+
+// absorb implements shadowLayer (no parameters).
+func (p *MaxPool2) absorb(Layer) {}
 
 // Backward implements Layer.
 func (p *MaxPool2) Backward(gradOut []float64) []float64 {
@@ -214,6 +252,15 @@ func (p *GlobalAvgPool) Forward(x []float64) []float64 {
 	}
 	return y
 }
+
+// Infer implements Layer (the forward pass is already stateless).
+func (p *GlobalAvgPool) Infer(x []float64) []float64 { return p.Forward(x) }
+
+// shadow implements shadowLayer.
+func (p *GlobalAvgPool) shadow() Layer { return NewGlobalAvgPool(p.in) }
+
+// absorb implements shadowLayer (no parameters).
+func (p *GlobalAvgPool) absorb(Layer) {}
 
 // Backward implements Layer.
 func (p *GlobalAvgPool) Backward(gradOut []float64) []float64 {

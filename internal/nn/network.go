@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/par"
 )
 
 // Network is a feed-forward stack of layers trained with softmax
@@ -54,6 +56,8 @@ func (n *Network) FLOPs() int64 {
 }
 
 // Forward runs the full network and returns the final activations (logits).
+// It retains per-layer state for a subsequent Backward, so it must not be
+// called concurrently; inference paths should use Infer instead.
 func (n *Network) Forward(x []float64) ([]float64, error) {
 	if len(x) != n.In.Size() {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrShapeMismatch, len(x), n.In.Size())
@@ -65,9 +69,24 @@ func (n *Network) Forward(x []float64) ([]float64, error) {
 	return a, nil
 }
 
+// Infer runs a stateless forward pass and returns the final activations.
+// It is safe for concurrent use while no training step is in flight, which
+// lets batch feature extraction fan out over the par worker pool.
+func (n *Network) Infer(x []float64) ([]float64, error) {
+	if len(x) != n.In.Size() {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrShapeMismatch, len(x), n.In.Size())
+	}
+	a := x
+	for _, l := range n.Layers {
+		a = l.Infer(a)
+	}
+	return a, nil
+}
+
 // FeatureVector runs the network through all but the last `skip` layers and
 // returns the penultimate activations — the "CNN feature" representation
-// the platform stores per image (paper §IV-A).
+// the platform stores per image (paper §IV-A). The pass is stateless and
+// safe for concurrent use.
 func (n *Network) FeatureVector(x []float64, skip int) ([]float64, error) {
 	if len(x) != n.In.Size() {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrShapeMismatch, len(x), n.In.Size())
@@ -77,7 +96,7 @@ func (n *Network) FeatureVector(x []float64, skip int) ([]float64, error) {
 	}
 	a := x
 	for _, l := range n.Layers[:len(n.Layers)-skip] {
-		a = l.Forward(a)
+		a = l.Infer(a)
 	}
 	out := make([]float64, len(a))
 	copy(out, a)
@@ -105,9 +124,10 @@ func Softmax(logits []float64) []float64 {
 	return out
 }
 
-// Predict returns the argmax class and its softmax probability.
+// Predict returns the argmax class and its softmax probability. It uses
+// the stateless inference path and is safe for concurrent use.
 func (n *Network) Predict(x []float64) (class int, prob float64, err error) {
-	logits, err := n.Forward(x)
+	logits, err := n.Infer(x)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -137,8 +157,43 @@ func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Epochs: 10, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 1}
 }
 
+// trainShardGrain is the number of batch items per gradient shard. It is a
+// fixed constant — never derived from the worker count — so the order of
+// gradient additions, and therefore every trained weight, is bit-identical
+// no matter how many workers par schedules.
+const trainShardGrain = 4
+
+// gradShards holds one shadow replica of the network's layers per batch
+// shard. Replicas alias the primary's weights but own gradient accumulators
+// and activation scratch, so shards backpropagate concurrently.
+type gradShards struct {
+	replicas [][]Layer
+	loss     []float64
+}
+
+// newGradShards builds replicas for up to maxShards concurrent shards, or
+// returns nil if any layer does not support shadowing (serial fallback).
+func newGradShards(layers []Layer, maxShards int) *gradShards {
+	g := &gradShards{replicas: make([][]Layer, maxShards), loss: make([]float64, maxShards)}
+	for s := range g.replicas {
+		rep := make([]Layer, len(layers))
+		for i, l := range layers {
+			sl, ok := l.(shadowLayer)
+			if !ok {
+				return nil
+			}
+			rep[i] = sl.shadow()
+		}
+		g.replicas[s] = rep
+	}
+	return g
+}
+
 // Train fits the network to (xs, ys) with softmax cross-entropy and returns
-// the final mean epoch loss.
+// the final mean epoch loss. Within each minibatch, forward/backward passes
+// fan out over the par worker pool in fixed-grain shards whose gradients
+// are reduced in shard order, so the fitted weights are bit-identical for
+// any worker count (including one).
 func (n *Network) Train(xs [][]float64, ys []int, cfg TrainConfig) (float64, error) {
 	if len(xs) == 0 {
 		return 0, errors.New("nn: empty training set")
@@ -161,6 +216,7 @@ func (n *Network) Train(xs [][]float64, ys []int, cfg TrainConfig) (float64, err
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 1
 	}
+	shards := newGradShards(n.Layers, par.NumShards(cfg.BatchSize, trainShardGrain))
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	order := make([]int, len(xs))
 	for i := range order {
@@ -176,19 +232,12 @@ func (n *Network) Train(xs [][]float64, ys []int, cfg TrainConfig) (float64, err
 				end = len(order)
 			}
 			batch := order[start:end]
-			for _, idx := range batch {
-				logits, err := n.Forward(xs[idx])
-				if err != nil {
-					return 0, err
-				}
-				p := Softmax(logits)
-				epochLoss += -math.Log(math.Max(p[ys[idx]], 1e-12))
-				// Gradient of softmax cross-entropy w.r.t. logits.
-				grad := make([]float64, len(p))
-				copy(grad, p)
-				grad[ys[idx]] -= 1
-				for i := len(n.Layers) - 1; i >= 0; i-- {
-					grad = n.Layers[i].Backward(grad)
+			if shards != nil {
+				epochLoss += n.batchStep(shards, xs, ys, batch)
+			} else {
+				// Serial fallback for networks with non-shadowable layers.
+				for _, idx := range batch {
+					epochLoss += n.sampleStep(n.Layers, xs[idx], ys[idx])
 				}
 			}
 			for _, l := range n.Layers {
@@ -203,18 +252,65 @@ func (n *Network) Train(xs [][]float64, ys []int, cfg TrainConfig) (float64, err
 	return lastLoss, nil
 }
 
+// sampleStep runs one forward/backward pass through the given layer stack,
+// accumulating gradients in it, and returns the sample's loss.
+func (n *Network) sampleStep(layers []Layer, x []float64, y int) float64 {
+	a := x
+	for _, l := range layers {
+		a = l.Forward(a)
+	}
+	p := Softmax(a)
+	loss := -math.Log(math.Max(p[y], 1e-12))
+	// Gradient of softmax cross-entropy w.r.t. logits.
+	grad := make([]float64, len(p))
+	copy(grad, p)
+	grad[y] -= 1
+	for i := len(layers) - 1; i >= 0; i-- {
+		grad = layers[i].Backward(grad)
+	}
+	return loss
+}
+
+// batchStep fans the minibatch out over fixed-grain shards, each owning a
+// shadow replica, then absorbs shard gradients into the primary layers in
+// shard index order (the deterministic reduction) and returns the batch
+// loss, summed in the same order.
+func (n *Network) batchStep(shards *gradShards, xs [][]float64, ys []int, batch []int) float64 {
+	count := par.NumShards(len(batch), trainShardGrain)
+	par.ForShards(len(batch), trainShardGrain, func(s, lo, hi int) {
+		rep := shards.replicas[s]
+		loss := 0.0
+		for _, idx := range batch[lo:hi] {
+			loss += n.sampleStep(rep, xs[idx], ys[idx])
+		}
+		shards.loss[s] = loss
+	})
+	total := 0.0
+	for s := 0; s < count; s++ {
+		for i, l := range n.Layers {
+			l.(shadowLayer).absorb(shards.replicas[s][i])
+		}
+		total += shards.loss[s]
+	}
+	return total
+}
+
 // Accuracy returns the fraction of samples whose argmax prediction matches.
+// Predictions fan out over the par worker pool.
 func (n *Network) Accuracy(xs [][]float64, ys []int) (float64, error) {
 	if len(xs) == 0 {
 		return 0, errors.New("nn: empty evaluation set")
 	}
-	correct := 0
-	for i := range xs {
+	hits, err := par.Map(len(xs), func(i int) (bool, error) {
 		c, _, err := n.Predict(xs[i])
-		if err != nil {
-			return 0, err
-		}
-		if c == ys[i] {
+		return c == ys[i], err
+	})
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for _, h := range hits {
+		if h {
 			correct++
 		}
 	}

@@ -35,6 +35,10 @@ type Layer interface {
 	// Forward computes the layer output for x (length in.Size()). The
 	// layer may retain x and intermediate state for the next Backward.
 	Forward(x []float64) []float64
+	// Infer computes the layer output for x without retaining any state.
+	// It is safe for concurrent use while no Update is in flight, which is
+	// what lets feature extraction fan out across a worker pool.
+	Infer(x []float64) []float64
 	// Backward consumes the gradient w.r.t. the layer output, accumulates
 	// parameter gradients, and returns the gradient w.r.t. the input.
 	Backward(gradOut []float64) []float64
@@ -45,6 +49,20 @@ type Layer interface {
 	Params() int
 	// FLOPs returns the multiply-accumulate cost of one forward pass.
 	FLOPs() int64
+}
+
+// shadowLayer is implemented by layers that support data-parallel training.
+// A shadow shares the primary's weights (read-only during a batch) but owns
+// its gradient accumulators and activation scratch, so several shadows can
+// run Forward/Backward concurrently over disjoint batch shards.
+type shadowLayer interface {
+	Layer
+	// shadow returns the shard-local replica of this layer.
+	shadow() Layer
+	// absorb adds the gradient accumulators of s (a layer previously
+	// returned by shadow) into the receiver's and zeroes s's. Absorbing
+	// shadows in shard index order keeps gradient sums bit-deterministic.
+	absorb(s Layer)
 }
 
 // xavier returns a weight initialisation scale for fanIn inputs.
@@ -82,6 +100,11 @@ func (d *Dense) OutShape(Shape) Shape { return Shape{C: d.Out, H: 1, W: 1} }
 // Forward implements Layer.
 func (d *Dense) Forward(x []float64) []float64 {
 	d.lastX = x
+	return d.Infer(x)
+}
+
+// Infer implements Layer.
+func (d *Dense) Infer(x []float64) []float64 {
 	y := make([]float64, d.Out)
 	for o := 0; o < d.Out; o++ {
 		row := d.W[o*d.In : (o+1)*d.In]
@@ -92,6 +115,31 @@ func (d *Dense) Forward(x []float64) []float64 {
 		y[o] = s
 	}
 	return y
+}
+
+// shadow implements shadowLayer: the replica aliases W and B (read-only
+// during a batch) and owns fresh gradient buffers; momentum state stays on
+// the primary because Update only ever runs there.
+func (d *Dense) shadow() Layer {
+	return &Dense{
+		In: d.In, Out: d.Out, W: d.W, B: d.B,
+		gW: make([]float64, len(d.gW)), gB: make([]float64, len(d.gB)),
+	}
+}
+
+// absorb implements shadowLayer.
+func (d *Dense) absorb(s Layer) {
+	sh := s.(*Dense)
+	addInto(d.gW, sh.gW)
+	addInto(d.gB, sh.gB)
+}
+
+// addInto adds src into dst elementwise and zeroes src.
+func addInto(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+		src[i] = 0
+	}
 }
 
 // Backward implements Layer.
@@ -158,6 +206,23 @@ func (r *ReLU) Forward(x []float64) []float64 {
 	}
 	return y
 }
+
+// Infer implements Layer.
+func (r *ReLU) Infer(x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+		}
+	}
+	return y
+}
+
+// shadow implements shadowLayer.
+func (r *ReLU) shadow() Layer { return NewReLU() }
+
+// absorb implements shadowLayer (no parameters).
+func (r *ReLU) absorb(Layer) {}
 
 // Backward implements Layer.
 func (r *ReLU) Backward(gradOut []float64) []float64 {

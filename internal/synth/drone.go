@@ -3,10 +3,12 @@ package synth
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"time"
 
 	"repro/internal/geo"
 	"repro/internal/imagesim"
+	"repro/internal/par"
 )
 
 // Drone-video generation for the paper's future-work direction (§VIII):
@@ -77,9 +79,13 @@ func (g *Generator) GenerateFlight(cfg FlightConfig) ([]DroneFrame, error) {
 	if cfg.Fire != nil && cfg.FireRadiusM <= 0 {
 		cfg.FireRadiusM = 60
 	}
-	out := make([]DroneFrame, 0, cfg.Frames)
 	stepM := cfg.SpeedMps * cfg.FrameIntervalS
-	for i := 0; i < cfg.Frames; i++ {
+	// Frames render concurrently, each from a split-off rng keyed by frame
+	// index, so the flight is bit-identical for any worker count.
+	base := g.rng.Int63()
+	out := make([]DroneFrame, cfg.Frames)
+	par.For(cfg.Frames, func(i int) {
+		rng := rand.New(rand.NewSource(par.SplitSeed(base, i)))
 		pos := geo.Destination(cfg.Start, cfg.HeadingDeg, stepM*float64(i))
 		fov := geo.FOV{
 			Camera: pos,
@@ -92,19 +98,19 @@ func (g *Generator) GenerateFlight(cfg FlightConfig) ([]DroneFrame, error) {
 		if cfg.Fire != nil {
 			smoke = geo.Haversine(pos, *cfg.Fire) <= cfg.FootprintM+cfg.FireRadiusM
 		}
-		out = append(out, DroneFrame{
-			Image:      g.renderAerial(cfg.ImageSize, smoke),
+		out[i] = DroneFrame{
+			Image:      g.renderAerial(rng, cfg.ImageSize, smoke),
 			FOV:        fov,
 			CapturedAt: cfg.StartTime.Add(time.Duration(float64(i)*cfg.FrameIntervalS*1000) * time.Millisecond),
 			Smoke:      smoke,
-		})
-	}
+		}
+	})
 	return out, nil
 }
 
 // renderAerial draws a top-down terrain tile, with a smoke plume when the
 // frame covers the fire.
-func (g *Generator) renderAerial(sz int, smoke bool) *imagesim.Image {
+func (g *Generator) renderAerial(rng *rand.Rand, sz int, smoke bool) *imagesim.Image {
 	img := imagesim.MustNew(sz, sz)
 	// Terrain: green-brown patchwork.
 	for y := 0; y < sz; y++ {
@@ -113,30 +119,30 @@ func (g *Generator) renderAerial(sz int, smoke bool) *imagesim.Image {
 			if (x/8+y/8)%2 == 1 {
 				base = imagesim.RGB{R: 130, G: 110, B: 70}
 			}
-			img.Set(x, y, jitterColor(g.rng, base, 12))
+			img.Set(x, y, jitterColor(rng, base, 12))
 		}
 	}
 	// A road or firebreak.
-	rx := g.rng.Intn(sz)
+	rx := rng.Intn(sz)
 	img.DrawLine(rx, 0, sz-1-rx, sz-1, imagesim.RGB{R: 170, G: 165, B: 155})
 	if smoke {
 		// Smoke plume: a bright-grey gradient blob trail with fire specks
 		// at its base.
-		bx := 8 + g.rng.Intn(sz-16)
-		by := 8 + g.rng.Intn(sz-16)
-		drift := g.rng.Float64()*2*math.Pi - math.Pi
+		bx := 8 + rng.Intn(sz-16)
+		by := 8 + rng.Intn(sz-16)
+		drift := rng.Float64()*2*math.Pi - math.Pi
 		for k := 0; k < 6; k++ {
 			cx := bx + int(float64(k*4)*math.Cos(drift))
 			cy := by + int(float64(k*4)*math.Sin(drift))
 			r := 3 + k
 			grey := uint8(150 + k*15)
-			img.FillCircle(cx, cy, r, jitterColor(g.rng, imagesim.RGB{R: grey, G: grey, B: grey}, 10))
+			img.FillCircle(cx, cy, r, jitterColor(rng, imagesim.RGB{R: grey, G: grey, B: grey}, 10))
 		}
 		for k := 0; k < 5; k++ {
-			img.Set(bx+g.rng.Intn(5)-2, by+g.rng.Intn(5)-2,
-				jitterColor(g.rng, imagesim.RGB{R: 230, G: 110, B: 30}, 20))
+			img.Set(bx+rng.Intn(5)-2, by+rng.Intn(5)-2,
+				jitterColor(rng, imagesim.RGB{R: 230, G: 110, B: 30}, 20))
 		}
 	}
-	g.applyIllumination(img)
-	return imagesim.AddGaussianNoise(img, 5, g.rng)
+	g.applyIllumination(rng, img)
+	return imagesim.AddGaussianNoise(img, 5, rng)
 }

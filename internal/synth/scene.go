@@ -10,6 +10,10 @@ import (
 // Scene rendering. Every class shares the same street backdrop (sky band,
 // building band, sidewalk, road) so that global colour statistics overlap
 // heavily; class identity lives mainly in object geometry.
+//
+// Every helper takes its randomness source as an explicit parameter so the
+// generator can hand each record an independent split-off rng and render
+// records concurrently without sharing state.
 
 func jitterColor(rng *rand.Rand, base imagesim.RGB, spread int) imagesim.RGB {
 	j := func(v uint8) uint8 {
@@ -26,7 +30,7 @@ func jitterColor(rng *rand.Rand, base imagesim.RGB, spread int) imagesim.RGB {
 }
 
 // renderBackdrop paints the common street scene.
-func (g *Generator) renderBackdrop(img *imagesim.Image) {
+func (g *Generator) renderBackdrop(rng *rand.Rand, img *imagesim.Image) {
 	sz := img.H
 	skyEnd := sz / 5
 	buildingEnd := sz / 2
@@ -48,23 +52,23 @@ func (g *Generator) renderBackdrop(img *imagesim.Image) {
 			base = road
 		}
 		for x := 0; x < img.W; x++ {
-			img.Set(x, y, jitterColor(g.rng, base, 10))
+			img.Set(x, y, jitterColor(rng, base, 10))
 		}
 	}
 	// Building windows give every class some texture.
 	for i := 0; i < 4; i++ {
-		wx := 2 + g.rng.Intn(img.W-8)
-		wy := skyEnd + 2 + g.rng.Intn(buildingEnd-skyEnd-6)
-		img.FillRect(wx, wy, wx+3, wy+4, jitterColor(g.rng, imagesim.RGB{R: 70, G: 80, B: 100}, 15))
+		wx := 2 + rng.Intn(img.W-8)
+		wy := skyEnd + 2 + rng.Intn(buildingEnd-skyEnd-6)
+		img.FillRect(wx, wy, wx+3, wy+4, jitterColor(rng, imagesim.RGB{R: 70, G: 80, B: 100}, 15))
 	}
 	// Street trees appear in every class with moderate probability, so
 	// green pixels alone cannot identify the vegetation class.
-	if g.rng.Float64() < 0.6 {
-		tx := 3 + g.rng.Intn(img.W-6)
-		ty := buildingEnd - 2 - g.rng.Intn(3)
+	if rng.Float64() < 0.6 {
+		tx := 3 + rng.Intn(img.W-6)
+		ty := buildingEnd - 2 - rng.Intn(3)
 		for i := 0; i < 25; i++ {
-			img.Set(tx+g.rng.Intn(7)-3, ty+g.rng.Intn(5)-2,
-				jitterColor(g.rng, imagesim.RGB{R: 60, G: 125, B: 50}, 30))
+			img.Set(tx+rng.Intn(7)-3, ty+rng.Intn(5)-2,
+				jitterColor(rng, imagesim.RGB{R: 60, G: 125, B: 50}, 30))
 		}
 		img.DrawLine(tx, ty+2, tx, sidewalkEnd, imagesim.RGB{R: 90, G: 70, B: 50})
 	}
@@ -76,10 +80,10 @@ func (g *Generator) renderBackdrop(img *imagesim.Image) {
 // factor (time of day) and a warm/cool colour cast. This is the main
 // reason global colour histograms generalise poorly across the corpus
 // while gradient-based and learned features stay informative.
-func (g *Generator) applyIllumination(img *imagesim.Image) {
-	bright := 0.55 + g.rng.Float64()*0.75
-	castR := 1 + (g.rng.Float64()-0.5)*0.3
-	castB := 1 + (g.rng.Float64()-0.5)*0.3
+func (g *Generator) applyIllumination(rng *rand.Rand, img *imagesim.Image) {
+	bright := 0.55 + rng.Float64()*0.75
+	castR := 1 + (rng.Float64()-0.5)*0.3
+	castB := 1 + (rng.Float64()-0.5)*0.3
 	scale := func(v uint8, f float64) uint8 {
 		x := float64(v) * f
 		if x > 255 {
@@ -143,29 +147,29 @@ func max3(a, b, c int) int {
 }
 
 // renderScene draws one class-conditional street scene.
-func (g *Generator) renderScene(c Class) *imagesim.Image {
+func (g *Generator) renderScene(rng *rand.Rand, c Class) *imagesim.Image {
 	sz := g.cfg.ImageSize
 	img := imagesim.MustNew(sz, sz)
-	g.renderBackdrop(img)
+	g.renderBackdrop(rng, img)
 	groundTop := sz / 2 // objects sit below the building band
 	switch c {
 	case BulkyItem:
-		g.renderBulky(img, groundTop)
+		g.renderBulky(rng, img, groundTop)
 	case IllegalDumping:
-		g.renderDumping(img, groundTop)
+		g.renderDumping(rng, img, groundTop)
 	case Encampment:
-		g.renderEncampment(img, groundTop)
+		g.renderEncampment(rng, img, groundTop)
 	case OvergrownVegetation:
-		g.renderVegetation(img, groundTop)
+		g.renderVegetation(rng, img, groundTop)
 	case Clean:
 		// The backdrop only, plus an occasional lamppost.
-		if g.rng.Float64() < 0.5 {
-			x := 4 + g.rng.Intn(sz-8)
+		if rng.Float64() < 0.5 {
+			x := 4 + rng.Intn(sz-8)
 			img.DrawLine(x, sz/4, x, sz*7/10, imagesim.RGB{R: 60, G: 60, B: 60})
 		}
 	}
-	g.applyIllumination(img)
-	return imagesim.AddGaussianNoise(img, 6, g.rng)
+	g.applyIllumination(rng, img)
+	return imagesim.AddGaussianNoise(img, 6, rng)
 }
 
 // Object base colours of the scene model. Tents and trash bags share a
@@ -190,21 +194,21 @@ var couchPalette = []imagesim.RGB{
 
 // renderBulky draws 1-2 couch/mattress silhouettes: a large slab with a
 // backrest — big rectangles, few but strong corners, varied colours.
-func (g *Generator) renderBulky(img *imagesim.Image, groundTop int) {
+func (g *Generator) renderBulky(rng *rand.Rand, img *imagesim.Image, groundTop int) {
 	sz := img.H
-	n := 1 + g.rng.Intn(2)
+	n := 1 + rng.Intn(2)
 	for i := 0; i < n; i++ {
-		w := sz/3 + g.rng.Intn(sz/4)
-		h := sz/6 + g.rng.Intn(sz/8)
-		x := g.rng.Intn(sz - w)
-		y := groundTop + g.rng.Intn(sz/3)
+		w := sz/3 + rng.Intn(sz/4)
+		h := sz/6 + rng.Intn(sz/8)
+		x := rng.Intn(sz - w)
+		y := groundTop + rng.Intn(sz/3)
 		if y+h >= sz {
 			y = sz - h - 1
 		}
-		body := jitterColor(g.rng, couchPalette[g.rng.Intn(len(couchPalette))], 25)
+		body := jitterColor(rng, couchPalette[rng.Intn(len(couchPalette))], 25)
 		img.FillRect(x, y, x+w, y+h, body)
 		// Backrest.
-		img.FillRect(x, y-h/2, x+w/4, y, jitterColor(g.rng, body, 10))
+		img.FillRect(x, y-h/2, x+w/4, y, jitterColor(rng, body, 10))
 		// Seat cushion seams.
 		img.DrawLine(x+w/2, y, x+w/2, y+h-1, imagesim.RGB{R: 90, G: 60, B: 40})
 	}
@@ -213,66 +217,66 @@ func (g *Generator) renderBulky(img *imagesim.Image, groundTop int) {
 // renderDumping draws a cluster of small dark grey-blue trash bags with
 // scattered litter around it — many small blobs and a distinctive
 // high-frequency debris halo, but a palette shared with tents.
-func (g *Generator) renderDumping(img *imagesim.Image, groundTop int) {
+func (g *Generator) renderDumping(rng *rand.Rand, img *imagesim.Image, groundTop int) {
 	sz := img.H
-	cx := 6 + g.rng.Intn(sz-12)
-	cy := groundTop + sz/6 + g.rng.Intn(sz/5)
-	n := 4 + g.rng.Intn(4)
+	cx := 6 + rng.Intn(sz-12)
+	cy := groundTop + sz/6 + rng.Intn(sz/5)
+	n := 4 + rng.Intn(4)
 	for i := 0; i < n; i++ {
-		x := cx + g.rng.Intn(13) - 6
-		y := cy + g.rng.Intn(9) - 4
-		r := 2 + g.rng.Intn(3)
-		bag := jitterColor(g.rng, bagBase, 20)
+		x := cx + rng.Intn(13) - 6
+		y := cy + rng.Intn(9) - 4
+		r := 2 + rng.Intn(3)
+		bag := jitterColor(rng, bagBase, 20)
 		img.FillCircle(x, y, r, bag)
 		// Highlight speck: sharp local contrast for the keypoint detector.
 		img.Set(x-1, y-1, imagesim.RGB{R: 180, G: 185, B: 195})
 	}
 	// Litter halo: loose debris scattered around the pile.
-	for i := 0; i < 14+g.rng.Intn(10); i++ {
-		x := cx + g.rng.Intn(25) - 12
-		y := cy + g.rng.Intn(15) - 7
-		img.Set(x, y, jitterColor(g.rng, imagesim.RGB{R: 190, G: 185, B: 170}, 40))
+	for i := 0; i < 14+rng.Intn(10); i++ {
+		x := cx + rng.Intn(25) - 12
+		y := cy + rng.Intn(15) - 7
+		img.Set(x, y, jitterColor(rng, imagesim.RGB{R: 190, G: 185, B: 170}, 40))
 	}
 }
 
 // renderEncampment draws 1-3 tents: grey-blue triangles. The palette
 // deliberately matches dumping bags so colour alone confuses the two —
 // the paper's Fig. 7 reports encampment as the hardest category.
-func (g *Generator) renderEncampment(img *imagesim.Image, groundTop int) {
+func (g *Generator) renderEncampment(rng *rand.Rand, img *imagesim.Image, groundTop int) {
 	sz := img.H
-	n := 1 + g.rng.Intn(3)
+	n := 1 + rng.Intn(3)
 	for i := 0; i < n; i++ {
 		// Tent sizes vary: distant tents shrink toward trash-bag scale,
 		// which is what makes encampment the hardest category.
-		w := sz/6 + g.rng.Intn(sz/4)
-		h := sz/9 + g.rng.Intn(sz/6)
+		w := sz/6 + rng.Intn(sz/4)
+		h := sz/9 + rng.Intn(sz/6)
 		// Occasionally a tent is partially cut by the image border.
-		x := g.rng.Intn(sz) - w/4
-		base := groundTop + sz/5 + g.rng.Intn(sz/5)
+		x := rng.Intn(sz) - w/4
+		base := groundTop + sz/5 + rng.Intn(sz/5)
 		if base >= sz {
 			base = sz - 1
 		}
-		tent := jitterColor(g.rng, tentBase, 20)
+		tent := jitterColor(rng, tentBase, 20)
 		fillTriangle(img, x, base, x+w, base, x+w/2, base-h, tent)
 		// Ridge seam.
-		img.DrawLine(x+w/2, base-h, x+w/2, base, jitterColor(g.rng, imagesim.RGB{R: 50, G: 55, B: 70}, 10))
+		img.DrawLine(x+w/2, base-h, x+w/2, base, jitterColor(rng, imagesim.RGB{R: 50, G: 55, B: 70}, 10))
 	}
 }
 
 // renderVegetation draws an overgrown patch: dense green speckle rising
 // from the sidewalk — a distinctive hue (easiest class in Fig. 7).
-func (g *Generator) renderVegetation(img *imagesim.Image, groundTop int) {
+func (g *Generator) renderVegetation(rng *rand.Rand, img *imagesim.Image, groundTop int) {
 	sz := img.H
-	x0 := g.rng.Intn(sz / 2)
-	w := sz/2 + g.rng.Intn(sz/3)
-	top := groundTop + g.rng.Intn(sz/6)
+	x0 := rng.Intn(sz / 2)
+	w := sz/2 + rng.Intn(sz/3)
+	top := groundTop + rng.Intn(sz/6)
 	for i := 0; i < sz*w/6; i++ {
-		x := x0 + g.rng.Intn(w)
+		x := x0 + rng.Intn(w)
 		// Denser near the ground.
-		y := top + int(math.Sqrt(g.rng.Float64())*float64(sz-top-1))
-		green := jitterColor(g.rng, vegBase, 30)
+		y := top + int(math.Sqrt(rng.Float64())*float64(sz-top-1))
+		green := jitterColor(rng, vegBase, 30)
 		img.Set(x, y, green)
-		if g.rng.Float64() < 0.2 {
+		if rng.Float64() < 0.2 {
 			img.Set(x, y-1, green)
 		}
 	}
@@ -292,21 +296,21 @@ var graffitiPalette = []imagesim.RGB{
 // (callers invoke it after renderScene, which has already applied
 // illumination; the tag keeps extra saturation, which is realistic for
 // fresh paint).
-func (g *Generator) renderGraffiti(img *imagesim.Image) {
+func (g *Generator) renderGraffiti(rng *rand.Rand, img *imagesim.Image) {
 	sz := img.H
 	bandTop := sz / 5
 	bandBottom := sz / 2
-	x0 := 3 + g.rng.Intn(sz-14)
-	y0 := bandTop + 2 + g.rng.Intn(bandBottom-bandTop-8)
-	c := graffitiPalette[g.rng.Intn(len(graffitiPalette))]
+	x0 := 3 + rng.Intn(sz-14)
+	y0 := bandTop + 2 + rng.Intn(bandBottom-bandTop-8)
+	c := graffitiPalette[rng.Intn(len(graffitiPalette))]
 	// A modest stroke run of overlapping blobs: distinctive hue, small
 	// footprint, so tags do not drown the cleanliness signal.
-	n := 3 + g.rng.Intn(3)
+	n := 3 + rng.Intn(3)
 	for i := 0; i < n; i++ {
-		img.FillCircle(x0+i*3, y0+g.rng.Intn(3)-1, 1+g.rng.Intn(2), jitterColor(g.rng, c, 15))
+		img.FillCircle(x0+i*3, y0+rng.Intn(3)-1, 1+rng.Intn(2), jitterColor(rng, c, 15))
 	}
-	if g.rng.Float64() < 0.5 {
-		c2 := graffitiPalette[g.rng.Intn(len(graffitiPalette))]
-		img.DrawLine(x0, y0+3, x0+n*3, y0+2, jitterColor(g.rng, c2, 15))
+	if rng.Float64() < 0.5 {
+		c2 := graffitiPalette[rng.Intn(len(graffitiPalette))]
+		img.DrawLine(x0, y0+3, x0+n*3, y0+2, jitterColor(rng, c2, 15))
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/imagesim"
+	"repro/internal/par"
 )
 
 // Class is a street-cleanliness label (paper Fig. 5).
@@ -154,42 +155,48 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	}
 	for c := Class(0); int(c) < NumClasses; c++ {
 		for i := 0; i < cfg.HotspotsPerClass; i++ {
-			g.hotspots[c] = append(g.hotspots[c], g.randomCityPoint(cfg.CityRadiusM*0.8))
+			g.hotspots[c] = append(g.hotspots[c], g.randomCityPoint(g.rng, cfg.CityRadiusM*0.8))
 		}
 	}
 	return g, nil
 }
 
-func (g *Generator) randomCityPoint(radius float64) geo.Point {
-	brg := g.rng.Float64() * 360
-	dist := math.Sqrt(g.rng.Float64()) * radius // uniform over the disc
+func (g *Generator) randomCityPoint(rng *rand.Rand, radius float64) geo.Point {
+	brg := rng.Float64() * 360
+	dist := math.Sqrt(rng.Float64()) * radius // uniform over the disc
 	return geo.Destination(g.cfg.Center, brg, dist)
 }
 
 // location samples a capture point: clustered classes (encampment,
 // dumping, vegetation) draw near a hotspot most of the time, others
 // uniformly over the city.
-func (g *Generator) location(c Class) geo.Point {
+func (g *Generator) location(rng *rand.Rand, c Class) geo.Point {
 	clustered := c == Encampment || c == IllegalDumping || c == OvergrownVegetation
-	if clustered && g.rng.Float64() < 0.8 {
-		h := g.hotspots[c][g.rng.Intn(len(g.hotspots[c]))]
-		brg := g.rng.Float64() * 360
-		dist := math.Abs(g.rng.NormFloat64()) * 400
+	if clustered && rng.Float64() < 0.8 {
+		h := g.hotspots[c][rng.Intn(len(g.hotspots[c]))]
+		brg := rng.Float64() * 360
+		dist := math.Abs(rng.NormFloat64()) * 400
 		return geo.Destination(h, brg, dist)
 	}
-	return g.randomCityPoint(g.cfg.CityRadiusM)
+	return g.randomCityPoint(rng, g.cfg.CityRadiusM)
 }
 
 // Generate renders n records (n <= 0 uses cfg.N) with a balanced class mix.
+// Rendering fans out over the par worker pool: each record draws from its
+// own rng seeded by splitting a per-call base seed with the record index,
+// so the corpus is bit-identical for any worker count. The base seed is
+// drawn serially from the generator's rng, so repeated Generate calls on
+// one generator produce fresh (but still seed-deterministic) records.
 func (g *Generator) Generate(n int) []Record {
 	if n <= 0 {
 		n = g.cfg.N
 	}
-	out := make([]Record, 0, n)
-	for i := 0; i < n; i++ {
-		c := Class(i % NumClasses)
-		out = append(out, g.Render(c))
-	}
+	base := g.rng.Int63()
+	out := make([]Record, n)
+	par.For(n, func(i int) {
+		rng := rand.New(rand.NewSource(par.SplitSeed(base, i)))
+		out[i] = g.render(rng, Class(i%NumClasses))
+	})
 	return out
 }
 
@@ -199,8 +206,14 @@ func (g *Generator) Hotspots(c Class) []geo.Point {
 	return append([]geo.Point(nil), g.hotspots[c]...)
 }
 
-// Render produces one record of the given class.
-func (g *Generator) Render(c Class) Record {
+// Render produces one record of the given class using the generator's
+// sequential rng. It is not safe for concurrent use; Generate is the
+// parallel batch path.
+func (g *Generator) Render(c Class) Record { return g.render(g.rng, c) }
+
+// render produces one record of the given class, drawing all randomness
+// from rng.
+func (g *Generator) render(rng *rand.Rand, c Class) Record {
 	// Graffiti is drawn independently of the cleanliness class, but
 	// dirtier blocks are tagged more often (the correlation §VII-B's
 	// cross-study looks for).
@@ -208,21 +221,21 @@ func (g *Generator) Render(c Class) Record {
 	if c == IllegalDumping || c == Encampment {
 		pGraffiti = 0.35
 	}
-	graffiti := g.rng.Float64() < pGraffiti
-	img := g.renderScene(c)
+	graffiti := rng.Float64() < pGraffiti
+	img := g.renderScene(rng, c)
 	if graffiti {
-		g.renderGraffiti(img)
+		g.renderGraffiti(rng, img)
 	}
-	cam := g.location(c)
+	cam := g.location(rng, c)
 	capTime := g.cfg.Start.
-		Add(time.Duration(g.rng.Intn(g.cfg.Days*24)) * time.Hour).
-		Add(time.Duration(g.rng.Intn(3600)) * time.Second)
-	upTime := capTime.Add(time.Duration(1+g.rng.Intn(240)) * time.Minute)
-	kws := []string{commonKeywords[g.rng.Intn(len(commonKeywords))]}
+		Add(time.Duration(rng.Intn(g.cfg.Days*24)) * time.Hour).
+		Add(time.Duration(rng.Intn(3600)) * time.Second)
+	upTime := capTime.Add(time.Duration(1+rng.Intn(240)) * time.Minute)
+	kws := []string{commonKeywords[rng.Intn(len(commonKeywords))]}
 	pool := classKeywords[c]
-	kws = append(kws, pool[g.rng.Intn(len(pool))])
-	if g.rng.Float64() < 0.5 {
-		kws = append(kws, pool[g.rng.Intn(len(pool))])
+	kws = append(kws, pool[rng.Intn(len(pool))])
+	if rng.Float64() < 0.5 {
+		kws = append(kws, pool[rng.Intn(len(pool))])
 	}
 	if graffiti {
 		kws = append(kws, "graffiti")
@@ -233,14 +246,14 @@ func (g *Generator) Render(c Class) Record {
 		Graffiti: graffiti,
 		FOV: geo.FOV{
 			Camera:    cam,
-			Direction: math.Floor(g.rng.Float64()*360*100) / 100,
-			Angle:     40 + g.rng.Float64()*40,
-			Radius:    60 + g.rng.Float64()*120,
+			Direction: math.Floor(rng.Float64()*360*100) / 100,
+			Angle:     40 + rng.Float64()*40,
+			Radius:    60 + rng.Float64()*120,
 		},
 		CapturedAt: capTime,
 		UploadedAt: upTime,
 		Keywords:   dedupe(kws),
-		WorkerID:   fmt.Sprintf("worker-%02d", g.rng.Intn(g.cfg.Workers)),
+		WorkerID:   fmt.Sprintf("worker-%02d", rng.Intn(g.cfg.Workers)),
 	}
 }
 

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/geo"
@@ -317,9 +318,10 @@ func TestSmokeFramesAreVisuallyDistinct(t *testing.T) {
 		return n
 	}
 	smokeTotal, clearTotal := 0, 0
+	rng := rand.New(rand.NewSource(99))
 	for i := 0; i < 10; i++ {
-		smokeTotal += greyish(g.renderAerial(48, true))
-		clearTotal += greyish(g.renderAerial(48, false))
+		smokeTotal += greyish(g.renderAerial(rng, 48, true))
+		clearTotal += greyish(g.renderAerial(rng, 48, false))
 	}
 	if smokeTotal <= clearTotal {
 		t.Fatalf("smoke frames not distinct: %d vs %d grey pixels", smokeTotal, clearTotal)
