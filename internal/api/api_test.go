@@ -1,7 +1,9 @@
 package api
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -603,5 +605,65 @@ func TestMethodNotAllowed(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+// TestCoverageRejectsInvalidGridParams locks in the queryInt contract:
+// malformed, zero, or negative rows/cols are a 400, never silently
+// coerced to the defaults (which used to mask caller bugs), while absent
+// params still mean the 10×10 default grid.
+func TestCoverageRejectsInvalidGridParams(t *testing.T) {
+	e := newEnv(t)
+	created, err := e.client.CreateCampaign(CampaignDTO{
+		Name:   "grid-check",
+		MinLat: 34.04, MinLon: -118.26, MaxLat: 34.07, MaxLon: -118.23,
+		TargetCoverage: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(t *testing.T, query string) *http.Response {
+		t.Helper()
+		url := fmt.Sprintf("%s/api/v1/campaigns/%d/coverage", e.srv.URL, created.ID)
+		if query != "" {
+			url += "?" + query
+		}
+		req, err := http.NewRequest("GET", url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", e.client.APIKey)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	for _, bad := range []string{"rows=abc", "rows=-3", "rows=0", "cols=1e3", "cols=10x"} {
+		if resp := get(t, bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	// An empty value counts as absent, like a missing param.
+	for _, q := range []string{"", "rows=4", "rows=4&cols=7", "rows=4&cols="} {
+		resp := get(t, q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%q: status = %d, want 200", q, resp.StatusCode)
+		}
+		var report CoverageReport
+		if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+			t.Fatal(err)
+		}
+		wantRows, wantCols := 10, 10
+		if q != "" {
+			wantRows = 4
+		}
+		if q == "rows=4&cols=7" {
+			wantCols = 7
+		}
+		if report.Rows != wantRows || report.Cols != wantCols {
+			t.Fatalf("%q: grid = %dx%d, want %dx%d", q, report.Rows, report.Cols, wantRows, wantCols)
+		}
 	}
 }

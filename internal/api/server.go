@@ -709,8 +709,16 @@ func (s *Server) handleCampaignCoverage(w http.ResponseWriter, r *http.Request) 
 		s.writeError(w, statusFor(err), err)
 		return
 	}
-	rows := queryInt(r, "rows", 10)
-	cols := queryInt(r, "cols", 10)
+	rows, err := queryInt(r, "rows", 10)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cols, err := queryInt(r, "cols", 10)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	model, err := crowd.NewCoverageModel(c.Region, rows, cols, 1, 1)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -725,14 +733,17 @@ func (s *Server) handleCampaignCoverage(w http.ResponseWriter, r *http.Request) 
 	s.writeJSON(w, http.StatusOK, report)
 }
 
-func queryInt(r *http.Request, key string, def int) int {
+// queryInt parses an optional positive-integer query parameter. An absent
+// parameter means def; a malformed, zero, or negative value is an error
+// for the caller to surface as 400, never silently coerced to def.
+func queryInt(r *http.Request, key string, def int) (int, error) {
 	v := r.URL.Query().Get(key)
 	if v == "" {
-		return def
+		return def, nil
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil || n <= 0 {
-		return def
+		return 0, fmt.Errorf("query param %s=%q: must be a positive integer", key, v)
 	}
-	return n
+	return n, nil
 }

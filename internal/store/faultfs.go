@@ -1,0 +1,94 @@
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// Fault-injection harness for crash-recovery tests. A faultFile sits
+// between the walWriter and the real file (via the newWALBackend hook)
+// and misbehaves once a configured byte offset — counted across all
+// writes through this backend — is reached. The three modes model the
+// three ways storage betrays a log writer:
+//
+//   - faultCut: the process dies before the crossing write hits the disk;
+//     nothing at or past the offset is persisted and every later
+//     operation fails, like writes after a kill.
+//   - faultShortWrite: the kernel persists only a prefix of the crossing
+//     write before the crash — the classic torn write.
+//   - faultBitFlip: one bit at the offset is silently inverted and the
+//     writer keeps going, modelling media corruption that only a
+//     checksum can catch.
+
+type faultMode int
+
+const (
+	faultCut faultMode = iota
+	faultShortWrite
+	faultBitFlip
+)
+
+var errFaultInjected = errors.New("store: fault injected")
+
+// faultFile wraps a WAL backend and injects a single fault at offset.
+type faultFile struct {
+	f       walBackend
+	mode    faultMode
+	offset  int64
+	written int64
+	tripped bool
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.tripped && ff.mode != faultBitFlip {
+		return 0, errFaultInjected
+	}
+	end := ff.written + int64(len(p))
+	if ff.mode == faultBitFlip {
+		if !ff.tripped && ff.written <= ff.offset && ff.offset < end {
+			q := append([]byte(nil), p...)
+			q[ff.offset-ff.written] ^= 0x40
+			p = q
+			ff.tripped = true
+		}
+		n, err := ff.f.Write(p)
+		ff.written += int64(n)
+		return n, err
+	}
+	if end <= ff.offset {
+		n, err := ff.f.Write(p)
+		ff.written += int64(n)
+		return n, err
+	}
+	ff.tripped = true
+	if ff.mode == faultCut || ff.offset <= ff.written {
+		return 0, errFaultInjected
+	}
+	n, err := ff.f.Write(p[:ff.offset-ff.written])
+	ff.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, errFaultInjected
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.tripped && ff.mode != faultBitFlip {
+		return errFaultInjected
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }
+
+// installFault routes every subsequently opened WAL backend through a
+// fresh faultFile and returns a func restoring the plain-file backend.
+// Offsets count bytes written through that backend, not absolute file
+// positions (they coincide for a log opened from scratch).
+func installFault(mode faultMode, offset int64) (restore func()) {
+	prev := newWALBackend
+	newWALBackend = func(f *os.File) walBackend {
+		return &faultFile{f: f, mode: mode, offset: offset}
+	}
+	return func() { newWALBackend = prev }
+}

@@ -124,4 +124,9 @@ var (
 	ErrDuplicate      = errors.New("store: duplicate")
 	ErrUnknownLabel   = errors.New("store: label out of range for classification")
 	ErrUnknownFeature = errors.New("store: no such feature kind for image")
+	// ErrWALCorrupt flags mid-log damage recovery cannot repair: a frame
+	// that fails its checksum (or is otherwise impossible) with intact
+	// data behind it. A torn tail is NOT corruption — that is repaired on
+	// open by truncating to the last whole frame.
+	ErrWALCorrupt = errors.New("store: WAL corrupt")
 )

@@ -69,6 +69,10 @@ type Store struct {
 	closed bool
 	// walOps counts mutations since the last snapshot (auto-compaction).
 	walOps int
+	// gen is the current snapshot generation; the live WAL carries the
+	// same number, which is how recovery tells a current log from a stale
+	// one left by a crash mid-compaction.
+	gen uint64
 }
 
 // Open creates or recovers a store.
@@ -92,11 +96,9 @@ func Open(cfg Config) (*Store, error) {
 			if err := s.loadSnapshot(snap); err != nil {
 				return nil, err
 			}
+			s.gen = snap.Generation
 		}
-		if err := replayWAL(cfg.Dir, s.applyOp); err != nil {
-			return nil, err
-		}
-		w, err := openWAL(cfg.Dir, cfg.SyncEveryWrite)
+		w, err := recoverWAL(cfg.Dir, s.gen, cfg.SyncEveryWrite, s.applyOp)
 		if err != nil {
 			return nil, err
 		}
@@ -313,21 +315,24 @@ func (s *Store) snapshotLocked() error {
 		st.Campaigns = append(st.Campaigns, c)
 	}
 	sort.Slice(st.Campaigns, func(i, j int) bool { return st.Campaigns[i].ID < st.Campaigns[j].ID })
+	st.Generation = s.gen + 1
 	if err := writeSnapshot(s.cfg.Dir, st); err != nil {
 		return err
 	}
-	// Reset the WAL: gob encoders carry stream state, so reopen.
+	// The snapshot now owns everything the old log held. Retire that log
+	// and start one tagged with the new generation; a crash anywhere
+	// between the snapshot rename and the new log's rename leaves a
+	// stale-generation WAL that recovery discards instead of replaying
+	// onto the already-complete snapshot.
 	if err := s.wal.close(); err != nil {
 		return err
 	}
-	if err := truncateWAL(s.cfg.Dir); err != nil {
-		return err
-	}
-	w, err := openWAL(s.cfg.Dir, s.cfg.SyncEveryWrite)
+	w, err := createWAL(s.cfg.Dir, st.Generation, nil, s.cfg.SyncEveryWrite)
 	if err != nil {
 		return err
 	}
 	s.wal = w
+	s.gen = st.Generation
 	s.walOps = 0
 	return nil
 }

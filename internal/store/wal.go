@@ -1,23 +1,62 @@
 package store
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 )
 
-// Durability layout: <dir>/snapshot.gob holds a full state image;
-// <dir>/wal.gob holds operations applied since the snapshot. Open loads
-// the snapshot (if any) and replays the WAL; Snapshot() compacts by
-// writing a fresh snapshot and truncating the WAL.
+// Durability layout: <dir>/snapshot.gob holds a full state image tagged
+// with a generation number; <dir>/wal.gob holds operations applied since
+// the snapshot of the same generation. Open loads the snapshot (if any),
+// replays a generation-matching WAL, and discards a stale one; Snapshot()
+// compacts by installing a fresh snapshot and starting a new log.
+//
+// WAL v2 record format. The file starts with a 16-byte header:
+//
+//	magic (8 bytes) | generation (8 bytes, little-endian)
+//
+// followed by self-delimiting frames:
+//
+//	payload length (4 bytes LE) | CRC32C of payload (4 bytes LE) | payload
+//
+// Each payload is one walOp encoded by a *fresh* gob encoder, so every
+// frame is a complete gob stream on its own. That independence is what
+// makes append-after-reopen safe: the v1 format shared one encoder per
+// file session, so each reopen restarted gob's type-descriptor numbering
+// mid-stream and the next replay died with "duplicate type received".
+//
+// Recovery walks frames until the first one that is incomplete or fails
+// its checksum at end-of-file — a torn write — and repairs the log by
+// truncating it there. A checksum failure or impossible length with
+// further data behind it is mid-log corruption and surfaces as
+// ErrWALCorrupt instead of being silently dropped. Legacy v1 logs (a bare
+// gob stream, recognisable because a gob stream can never begin with the
+// magic's first byte) are replayed once and rewritten in place as v2.
 
 const (
 	snapshotFile = "snapshot.gob"
 	walFile      = "wal.gob"
+
+	walHeaderSize      = 16
+	walFrameHeaderSize = 8
+	// maxWALRecord bounds a frame's claimed payload size; anything larger
+	// is treated as corruption rather than attempted as an allocation.
+	maxWALRecord = 1 << 28
 )
+
+// walMagic identifies a v2 log. The first byte (0xB6) can never open a
+// legacy v1 file: gob streams start with a uvarint byte count whose first
+// byte is either <= 0x7F or >= 0xF8, so 0xB6 is unreachable.
+var walMagic = [8]byte{0xB6, 'T', 'V', 'W', 'A', 'L', 'v', '2'}
+
+var walCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // walOp is one durable mutation. Exactly one payload field is set,
 // selected by Kind.
@@ -54,28 +93,67 @@ const (
 	opDeleteImage   = "delete_image"
 )
 
-// walWriter appends ops to the log file.
+// walBackend is the file surface the writer appends through. It exists so
+// fault-injection tests can interpose a failing or corrupting wrapper
+// (see faultfs.go) between the writer and the real file.
+type walBackend interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// newWALBackend wraps every freshly opened WAL file; tests swap it to
+// inject faults at chosen byte offsets.
+var newWALBackend = func(f *os.File) walBackend { return f }
+
+// walWriter appends CRC-framed ops to the log file.
 type walWriter struct {
-	f   *os.File
-	enc *gob.Encoder
+	b walBackend
 	// syncEvery forces an fsync per append (slower, stronger durability).
 	syncEvery bool
 }
 
-func openWAL(dir string, syncEvery bool) (*walWriter, error) {
-	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: opening WAL: %w", err)
-	}
-	return &walWriter{f: f, enc: gob.NewEncoder(f), syncEvery: syncEvery}, nil
+func walHeader(gen uint64) []byte {
+	h := make([]byte, walHeaderSize)
+	copy(h, walMagic[:])
+	binary.LittleEndian.PutUint64(h[8:], gen)
+	return h
 }
 
+// encodeFrame serialises one op as a self-contained frame: length, CRC32C,
+// then a payload produced by its own gob encoder.
+func encodeFrame(op walOp) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, walFrameHeaderSize))
+	if err := gob.NewEncoder(&buf).Encode(op); err != nil {
+		return nil, err
+	}
+	frame := buf.Bytes()
+	payload := frame[walFrameHeaderSize:]
+	if len(payload) > maxWALRecord {
+		// Refuse to write what recovery would refuse to read.
+		return nil, fmt.Errorf("op payload is %d bytes, over the %d-byte frame limit", len(payload), maxWALRecord)
+	}
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, walCRCTable))
+	return frame, nil
+}
+
+// append writes one op as a single frame (one Write call, so a crash
+// mid-append leaves at most one torn frame at the tail).
 func (w *walWriter) append(op walOp) error {
-	if err := w.enc.Encode(op); err != nil {
+	if w.b == nil {
+		return fmt.Errorf("store: appending WAL op %s: log closed", op.Kind)
+	}
+	frame, err := encodeFrame(op)
+	if err != nil {
+		return fmt.Errorf("store: encoding WAL op %s: %w", op.Kind, err)
+	}
+	if _, err := w.b.Write(frame); err != nil {
 		return fmt.Errorf("store: appending WAL op %s: %w", op.Kind, err)
 	}
 	if w.syncEvery {
-		if err := w.f.Sync(); err != nil {
+		if err := w.b.Sync(); err != nil {
 			return fmt.Errorf("store: syncing WAL: %w", err)
 		}
 	}
@@ -83,47 +161,239 @@ func (w *walWriter) append(op walOp) error {
 }
 
 func (w *walWriter) close() error {
-	if w == nil || w.f == nil {
+	if w == nil || w.b == nil {
 		return nil
 	}
-	err := w.f.Sync()
-	if cerr := w.f.Close(); err == nil {
+	err := w.b.Sync()
+	if cerr := w.b.Close(); err == nil {
 		err = cerr
 	}
-	w.f = nil
+	w.b = nil
 	return err
 }
 
-// replayWAL streams ops from the log, invoking apply for each. A
-// truncated trailing record (torn write) ends replay without error; any
-// other decode failure is surfaced.
-func replayWAL(dir string, apply func(walOp) error) error {
-	f, err := os.Open(filepath.Join(dir, walFile))
+// createWAL atomically installs a fresh generation-gen log containing ops
+// (nil for an empty log) and returns a writer positioned for append. The
+// temp-file + rename + directory-fsync sequence guarantees a crash leaves
+// either the previous log or the complete new one, never a half-written
+// header.
+func createWAL(dir string, gen uint64, ops []walOp, syncEvery bool) (*walWriter, error) {
+	path := filepath.Join(dir, walFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating WAL: %w", err)
+	}
+	b := newWALBackend(f)
+	fail := func(err error) (*walWriter, error) {
+		b.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("store: creating WAL: %w", err)
+	}
+	if _, err := b.Write(walHeader(gen)); err != nil {
+		return fail(err)
+	}
+	for _, op := range ops {
+		frame, err := encodeFrame(op)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := b.Write(frame); err != nil {
+			return fail(err)
+		}
+	}
+	if err := b.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(err)
+	}
+	if err := fsyncDir(dir); err != nil {
+		return fail(err)
+	}
+	return &walWriter{b: b, syncEvery: syncEvery}, nil
+}
+
+// openWALAppend opens an existing, already-validated log for appending.
+func openWALAppend(dir string, syncEvery bool) (*walWriter, error) {
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	return &walWriter{b: newWALBackend(f), syncEvery: syncEvery}, nil
+}
+
+// recoverWAL replays the log through apply, repairing crash damage as it
+// goes, and returns a writer ready for new appends. snapGen is the
+// generation of the snapshot recovery started from (0 when there is
+// none); a log from an older generation is a leftover of a crash between
+// snapshot install and WAL reset, and is discarded instead of replayed —
+// its ops are already inside the snapshot, and replaying them would
+// double-apply. Legacy v1 logs are replayed and migrated to v2 in place.
+func recoverWAL(dir string, snapGen uint64, syncEvery bool, apply func(walOp) error) (*walWriter, error) {
+	path := filepath.Join(dir, walFile)
+	// A crash can strand the temp file of an in-progress reset or
+	// migration; it never became durable state, so drop it.
+	os.Remove(path + ".tmp")
+
+	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return createWAL(dir, snapGen, nil, syncEvery)
 	}
 	if err != nil {
-		return fmt.Errorf("store: opening WAL for replay: %w", err)
+		return nil, fmt.Errorf("store: reading WAL: %w", err)
 	}
-	defer f.Close()
-	dec := gob.NewDecoder(f)
+
+	if len(data) > 0 && data[0] != walMagic[0] {
+		// Legacy v1: one continuous gob stream.
+		ops, err := decodeLegacyWAL(data)
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range ops {
+			if err := apply(op); err != nil {
+				return nil, fmt.Errorf("store: applying WAL op %s: %w", op.Kind, err)
+			}
+		}
+		return createWAL(dir, snapGen, ops, syncEvery)
+	}
+
+	if len(data) < walHeaderSize {
+		// Empty file, or a v2 header torn mid-write: nothing was durable
+		// yet, so restart with a clean log.
+		if err := os.Remove(path); err != nil {
+			return nil, fmt.Errorf("store: resetting torn WAL header: %w", err)
+		}
+		if err := fsyncDir(dir); err != nil {
+			return nil, err
+		}
+		return createWAL(dir, snapGen, nil, syncEvery)
+	}
+	if !bytes.Equal(data[:8], walMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic in WAL header", ErrWALCorrupt)
+	}
+	gen := binary.LittleEndian.Uint64(data[8:walHeaderSize])
+	if gen < snapGen {
+		// Stale log from before the current snapshot (crash landed between
+		// snapshot rename and WAL reset). Everything in it is already in
+		// the snapshot.
+		if err := os.Remove(path); err != nil {
+			return nil, fmt.Errorf("store: discarding stale WAL: %w", err)
+		}
+		if err := fsyncDir(dir); err != nil {
+			return nil, err
+		}
+		return createWAL(dir, snapGen, nil, syncEvery)
+	}
+	if gen > snapGen {
+		return nil, fmt.Errorf("%w: WAL generation %d ahead of snapshot generation %d (snapshot missing?)", ErrWALCorrupt, gen, snapGen)
+	}
+
+	off := walHeaderSize
+	torn := false
+	for off < len(data) {
+		if len(data)-off < walFrameHeaderSize {
+			torn = true
+			break
+		}
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length == 0 || length > maxWALRecord {
+			// A torn write is always a strict prefix of valid bytes, so a
+			// fully-present-but-impossible length means corruption.
+			return nil, fmt.Errorf("%w: frame at offset %d claims %d-byte payload", ErrWALCorrupt, off, length)
+		}
+		end := off + walFrameHeaderSize + length
+		if end > len(data) {
+			torn = true
+			break
+		}
+		payload := data[off+walFrameHeaderSize : end]
+		if crc32.Checksum(payload, walCRCTable) != sum {
+			if end == len(data) {
+				// Damage confined to the final frame is indistinguishable
+				// from a torn append; drop that frame and keep the prefix.
+				torn = true
+				break
+			}
+			return nil, fmt.Errorf("%w: checksum mismatch in frame at offset %d", ErrWALCorrupt, off)
+		}
+		var op walOp
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&op); err != nil {
+			return nil, fmt.Errorf("%w: undecodable frame at offset %d: %v", ErrWALCorrupt, off, err)
+		}
+		if err := apply(op); err != nil {
+			return nil, fmt.Errorf("store: applying WAL op %s: %w", op.Kind, err)
+		}
+		off = end
+	}
+	if torn {
+		// Repair on open: cut the torn tail so the log ends on a frame
+		// boundary and stays appendable.
+		if err := repairTornTail(path, int64(off)); err != nil {
+			return nil, err
+		}
+	}
+	return openWALAppend(dir, syncEvery)
+}
+
+func repairTornTail(path string, keep int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: repairing torn WAL tail: %w", err)
+	}
+	err = f.Truncate(keep)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: repairing torn WAL tail: %w", err)
+	}
+	return nil
+}
+
+// decodeLegacyWAL reads a v1 single-stream log, tolerating a torn tail
+// the same way the v1 replayer did.
+func decodeLegacyWAL(data []byte) ([]walOp, error) {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	var ops []walOp
 	for {
 		var op walOp
 		err := dec.Decode(&op)
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil
+			return ops, nil
 		}
 		if err != nil {
-			return fmt.Errorf("store: replaying WAL: %w", err)
+			return nil, fmt.Errorf("%w: legacy WAL: %v", ErrWALCorrupt, err)
 		}
-		if err := apply(op); err != nil {
-			return fmt.Errorf("store: applying WAL op %s: %w", op.Kind, err)
-		}
+		ops = append(ops, op)
 	}
 }
 
-// snapshotState is the gob-serialised full state.
+// fsyncDir makes a just-renamed or just-removed directory entry durable.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: syncing directory: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: syncing directory: %w", err)
+	}
+	return nil
+}
+
+// snapshotState is the gob-serialised full state. Generation pairs the
+// snapshot with the WAL that follows it; a legacy snapshot decodes with
+// Generation 0, matching legacy WALs.
 type snapshotState struct {
+	Generation      uint64
 	NextID          uint64
 	Images          []*Image
 	Features        []*Feature
@@ -159,10 +429,13 @@ func writeSnapshot(dir string, st *snapshotState) error {
 	if err := os.Rename(tmp, filepath.Join(dir, snapshotFile)); err != nil {
 		return fmt.Errorf("store: installing snapshot: %w", err)
 	}
-	return nil
+	return fsyncDir(dir)
 }
 
 func readSnapshot(dir string) (*snapshotState, error) {
+	// An interrupted writeSnapshot can leave a temp file behind; it was
+	// never installed, so it is dead weight.
+	os.Remove(filepath.Join(dir, snapshotFile+".tmp"))
 	f, err := os.Open(filepath.Join(dir, snapshotFile))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
@@ -176,12 +449,4 @@ func readSnapshot(dir string) (*snapshotState, error) {
 		return nil, fmt.Errorf("store: decoding snapshot: %w", err)
 	}
 	return &st, nil
-}
-
-func truncateWAL(dir string) error {
-	err := os.Truncate(filepath.Join(dir, walFile), 0)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	return err
 }

@@ -21,6 +21,13 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== crash-recovery property tests (race) =="
+# Torn-write recovery is its own gate: the kill-at-every-offset sweep, the
+# snapshot-crash interleaving, and the reopen-cycle regression must pass
+# under the race detector on every build, and a failure here should read
+# as "durability broke", not as a generic suite failure.
+go test -race -run 'TestKillAtEveryOffset|TestSnapshotPlusWALOffsetSweep|TestSnapshotCrashDiscardsStaleWAL|TestReopenMutateCycles|TestFaultInjectedTornWrites|TestBitFlipSurfacesCorruption|TestLegacyWALMigration' ./internal/store
+
 echo "== go test -race =="
 go test -race ./...
 
