@@ -7,6 +7,8 @@
 //	tvdp-bench -fig 6 -n 2000 -folds 10 # bigger corpus, paper's 10-fold CV
 //	tvdp-bench -ablations               # A1..A7
 //	tvdp-bench -fig all -scale paper    # paper-scale corpus (slow)
+//	tvdp-bench -figure serving          # mixed read/write throughput,
+//	                                    # baseline mutex vs concurrent path
 package main
 
 import (
@@ -23,19 +25,36 @@ import (
 func main() {
 	var (
 		fig       = flag.String("fig", "", "figure to regenerate: 6, 7, 8, or all")
+		figure    = flag.String("figure", "", "alias for -fig; also accepts \"serving\"")
 		ablations = flag.Bool("ablations", false, "run the A1..A7 ablation studies")
 		n         = flag.Int("n", 0, "override corpus size")
 		folds     = flag.Int("folds", 0, "cross-validation folds for Fig. 6 (0 = skip)")
 		scaleName = flag.String("scale", "default", "corpus scale: smoke, default, or paper")
 		seed      = flag.Int64("seed", 2, "experiment seed")
 		workers   = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = all CPUs); results are identical for any value")
+
+		clients  = flag.Int("clients", 8, "serving: concurrent workload clients")
+		readfrac = flag.Float64("readfrac", 0.5, "serving: fraction of ops that are reads")
+		duration = flag.Duration("duration", 2*time.Second, "serving: measured window per mode")
+		preload  = flag.Int("preload", 64, "serving: images preloaded before timing")
+		sync     = flag.Bool("sync", true, "serving: fsync every write (SyncEveryWrite)")
+		out      = flag.String("out", "BENCH_serving.json", "serving: output JSON path")
 	)
 	flag.Parse()
-	if *fig == "" && !*ablations {
+	if *fig == "" && *figure != "" && *figure != "serving" {
+		*fig = *figure
+	}
+	if *fig == "" && !*ablations && *figure != "serving" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	log.SetFlags(0)
+
+	if *figure == "serving" {
+		runServing(*clients, *readfrac, *duration, *preload, *sync, *seed, *out)
+		return
+	}
+
 	if *workers > 0 {
 		par.SetWorkers(*workers)
 	}
@@ -103,6 +122,26 @@ func main() {
 
 	if *ablations {
 		runAblations(*seed)
+	}
+}
+
+func runServing(clients int, readfrac float64, duration time.Duration, preload int, sync bool, seed int64, out string) {
+	cfg := experiments.ServingConfig{
+		Clients: clients, ReadFrac: readfrac, Duration: duration,
+		Preload: preload, Sync: sync, Seed: seed,
+	}
+	log.Printf("serving bench: %d clients, %.0f%% reads, %s per mode, sync=%v",
+		cfg.Clients, cfg.ReadFrac*100, cfg.Duration, cfg.Sync)
+	r, err := experiments.RunServing(cfg)
+	if err != nil {
+		log.Fatalf("serving: %v", err)
+	}
+	fmt.Println(r.Render())
+	if out != "" {
+		if err := r.WriteJSON(out); err != nil {
+			log.Fatalf("serving: writing %s: %v", out, err)
+		}
+		log.Printf("wrote %s", out)
 	}
 }
 

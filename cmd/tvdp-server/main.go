@@ -5,6 +5,12 @@
 //	tvdp-server -addr :8080 -dir ./data          # durable store
 //	tvdp-server -addr :8080 -demo 200            # seed a demo corpus,
 //	                                             # print a ready API key
+//	tvdp-server -addr :8080 -pprof :6060         # profiling side listener
+//
+// With -pprof, net/http/pprof is served on its own listener (never the
+// API address), so serving-path contention is inspectable live:
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //
 // The demo mode ingests a labelled synthetic street-scene corpus, trains
 // a cleanliness model over colour features, and prints a bootstrap API
@@ -14,6 +20,8 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -25,13 +33,26 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		dir  = flag.String("dir", "", "durability directory (empty = in-memory)")
-		demo = flag.Int("demo", 0, "seed N labelled synthetic images and train a demo model")
-		seed = flag.Int64("seed", 1, "demo corpus seed")
+		addr  = flag.String("addr", ":8080", "listen address")
+		dir   = flag.String("dir", "", "durability directory (empty = in-memory)")
+		demo  = flag.Int("demo", 0, "seed N labelled synthetic images and train a demo model")
+		seed  = flag.Int64("seed", 1, "demo corpus seed")
+		pprof = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. :6060); empty disables")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "tvdp ", log.LstdFlags)
+
+	if *pprof != "" {
+		// The pprof import registers its handlers on http.DefaultServeMux;
+		// serving that mux on a separate listener keeps the profiling
+		// surface off the API address.
+		go func() {
+			logger.Printf("pprof listening on %s", *pprof)
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				logger.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	p, err := tvdp.Open(tvdp.Config{Dir: *dir})
 	if err != nil {

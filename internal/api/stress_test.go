@@ -1,0 +1,152 @@
+package api
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Concurrent-serving stress: hammer upload/annotate/search on one server
+// from many goroutines and assert no write is lost and no read is torn.
+// Run under -race (scripts/ci.sh does) for the full data-race guarantee.
+func TestConcurrentServingStress(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.client.CreateClassification("street_cleanliness", []string{"Clean", "Dirty"}); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, perWriter, readers = 8, 8, 4
+	labels := []string{"Clean", "Dirty"}
+
+	type upload struct {
+		id    uint64
+		label string
+	}
+	var (
+		mu   sync.Mutex
+		done []upload
+	)
+	record := func(u upload) {
+		mu.Lock()
+		done = append(done, u)
+		mu.Unlock()
+	}
+	snapshot := func() []upload {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]upload(nil), done...)
+	}
+
+	errs := make(chan error, writers+readers)
+	var writeWG, readWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				req := sampleUpload(t, int64(w*1000+i+1))
+				up, err := e.client.UploadImage(req)
+				if err != nil {
+					errs <- fmt.Errorf("writer %d: upload: %w", w, err)
+					return
+				}
+				label := labels[(w+i)%len(labels)]
+				if err := e.client.Annotate(up.ID, AnnotateRequest{
+					Classification: "street_cleanliness", Label: label, Confidence: 1, Source: "human",
+				}); err != nil {
+					errs <- fmt.Errorf("writer %d: annotate %d: %w", w, up.ID, err)
+					return
+				}
+				record(upload{id: up.ID, label: label})
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func(r int) {
+			defer readWG.Done()
+			n := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n++
+				// Point reads over everything already acknowledged: a torn
+				// read would surface as a mismatched or partial row.
+				for _, u := range snapshot() {
+					meta, err := e.client.GetImage(u.id)
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: get %d: %w", r, u.id, err)
+						return
+					}
+					if meta.ID != u.id || len(meta.Keywords) == 0 || len(meta.FeatureKinds) == 0 {
+						errs <- fmt.Errorf("reader %d: torn read of %d: %+v", r, u.id, meta)
+						return
+					}
+				}
+				// Search across text and categorical planes; every hit must
+				// resolve (this store never deletes).
+				req := SearchRequest{Limit: 16}
+				req.Categorical = &struct {
+					Classification string  `json:"classification"`
+					Label          string  `json:"label"`
+					MinConfidence  float64 `json:"min_confidence"`
+				}{Classification: "street_cleanliness", Label: labels[n%len(labels)]}
+				res, err := e.client.Search(req)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: search: %w", r, err)
+					return
+				}
+				for _, hit := range res.Results {
+					if _, err := e.client.GetImage(hit.ID); err != nil {
+						errs <- fmt.Errorf("reader %d: search hit %d unreadable: %w", r, hit.ID, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// No lost writes: every acknowledged upload is present with its
+	// annotation, and the store holds exactly the acknowledged set.
+	final := snapshot()
+	if len(final) != writers*perWriter {
+		t.Fatalf("acknowledged %d uploads, want %d", len(final), writers*perWriter)
+	}
+	if n := e.st.NumImages(); n != writers*perWriter {
+		t.Fatalf("store holds %d images, want %d", n, writers*perWriter)
+	}
+	for _, u := range final {
+		meta, err := e.client.GetImage(u.id)
+		if err != nil {
+			t.Fatalf("lost write %d: %v", u.id, err)
+		}
+		found := false
+		for _, a := range meta.Annotations {
+			if a.Classification == "street_cleanliness" && a.Label == u.label {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("lost annotation on %d: %+v", u.id, meta.Annotations)
+		}
+	}
+	ids := e.st.ImageIDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("ImageIDs not strictly ascending under concurrent upload: %v", ids[i-1:i+1])
+		}
+	}
+}

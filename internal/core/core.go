@@ -230,12 +230,12 @@ func (p *Platform) NewCampaignRunner(c crowd.Campaign, rows, cols int, workers [
 	}
 	var existing []geo.FOV
 	for _, id := range p.Store.ImageIDs() {
-		img, err := p.Store.GetImage(id)
+		d, err := p.Store.Describe(id)
 		if err != nil {
 			continue
 		}
-		if c.Region.Intersects(img.Scene) {
-			existing = append(existing, img.FOV)
+		if c.Region.Intersects(d.Scene) {
+			existing = append(existing, d.FOV)
 		}
 	}
 	return crowd.NewRunner(c, model, workers, capture, existing, seed)

@@ -71,8 +71,13 @@ func (m *Image) Set(x, y int, c RGB) {
 	m.Pix[y*m.W+x] = c
 }
 
-// Clone returns a deep copy of m.
+// Clone returns a deep copy of m: the pixel buffer is freshly allocated,
+// so mutating the copy never touches the original raster. Cloning a nil
+// image yields nil.
 func (m *Image) Clone() *Image {
+	if m == nil {
+		return nil
+	}
 	out := &Image{W: m.W, H: m.H, Pix: make([]RGB, len(m.Pix))}
 	copy(out.Pix, m.Pix)
 	return out

@@ -340,22 +340,22 @@ func (e *Engine) filter(q Query, cands []candidate, plan *Plan) ([]candidate, er
 		plan.Steps = append(plan.Steps, "spatial filter")
 		r := *q.Spatial.Rect
 		preds = append(preds, func(c candidate) (bool, error) {
-			img, err := e.st.GetImage(c.id)
+			d, err := e.st.Describe(c.id)
 			if err != nil {
 				return false, err
 			}
-			return img.Scene.Intersects(r), nil
+			return d.Scene.Intersects(r), nil
 		})
 	}
 	if q.Temporal != nil && plan.Driving != "temporal" {
 		plan.Steps = append(plan.Steps, "temporal filter")
 		tc := *q.Temporal
 		preds = append(preds, func(c candidate) (bool, error) {
-			img, err := e.st.GetImage(c.id)
+			d, err := e.st.Describe(c.id)
 			if err != nil {
 				return false, err
 			}
-			ts := img.TimestampCapturing
+			ts := d.CapturedAt
 			return !ts.Before(tc.From) && !ts.After(tc.To), nil
 		})
 	}

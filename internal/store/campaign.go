@@ -37,37 +37,45 @@ func (s *Store) CreateCampaign(c CampaignRec) (uint64, error) {
 	if c.TargetCoverage <= 0 || c.TargetCoverage > 1 {
 		return 0, fmt.Errorf("%w: target coverage %.3f out of (0,1]", ErrInvalid, c.TargetCoverage)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	s.nextID++
-	c.ID = s.nextID
-	if err := s.applyCampaign(&c); err != nil {
+	c.ID = s.nextID.Add(1)
+	frame, err := s.encode(walOp{Kind: opAddCampaign, Campaign: &c})
+	if err != nil {
 		return 0, err
 	}
-	if err := s.log(walOp{Kind: opAddCampaign, Campaign: &c}); err != nil {
+	s.catalogMu.Lock()
+	if s.closed.Load() {
+		s.catalogMu.Unlock()
+		return 0, ErrClosed
+	}
+	if err := s.applyCampaign(&c); err != nil {
+		s.catalogMu.Unlock()
+		return 0, err
+	}
+	wait := s.enqueue(frame)
+	s.catalogMu.Unlock()
+	if err := s.awaitCommit(wait, 1); err != nil {
 		return 0, err
 	}
 	return c.ID, nil
 }
 
+// applyCampaign registers a campaign row. Callers hold catalogMu.
 func (s *Store) applyCampaign(c *CampaignRec) error {
 	if _, dup := s.campaigns[c.ID]; dup {
 		return fmt.Errorf("%w: campaign %d", ErrDuplicate, c.ID)
 	}
-	if c.ID > s.nextID {
-		s.nextID = c.ID
-	}
+	s.bumpNextID(c.ID)
 	s.campaigns[c.ID] = c
 	return nil
 }
 
 // GetCampaign returns a campaign by ID.
 func (s *Store) GetCampaign(id uint64) (CampaignRec, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
 	c, ok := s.campaigns[id]
 	if !ok {
 		return CampaignRec{}, fmt.Errorf("%w: campaign %d", ErrNotFound, id)
@@ -77,8 +85,8 @@ func (s *Store) GetCampaign(id uint64) (CampaignRec, error) {
 
 // Campaigns lists all campaigns sorted by ID.
 func (s *Store) Campaigns() []CampaignRec {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
 	out := make([]CampaignRec, 0, len(s.campaigns))
 	for _, c := range s.campaigns {
 		out = append(out, *c)
@@ -90,8 +98,8 @@ func (s *Store) Campaigns() []CampaignRec {
 // CampaignImages returns the IDs of images uploaded toward a campaign,
 // ascending.
 func (s *Store) CampaignImages(campaignID uint64) []uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.imagesMu.RLock()
+	defer s.imagesMu.RUnlock()
 	var out []uint64
 	for id, img := range s.images {
 		if img.CampaignID == campaignID {
@@ -103,11 +111,14 @@ func (s *Store) CampaignImages(campaignID uint64) []uint64 {
 }
 
 // FOVsInRegion returns the FOVs of all images whose scenes intersect the
-// region — the input to coverage measurement.
+// region — the input to coverage measurement. Lock order: imagesMu →
+// geoMu.
 func (s *Store) FOVsInRegion(r geo.Rect) []geo.FOV {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.imagesMu.RLock()
+	defer s.imagesMu.RUnlock()
+	s.geoMu.RLock()
 	ids := s.spatial.SearchRect(r)
+	s.geoMu.RUnlock()
 	out := make([]geo.FOV, 0, len(ids))
 	for _, id := range ids {
 		if img, ok := s.images[id]; ok {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -17,7 +18,9 @@ type Config struct {
 	// Dir is the durability directory; empty means memory-only (no WAL,
 	// no snapshots — used by tests and ephemeral pipelines).
 	Dir string
-	// SyncEveryWrite fsyncs the WAL per mutation.
+	// SyncEveryWrite makes every mutation block until its WAL batch is
+	// fsynced (the committer coalesces concurrent mutations into one
+	// fsync per batch).
 	SyncEveryWrite bool
 	// RTree sizes the spatial index nodes.
 	RTree index.RTreeConfig
@@ -41,12 +44,49 @@ func DefaultConfig() Config {
 }
 
 // Store is the engine. All exported methods are safe for concurrent use.
+//
+// Concurrency architecture: instead of one global RWMutex, state is
+// partitioned into subsystems, each guarded by its own RWMutex, so query
+// traffic over one index never contends with ingest touching another.
+//
+// Lock map (what each lock guards):
+//
+//	catalogMu — classifications, classByName, users, apiKeys, videos,
+//	            campaigns
+//	imagesMu  — images, ids (the sorted id slice)
+//	featMu    — features, visual LSH indexes, hybrid trees
+//	annMu     — annotations, byLabel
+//	kwMu      — keywords, text inverted index
+//	geoMu     — spatial R-tree, temporal index
+//
+// Lock ordering discipline: a goroutine that needs several locks MUST
+// acquire them in the order listed above (catalogMu first, geoMu last)
+// and may release them in any order. Skipping locks is fine; acquiring
+// out of order is a deadlock. Snapshot/Close take all six in order.
+//
+// nextID and closed are atomics so ID allocation and shutdown checks
+// never serialise on any subsystem. WAL durability is handled by the
+// group-commit committer (committer.go): mutations apply under their
+// subsystem locks, enqueue their pre-encoded frame while still holding
+// them (pinning log order to apply order), then release the locks and
+// block until the committer reports the batch durable.
 type Store struct {
-	mu  sync.RWMutex
 	cfg Config
 
-	nextID          uint64
-	images          map[uint64]*Image
+	catalogMu sync.RWMutex
+	imagesMu  sync.RWMutex
+	featMu    sync.RWMutex
+	annMu     sync.RWMutex
+	kwMu      sync.RWMutex
+	geoMu     sync.RWMutex
+
+	nextID atomic.Uint64
+	closed atomic.Bool
+
+	images map[uint64]*Image
+	// ids mirrors the images map keys in ascending order, maintained
+	// incrementally on add/delete so ImageIDs never re-sorts.
+	ids             []uint64
 	features        map[uint64]map[string][]float64
 	classifications map[uint64]*Classification
 	classByName     map[string]uint64
@@ -65,13 +105,17 @@ type Store struct {
 	text     *index.Inverted
 	temporal *index.Temporal
 
-	wal    *walWriter
-	closed bool
-	// walOps counts mutations since the last snapshot (auto-compaction).
-	walOps int
+	// com is the group-commit WAL committer (nil for memory-only stores).
+	com *walCommitter
+	// walOps counts committed mutations since the last snapshot
+	// (auto-compaction trigger); compactMu ensures one compaction runs at
+	// a time.
+	walOps    atomic.Int64
+	compactMu sync.Mutex
 	// gen is the current snapshot generation; the live WAL carries the
 	// same number, which is how recovery tells a current log from a stale
-	// one left by a crash mid-compaction.
+	// one left by a crash mid-compaction. Written only at Open (single
+	// threaded) and under all six locks in snapshotLocked.
 	gen uint64
 }
 
@@ -102,7 +146,7 @@ func Open(cfg Config) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.wal = w
+		s.com = newWALCommitter(w, cfg.SyncEveryWrite)
 	}
 	return s, nil
 }
@@ -113,6 +157,7 @@ func (s *Store) resetState() error {
 		return err
 	}
 	s.images = make(map[uint64]*Image)
+	s.ids = nil
 	s.features = make(map[uint64]map[string][]float64)
 	s.classifications = make(map[uint64]*Classification)
 	s.classByName = make(map[string]uint64)
@@ -128,41 +173,114 @@ func (s *Store) resetState() error {
 	s.hybrid = make(map[string]*index.HybridTree)
 	s.text = index.NewInverted()
 	s.temporal = index.NewTemporal()
-	s.nextID = 0
+	s.nextID.Store(0)
 	return nil
 }
 
-// Close flushes and closes the WAL. Further operations fail with
-// ErrClosed.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil
-	}
-	s.closed = true
-	return s.wal.close()
+// lockAll / unlockAll take or release every subsystem lock in the
+// documented order (used by Snapshot and Close to quiesce the store).
+func (s *Store) lockAll() {
+	s.catalogMu.Lock()
+	s.imagesMu.Lock()
+	s.featMu.Lock()
+	s.annMu.Lock()
+	s.kwMu.Lock()
+	s.geoMu.Lock()
 }
 
-// log appends an op when durability is enabled, auto-compacting when the
-// configured threshold is crossed. Callers hold the write lock.
-func (s *Store) log(op walOp) error {
-	if s.wal == nil {
-		return nil
-	}
-	if err := s.wal.append(op); err != nil {
-		return err
-	}
-	s.walOps++
-	if s.cfg.SnapshotEvery > 0 && s.walOps >= s.cfg.SnapshotEvery {
-		if err := s.snapshotLocked(); err != nil {
-			return fmt.Errorf("store: auto-compaction: %w", err)
+func (s *Store) unlockAll() {
+	s.geoMu.Unlock()
+	s.kwMu.Unlock()
+	s.annMu.Unlock()
+	s.featMu.Unlock()
+	s.imagesMu.Unlock()
+	s.catalogMu.Unlock()
+}
+
+// bumpNextID raises the allocator to at least id (replay/snapshot load).
+func (s *Store) bumpNextID(id uint64) {
+	for {
+		cur := s.nextID.Load()
+		if id <= cur || s.nextID.CompareAndSwap(cur, id) {
+			return
 		}
 	}
+}
+
+// Close flushes and closes the WAL. Further mutations fail with
+// ErrClosed; reads keep working against the in-memory state.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	// Quiesce: in-flight mutations finish applying and enqueueing before
+	// the committer drains and closes the log.
+	s.lockAll()
+	s.unlockAll()
+	if s.com == nil {
+		return nil
+	}
+	return s.com.close()
+}
+
+// encode pre-serialises an op into a WAL frame outside any lock; nil
+// frame means durability is disabled.
+func (s *Store) encode(op walOp) ([]byte, error) {
+	if s.com == nil {
+		return nil, nil
+	}
+	frame, err := encodeFrame(op)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding WAL op %s: %w", op.Kind, err)
+	}
+	return frame, nil
+}
+
+// enqueue hands a frame to the committer. Callers hold the write lock of
+// every subsystem the op touched, which pins log order to apply order.
+func (s *Store) enqueue(frame []byte) <-chan error { return s.enqueueN(frame, 1) }
+
+func (s *Store) enqueueN(frame []byte, ops uint64) <-chan error {
+	if s.com == nil || frame == nil {
+		return nil
+	}
+	return s.com.enqueue(frame, ops)
+}
+
+// awaitCommit blocks until the batch containing the caller's frame is
+// durable, then drives auto-compaction if the threshold was crossed.
+// Called with no locks held.
+func (s *Store) awaitCommit(wait <-chan error, ops int) error {
+	if wait == nil {
+		return nil
+	}
+	if err := <-wait; err != nil {
+		return err
+	}
+	if s.cfg.SnapshotEvery > 0 && int(s.walOps.Add(int64(ops))) >= s.cfg.SnapshotEvery {
+		return s.maybeCompact()
+	}
 	return nil
 }
 
-// applyOp replays one WAL op into in-memory state (no re-logging).
+// maybeCompact runs at most one auto-compaction at a time; concurrent
+// crossers skip rather than queueing up behind each other.
+func (s *Store) maybeCompact() error {
+	if !s.compactMu.TryLock() {
+		return nil
+	}
+	defer s.compactMu.Unlock()
+	if int(s.walOps.Load()) < s.cfg.SnapshotEvery {
+		return nil // a racing compaction already reset the counter
+	}
+	if err := s.Snapshot(); err != nil {
+		return fmt.Errorf("store: auto-compaction: %w", err)
+	}
+	return nil
+}
+
+// applyOp replays one WAL op into in-memory state (no re-logging). Used
+// by recovery only, before the store is shared.
 func (s *Store) applyOp(op walOp) error {
 	switch op.Kind {
 	case opAddImage:
@@ -238,31 +356,33 @@ func (s *Store) loadSnapshot(st *snapshotState) error {
 			return err
 		}
 	}
-	s.nextID = st.NextID
+	s.nextID.Store(st.NextID)
 	return nil
 }
 
 // Snapshot compacts durability state: writes a full snapshot and
 // truncates the WAL. No-op for memory-only stores.
 func (s *Store) Snapshot() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	return s.snapshotLocked()
 }
 
-// snapshotLocked is Snapshot with the write lock already held.
+// snapshotLocked is Snapshot with every subsystem lock already held.
 func (s *Store) snapshotLocked() error {
 	if s.cfg.Dir == "" {
 		return nil
 	}
-	st := &snapshotState{NextID: s.nextID}
-	for _, img := range s.images {
-		st.Images = append(st.Images, img)
+	st := &snapshotState{NextID: s.nextID.Load()}
+	for _, id := range s.ids {
+		st.Images = append(st.Images, s.images[id])
 	}
-	sort.Slice(st.Images, func(i, j int) bool { return st.Images[i].ID < st.Images[j].ID })
 	for id, kinds := range s.features {
 		for kind, vec := range kinds {
 			st.Features = append(st.Features, &Feature{ImageID: id, Kind: kind, Vec: vec})
@@ -319,21 +439,19 @@ func (s *Store) snapshotLocked() error {
 	if err := writeSnapshot(s.cfg.Dir, st); err != nil {
 		return err
 	}
-	// The snapshot now owns everything the old log held. Retire that log
-	// and start one tagged with the new generation; a crash anywhere
-	// between the snapshot rename and the new log's rename leaves a
-	// stale-generation WAL that recovery discards instead of replaying
-	// onto the already-complete snapshot.
-	if err := s.wal.close(); err != nil {
+	// The snapshot now owns everything the old log held (including any
+	// applied-but-unflushed frames, which rotate drains into the retiring
+	// log first). Start a log tagged with the new generation; a crash
+	// anywhere between the snapshot rename and the new log's rename
+	// leaves a stale-generation WAL that recovery discards instead of
+	// replaying onto the already-complete snapshot.
+	if err := s.com.rotate(func() (*walWriter, error) {
+		return createWAL(s.cfg.Dir, st.Generation, nil, s.cfg.SyncEveryWrite)
+	}); err != nil {
 		return err
 	}
-	w, err := createWAL(s.cfg.Dir, st.Generation, nil, s.cfg.SyncEveryWrite)
-	if err != nil {
-		return err
-	}
-	s.wal = w
 	s.gen = st.Generation
-	s.walOps = 0
+	s.walOps.Store(0)
 	return nil
 }
 
@@ -354,31 +472,44 @@ func (s *Store) AddImage(img Image) (uint64, error) {
 	if img.TimestampUploading.IsZero() {
 		img.TimestampUploading = img.TimestampCapturing
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	s.nextID++
-	img.ID = s.nextID
+	img.ID = s.nextID.Add(1)
 	img.Scene = img.FOV.SceneLocation()
-	if err := s.applyImage(&img); err != nil {
+	frame, err := s.encode(walOp{Kind: opAddImage, Image: &img})
+	if err != nil {
 		return 0, err
 	}
-	if err := s.log(walOp{Kind: opAddImage, Image: &img}); err != nil {
+	s.imagesMu.Lock()
+	s.geoMu.Lock()
+	unlock := func() { s.geoMu.Unlock(); s.imagesMu.Unlock() }
+	if s.closed.Load() {
+		unlock()
+		return 0, ErrClosed
+	}
+	if err := s.applyImage(&img); err != nil {
+		unlock()
+		return 0, err
+	}
+	wait := s.enqueue(frame)
+	unlock()
+	if err := s.awaitCommit(wait, 1); err != nil {
 		return 0, err
 	}
 	return img.ID, nil
 }
 
+// applyImage inserts one image row plus its spatial/temporal index
+// entries. Callers hold imagesMu and geoMu (or are single-threaded
+// recovery).
 func (s *Store) applyImage(img *Image) error {
 	if _, dup := s.images[img.ID]; dup {
 		return fmt.Errorf("%w: image %d", ErrDuplicate, img.ID)
 	}
-	if img.ID > s.nextID {
-		s.nextID = img.ID
-	}
+	s.bumpNextID(img.ID)
 	s.images[img.ID] = img
+	s.idsInsert(img.ID)
 	if err := s.spatial.Insert(index.SpatialItem{ID: img.ID, Rect: img.Scene}); err != nil {
 		return err
 	}
@@ -386,49 +517,135 @@ func (s *Store) applyImage(img *Image) error {
 	return nil
 }
 
-// GetImage returns a copy of the stored image.
+// idsInsert keeps the sorted id slice sorted on insert. Appends are O(1)
+// for the common monotonically-increasing case; out-of-order ids (WAL
+// replay of concurrent adds) binary-search their slot.
+func (s *Store) idsInsert(id uint64) {
+	n := len(s.ids)
+	if n == 0 || s.ids[n-1] < id {
+		s.ids = append(s.ids, id)
+		return
+	}
+	i := sort.Search(n, func(k int) bool { return s.ids[k] >= id })
+	s.ids = append(s.ids, 0)
+	copy(s.ids[i+1:], s.ids[i:])
+	s.ids[i] = id
+}
+
+// idsDelete removes one id from the sorted slice.
+func (s *Store) idsDelete(id uint64) {
+	i := sort.Search(len(s.ids), func(k int) bool { return s.ids[k] >= id })
+	if i < len(s.ids) && s.ids[i] == id {
+		s.ids = append(s.ids[:i], s.ids[i+1:]...)
+	}
+}
+
+// GetImage returns a copy of the stored image. The pixel raster is
+// deep-copied: under the concurrent serving path a caller mutating the
+// returned pixels must never corrupt indexed state.
 func (s *Store) GetImage(id uint64) (Image, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.imagesMu.RLock()
 	img, ok := s.images[id]
 	if !ok {
+		s.imagesMu.RUnlock()
 		return Image{}, fmt.Errorf("%w: image %d", ErrNotFound, id)
 	}
-	return *img, nil
+	out := *img
+	s.imagesMu.RUnlock()
+	// Stored pixel buffers are written once at ingest and never mutated
+	// by the store, so the deep copy is safe outside the lock.
+	out.Pixels = out.Pixels.Clone()
+	return out, nil
+}
+
+// Descriptor is the index-relevant slice of an image row — everything
+// but the pixel raster. Query filtering uses it to avoid deep-copying
+// pixels per candidate.
+type Descriptor struct {
+	ID         uint64
+	FOV        geo.FOV
+	Scene      geo.Rect
+	CapturedAt time.Time
+	Origin     ImageOrigin
+	ParentID   uint64
+	WorkerID   string
+	CampaignID uint64
+	VideoID    uint64
+}
+
+// Describe returns an image's descriptor without copying pixels.
+func (s *Store) Describe(id uint64) (Descriptor, error) {
+	s.imagesMu.RLock()
+	defer s.imagesMu.RUnlock()
+	img, ok := s.images[id]
+	if !ok {
+		return Descriptor{}, fmt.Errorf("%w: image %d", ErrNotFound, id)
+	}
+	return Descriptor{
+		ID:         img.ID,
+		FOV:        img.FOV,
+		Scene:      img.Scene,
+		CapturedAt: img.TimestampCapturing,
+		Origin:     img.Origin,
+		ParentID:   img.ParentID,
+		WorkerID:   img.WorkerID,
+		CampaignID: img.CampaignID,
+		VideoID:    img.VideoID,
+	}, nil
 }
 
 // NumImages returns the image count.
 func (s *Store) NumImages() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.imagesMu.RLock()
+	defer s.imagesMu.RUnlock()
 	return len(s.images)
 }
 
-// ImageIDs returns all image IDs in ascending order.
+// ImageIDs returns all image IDs in ascending order. The slice is
+// maintained incrementally on add/delete, so this is a straight copy —
+// no per-call sort.
 func (s *Store) ImageIDs() []uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]uint64, 0, len(s.images))
-	for id := range s.images {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	s.imagesMu.RLock()
+	defer s.imagesMu.RUnlock()
+	return append([]uint64(nil), s.ids...)
 }
 
 // DeleteImage removes an image and all dependent rows and index entries.
 func (s *Store) DeleteImage(id uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	frame, err := s.encode(walOp{Kind: opDeleteImage, DeleteImageID: id})
+	if err != nil {
+		return err
+	}
+	s.imagesMu.Lock()
+	s.featMu.Lock()
+	s.annMu.Lock()
+	s.kwMu.Lock()
+	s.geoMu.Lock()
+	unlock := func() {
+		s.geoMu.Unlock()
+		s.kwMu.Unlock()
+		s.annMu.Unlock()
+		s.featMu.Unlock()
+		s.imagesMu.Unlock()
+	}
+	if s.closed.Load() {
+		unlock()
 		return ErrClosed
 	}
 	if err := s.applyDeleteImage(id); err != nil {
+		unlock()
 		return err
 	}
-	return s.log(walOp{Kind: opDeleteImage, DeleteImageID: id})
+	wait := s.enqueue(frame)
+	unlock()
+	return s.awaitCommit(wait, 1)
 }
 
+// applyDeleteImage unlinks an image from every subsystem. Callers hold
+// imagesMu, featMu, annMu, kwMu, and geoMu.
 func (s *Store) applyDeleteImage(id uint64) error {
 	img, ok := s.images[id]
 	if !ok {
@@ -449,6 +666,7 @@ func (s *Store) applyDeleteImage(id uint64) error {
 	delete(s.features, id)
 	delete(s.keywords, id)
 	delete(s.images, id)
+	s.idsDelete(id)
 	return nil
 }
 
@@ -470,21 +688,37 @@ func (s *Store) PutFeature(imageID uint64, kind string, vec []float64) error {
 	if kind == "" || len(vec) == 0 {
 		return fmt.Errorf("%w: empty feature kind or vector", ErrInvalid)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	f := &Feature{ImageID: imageID, Kind: kind, Vec: append([]float64(nil), vec...)}
+	frame, err := s.encode(walOp{Kind: opAddFeature, Feature: f})
+	if err != nil {
+		return err
+	}
+	s.imagesMu.RLock()
+	s.featMu.Lock()
+	unlock := func() { s.featMu.Unlock(); s.imagesMu.RUnlock() }
+	if s.closed.Load() {
+		unlock()
 		return ErrClosed
 	}
 	if _, ok := s.images[imageID]; !ok {
+		unlock()
 		return fmt.Errorf("%w: image %d", ErrNotFound, imageID)
 	}
-	f := &Feature{ImageID: imageID, Kind: kind, Vec: append([]float64(nil), vec...)}
 	if err := s.applyFeature(f); err != nil {
+		unlock()
 		return err
 	}
-	return s.log(walOp{Kind: opAddFeature, Feature: f})
+	wait := s.enqueue(frame)
+	unlock()
+	return s.awaitCommit(wait, 1)
 }
 
+// applyFeature stores one vector and maintains LSH/hybrid indexes.
+// Callers hold featMu plus at least a read lock on imagesMu (the hybrid
+// path reads the image's scene rect).
 func (s *Store) applyFeature(f *Feature) error {
 	kinds := s.features[f.ImageID]
 	if kinds == nil {
@@ -531,8 +765,8 @@ func (s *Store) applyFeature(f *Feature) error {
 
 // GetFeature returns the stored vector of one kind for an image.
 func (s *Store) GetFeature(imageID uint64, kind string) ([]float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.featMu.RLock()
+	defer s.featMu.RUnlock()
 	vec, ok := s.features[imageID][kind]
 	if !ok {
 		return nil, fmt.Errorf("%w: image %d kind %q", ErrUnknownFeature, imageID, kind)
@@ -542,8 +776,8 @@ func (s *Store) GetFeature(imageID uint64, kind string) ([]float64, error) {
 
 // FeatureKinds returns the kinds stored for an image, sorted.
 func (s *Store) FeatureKinds(imageID uint64) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.featMu.RLock()
+	defer s.featMu.RUnlock()
 	var out []string
 	for k := range s.features[imageID] {
 		out = append(out, k)
@@ -559,32 +793,45 @@ func (s *Store) CreateClassification(name string, labels []string) (uint64, erro
 	if name == "" || len(labels) == 0 {
 		return 0, fmt.Errorf("%w: classification needs a name and labels", ErrInvalid)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	s.catalogMu.Lock()
+	s.annMu.Lock()
+	unlock := func() { s.annMu.Unlock(); s.catalogMu.Unlock() }
+	if s.closed.Load() {
+		unlock()
 		return 0, ErrClosed
 	}
 	if _, dup := s.classByName[name]; dup {
+		unlock()
 		return 0, fmt.Errorf("%w: classification %q", ErrDuplicate, name)
 	}
-	s.nextID++
-	c := &Classification{ID: s.nextID, Name: name, Labels: append([]string(nil), labels...)}
-	if err := s.applyClassification(c); err != nil {
+	c := &Classification{ID: s.nextID.Add(1), Name: name, Labels: append([]string(nil), labels...)}
+	frame, err := s.encode(walOp{Kind: opAddClass, Classification: c})
+	if err != nil {
+		unlock()
 		return 0, err
 	}
-	if err := s.log(walOp{Kind: opAddClass, Classification: c}); err != nil {
+	if err := s.applyClassification(c); err != nil {
+		unlock()
+		return 0, err
+	}
+	wait := s.enqueue(frame)
+	unlock()
+	if err := s.awaitCommit(wait, 1); err != nil {
 		return 0, err
 	}
 	return c.ID, nil
 }
 
+// applyClassification registers a scheme. Callers hold catalogMu and
+// annMu (the empty byLabel bucket lives with the label index).
 func (s *Store) applyClassification(c *Classification) error {
 	if _, dup := s.classifications[c.ID]; dup {
 		return fmt.Errorf("%w: classification %d", ErrDuplicate, c.ID)
 	}
-	if c.ID > s.nextID {
-		s.nextID = c.ID
-	}
+	s.bumpNextID(c.ID)
 	s.classifications[c.ID] = c
 	s.classByName[c.Name] = c.ID
 	s.byLabel[c.ID] = make(map[int][]uint64)
@@ -593,8 +840,8 @@ func (s *Store) applyClassification(c *Classification) error {
 
 // GetClassification looks a scheme up by ID.
 func (s *Store) GetClassification(id uint64) (Classification, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
 	c, ok := s.classifications[id]
 	if !ok {
 		return Classification{}, fmt.Errorf("%w: classification %d", ErrNotFound, id)
@@ -604,8 +851,8 @@ func (s *Store) GetClassification(id uint64) (Classification, error) {
 
 // ClassificationByName looks a scheme up by name.
 func (s *Store) ClassificationByName(name string) (Classification, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
 	id, ok := s.classByName[name]
 	if !ok {
 		return Classification{}, fmt.Errorf("%w: classification %q", ErrNotFound, name)
@@ -615,8 +862,8 @@ func (s *Store) ClassificationByName(name string) (Classification, error) {
 
 // Classifications lists all schemes sorted by ID.
 func (s *Store) Classifications() []Classification {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
 	out := make([]Classification, 0, len(s.classifications))
 	for _, c := range s.classifications {
 		out = append(out, *c)
@@ -627,30 +874,49 @@ func (s *Store) Classifications() []Classification {
 
 // Annotate attaches a label to an image under a classification scheme.
 func (s *Store) Annotate(a Annotation) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
-	}
-	if _, ok := s.images[a.ImageID]; !ok {
-		return fmt.Errorf("%w: image %d", ErrNotFound, a.ImageID)
-	}
-	c, ok := s.classifications[a.ClassificationID]
-	if !ok {
-		return fmt.Errorf("%w: classification %d", ErrNotFound, a.ClassificationID)
-	}
-	if a.Label < 0 || a.Label >= len(c.Labels) {
-		return fmt.Errorf("%w: label %d of %q", ErrUnknownLabel, a.Label, c.Name)
 	}
 	if a.Source == "" {
 		a.Source = SourceMachine
 	}
-	if err := s.applyAnnotation(&a); err != nil {
+	s.catalogMu.RLock()
+	s.imagesMu.RLock()
+	s.annMu.Lock()
+	unlock := func() { s.annMu.Unlock(); s.imagesMu.RUnlock(); s.catalogMu.RUnlock() }
+	if s.closed.Load() {
+		unlock()
+		return ErrClosed
+	}
+	if _, ok := s.images[a.ImageID]; !ok {
+		unlock()
+		return fmt.Errorf("%w: image %d", ErrNotFound, a.ImageID)
+	}
+	c, ok := s.classifications[a.ClassificationID]
+	if !ok {
+		unlock()
+		return fmt.Errorf("%w: classification %d", ErrNotFound, a.ClassificationID)
+	}
+	if a.Label < 0 || a.Label >= len(c.Labels) {
+		unlock()
+		return fmt.Errorf("%w: label %d of %q", ErrUnknownLabel, a.Label, c.Name)
+	}
+	frame, err := s.encode(walOp{Kind: opAddAnnotation, Annotation: &a})
+	if err != nil {
+		unlock()
 		return err
 	}
-	return s.log(walOp{Kind: opAddAnnotation, Annotation: &a})
+	if err := s.applyAnnotation(&a); err != nil {
+		unlock()
+		return err
+	}
+	wait := s.enqueue(frame)
+	unlock()
+	return s.awaitCommit(wait, 1)
 }
 
+// applyAnnotation appends one annotation row and its label-index entry.
+// Callers hold annMu.
 func (s *Store) applyAnnotation(a *Annotation) error {
 	s.annotations[a.ImageID] = append(s.annotations[a.ImageID], *a)
 	byLabel := s.byLabel[a.ClassificationID]
@@ -664,16 +930,16 @@ func (s *Store) applyAnnotation(a *Annotation) error {
 
 // AnnotationsFor returns all annotations on an image.
 func (s *Store) AnnotationsFor(imageID uint64) []Annotation {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.annMu.RLock()
+	defer s.annMu.RUnlock()
 	return append([]Annotation(nil), s.annotations[imageID]...)
 }
 
 // ImagesByLabel returns image IDs annotated with (classificationID,
 // label), ascending.
 func (s *Store) ImagesByLabel(classificationID uint64, label int) []uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.annMu.RLock()
+	defer s.annMu.RUnlock()
 	ids := append([]uint64(nil), s.byLabel[classificationID][label]...)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
@@ -686,20 +952,35 @@ func (s *Store) AddKeywords(imageID uint64, words []string) error {
 	if len(words) == 0 {
 		return fmt.Errorf("%w: no keywords", ErrInvalid)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	frame, err := s.encode(walOp{Kind: opAddKeywords, Keyword: &keywordOp{ImageID: imageID, Words: words}})
+	if err != nil {
+		return err
+	}
+	s.imagesMu.RLock()
+	s.kwMu.Lock()
+	unlock := func() { s.kwMu.Unlock(); s.imagesMu.RUnlock() }
+	if s.closed.Load() {
+		unlock()
 		return ErrClosed
 	}
 	if _, ok := s.images[imageID]; !ok {
+		unlock()
 		return fmt.Errorf("%w: image %d", ErrNotFound, imageID)
 	}
 	if err := s.applyKeywords(imageID, words); err != nil {
+		unlock()
 		return err
 	}
-	return s.log(walOp{Kind: opAddKeywords, Keyword: &keywordOp{ImageID: imageID, Words: words}})
+	wait := s.enqueue(frame)
+	unlock()
+	return s.awaitCommit(wait, 1)
 }
 
+// applyKeywords stores keywords and their inverted-index postings.
+// Callers hold kwMu.
 func (s *Store) applyKeywords(imageID uint64, words []string) error {
 	s.keywords[imageID] = append(s.keywords[imageID], words...)
 	s.text.Add(imageID, words)
@@ -708,8 +989,8 @@ func (s *Store) applyKeywords(imageID uint64, words []string) error {
 
 // KeywordsFor returns the keywords attached to an image.
 func (s *Store) KeywordsFor(imageID uint64) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.kwMu.RLock()
+	defer s.kwMu.RUnlock()
 	return append([]string(nil), s.keywords[imageID]...)
 }
 
@@ -720,37 +1001,45 @@ func (s *Store) CreateUser(name, role string) (uint64, error) {
 	if name == "" {
 		return 0, fmt.Errorf("%w: user needs a name", ErrInvalid)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	s.nextID++
-	u := &User{ID: s.nextID, Name: name, Role: role}
-	if err := s.applyUser(u); err != nil {
+	u := &User{ID: s.nextID.Add(1), Name: name, Role: role}
+	frame, err := s.encode(walOp{Kind: opAddUser, User: u})
+	if err != nil {
 		return 0, err
 	}
-	if err := s.log(walOp{Kind: opAddUser, User: u}); err != nil {
+	s.catalogMu.Lock()
+	if s.closed.Load() {
+		s.catalogMu.Unlock()
+		return 0, ErrClosed
+	}
+	if err := s.applyUser(u); err != nil {
+		s.catalogMu.Unlock()
+		return 0, err
+	}
+	wait := s.enqueue(frame)
+	s.catalogMu.Unlock()
+	if err := s.awaitCommit(wait, 1); err != nil {
 		return 0, err
 	}
 	return u.ID, nil
 }
 
+// applyUser registers a user row. Callers hold catalogMu.
 func (s *Store) applyUser(u *User) error {
 	if _, dup := s.users[u.ID]; dup {
 		return fmt.Errorf("%w: user %d", ErrDuplicate, u.ID)
 	}
-	if u.ID > s.nextID {
-		s.nextID = u.ID
-	}
+	s.bumpNextID(u.ID)
 	s.users[u.ID] = u
 	return nil
 }
 
 // GetUser returns a user by ID.
 func (s *Store) GetUser(id uint64) (User, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
 	u, ok := s.users[id]
 	if !ok {
 		return User{}, fmt.Errorf("%w: user %d", ErrNotFound, id)
@@ -760,21 +1049,31 @@ func (s *Store) GetUser(id uint64) (User, error) {
 
 // IssueAPIKey mints a random key for the user.
 func (s *Store) IssueAPIKey(userID uint64, now time.Time) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return "", ErrClosed
-	}
-	if _, ok := s.users[userID]; !ok {
-		return "", fmt.Errorf("%w: user %d", ErrNotFound, userID)
 	}
 	buf := make([]byte, 16)
 	if _, err := rand.Read(buf); err != nil {
 		return "", fmt.Errorf("store: generating API key: %w", err)
 	}
 	k := &APIKey{Key: hex.EncodeToString(buf), UserID: userID, Issued: now}
+	frame, err := s.encode(walOp{Kind: opAddAPIKey, APIKey: k})
+	if err != nil {
+		return "", err
+	}
+	s.catalogMu.Lock()
+	if s.closed.Load() {
+		s.catalogMu.Unlock()
+		return "", ErrClosed
+	}
+	if _, ok := s.users[userID]; !ok {
+		s.catalogMu.Unlock()
+		return "", fmt.Errorf("%w: user %d", ErrNotFound, userID)
+	}
 	s.apiKeys[k.Key] = k
-	if err := s.log(walOp{Kind: opAddAPIKey, APIKey: k}); err != nil {
+	wait := s.enqueue(frame)
+	s.catalogMu.Unlock()
+	if err := s.awaitCommit(wait, 1); err != nil {
 		return "", err
 	}
 	return k.Key, nil
@@ -782,8 +1081,8 @@ func (s *Store) IssueAPIKey(userID uint64, now time.Time) (string, error) {
 
 // Authenticate resolves an API key to its user.
 func (s *Store) Authenticate(key string) (User, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
 	k, ok := s.apiKeys[key]
 	if !ok {
 		return User{}, fmt.Errorf("%w: api key", ErrNotFound)
@@ -799,23 +1098,23 @@ func (s *Store) Authenticate(key string) (User, error) {
 
 // SearchScene returns image IDs whose scene MBR intersects r.
 func (s *Store) SearchScene(r geo.Rect) []uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.geoMu.RLock()
+	defer s.geoMu.RUnlock()
 	return s.spatial.SearchRect(r)
 }
 
 // SearchNearest returns up to k image IDs whose scenes are closest to p.
 func (s *Store) SearchNearest(p geo.Point, k int) []uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.geoMu.RLock()
+	defer s.geoMu.RUnlock()
 	return s.spatial.NearestK(p, k)
 }
 
 // SearchVisual returns up to k approximate visual neighbours of vec under
 // the given feature kind.
 func (s *Store) SearchVisual(kind string, vec []float64, k int) ([]index.Match, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.featMu.RLock()
+	defer s.featMu.RUnlock()
 	lsh, ok := s.visual[kind]
 	if !ok {
 		return nil, fmt.Errorf("%w: no index for feature kind %q", ErrNotFound, kind)
@@ -825,8 +1124,8 @@ func (s *Store) SearchVisual(kind string, vec []float64, k int) ([]index.Match, 
 
 // SearchVisualRadius returns visual matches within distance r.
 func (s *Store) SearchVisualRadius(kind string, vec []float64, r float64) ([]index.Match, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.featMu.RLock()
+	defer s.featMu.RUnlock()
 	lsh, ok := s.visual[kind]
 	if !ok {
 		return nil, fmt.Errorf("%w: no index for feature kind %q", ErrNotFound, kind)
@@ -836,8 +1135,8 @@ func (s *Store) SearchVisualRadius(kind string, vec []float64, r float64) ([]ind
 
 // SearchVisualExact linearly re-ranks all vectors of a kind (baseline).
 func (s *Store) SearchVisualExact(kind string, vec []float64, k int) ([]index.Match, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.featMu.RLock()
+	defer s.featMu.RUnlock()
 	lsh, ok := s.visual[kind]
 	if !ok {
 		return nil, fmt.Errorf("%w: no index for feature kind %q", ErrNotFound, kind)
@@ -849,8 +1148,8 @@ func (s *Store) SearchVisualExact(kind string, vec []float64, k int) ([]index.Ma
 // is maintained for the kind; ok=false means the caller must fall back to
 // the two-phase plan.
 func (s *Store) SearchHybrid(kind string, r geo.Rect, vec []float64, k int) ([]index.Match, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.featMu.RLock()
+	defer s.featMu.RUnlock()
 	ht, ok := s.hybrid[kind]
 	if !ok {
 		return nil, false, nil
@@ -861,21 +1160,21 @@ func (s *Store) SearchHybrid(kind string, r geo.Rect, vec []float64, k int) ([]i
 
 // SearchText returns keyword matches (disjunctive, TF-IDF ranked).
 func (s *Store) SearchText(terms []string) []index.Match {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.kwMu.RLock()
+	defer s.kwMu.RUnlock()
 	return s.text.SearchAny(terms)
 }
 
 // SearchTextAll returns conjunctive keyword matches.
 func (s *Store) SearchTextAll(terms []string) []index.Match {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.kwMu.RLock()
+	defer s.kwMu.RUnlock()
 	return s.text.SearchAll(terms)
 }
 
 // SearchTime returns image IDs captured in [from, to].
 func (s *Store) SearchTime(from, to time.Time) []uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.geoMu.RLock()
+	defer s.geoMu.RUnlock()
 	return s.temporal.Range(from, to)
 }

@@ -38,7 +38,9 @@ type Frame struct {
 }
 
 // AddVideo ingests a video as ordered key frames, each stored as a full
-// Image row, and returns the video ID plus per-frame image IDs.
+// Image row, and returns the video ID plus per-frame image IDs. The whole
+// video — frames, keywords, and the video row — commits as one WAL batch
+// member (one durability wait regardless of frame count).
 func (s *Store) AddVideo(description, workerID string, frames []Frame) (uint64, []uint64, error) {
 	if len(frames) == 0 {
 		return 0, nil, fmt.Errorf("%w: video needs frames", ErrInvalid)
@@ -52,22 +54,31 @@ func (s *Store) AddVideo(description, workerID string, frames []Frame) (uint64, 
 			return 0, nil, fmt.Errorf("%w: frame %d: %v", ErrInvalid, i, err)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, nil, ErrClosed
 	}
-	s.nextID++
-	videoID := s.nextID
+	// Build every row and its WAL frame before taking any lock.
+	videoID := s.nextID.Add(1)
 	v := &Video{
 		ID: videoID, Description: description, WorkerID: workerID,
 		Start: frames[0].CapturedAt, End: frames[0].CapturedAt,
 	}
+	imgs := make([]*Image, 0, len(frames))
 	frameIDs := make([]uint64, 0, len(frames))
+	var batch []byte
+	ops := 0
+	appendOp := func(op walOp) error {
+		frame, err := s.encode(op)
+		if err != nil {
+			return err
+		}
+		batch = append(batch, frame...)
+		ops++
+		return nil
+	}
 	for i, f := range frames {
-		s.nextID++
 		img := &Image{
-			ID:                 s.nextID,
+			ID:                 s.nextID.Add(1),
 			Origin:             OriginOriginal,
 			FOV:                f.FOV,
 			Scene:              f.FOV.SceneLocation(),
@@ -78,20 +89,15 @@ func (s *Store) AddVideo(description, workerID string, frames []Frame) (uint64, 
 			VideoID:            videoID,
 			FrameIndex:         i,
 		}
-		if err := s.applyImage(img); err != nil {
-			return 0, nil, err
-		}
-		if err := s.log(walOp{Kind: opAddImage, Image: img}); err != nil {
+		if err := appendOp(walOp{Kind: opAddImage, Image: img}); err != nil {
 			return 0, nil, err
 		}
 		if len(f.Keywords) > 0 {
-			if err := s.applyKeywords(img.ID, f.Keywords); err != nil {
-				return 0, nil, err
-			}
-			if err := s.log(walOp{Kind: opAddKeywords, Keyword: &keywordOp{ImageID: img.ID, Words: f.Keywords}}); err != nil {
+			if err := appendOp(walOp{Kind: opAddKeywords, Keyword: &keywordOp{ImageID: img.ID, Words: f.Keywords}}); err != nil {
 				return 0, nil, err
 			}
 		}
+		imgs = append(imgs, img)
 		frameIDs = append(frameIDs, img.ID)
 		if f.CapturedAt.Before(v.Start) {
 			v.Start = f.CapturedAt
@@ -101,30 +107,65 @@ func (s *Store) AddVideo(description, workerID string, frames []Frame) (uint64, 
 		}
 	}
 	v.FrameIDs = frameIDs
-	if err := s.applyVideo(v); err != nil {
+	if err := appendOp(walOp{Kind: opAddVideo, Video: v}); err != nil {
 		return 0, nil, err
 	}
-	if err := s.log(walOp{Kind: opAddVideo, Video: v}); err != nil {
+	// Lock order: catalogMu → imagesMu → kwMu → geoMu.
+	s.catalogMu.Lock()
+	s.imagesMu.Lock()
+	s.kwMu.Lock()
+	s.geoMu.Lock()
+	unlock := func() {
+		s.geoMu.Unlock()
+		s.kwMu.Unlock()
+		s.imagesMu.Unlock()
+		s.catalogMu.Unlock()
+	}
+	if s.closed.Load() {
+		unlock()
+		return 0, nil, ErrClosed
+	}
+	for i, img := range imgs {
+		if err := s.applyImage(img); err != nil {
+			unlock()
+			return 0, nil, err
+		}
+		if kw := frames[i].Keywords; len(kw) > 0 {
+			if err := s.applyKeywords(img.ID, kw); err != nil {
+				unlock()
+				return 0, nil, err
+			}
+		}
+	}
+	if err := s.applyVideo(v); err != nil {
+		unlock()
+		return 0, nil, err
+	}
+	var wait <-chan error
+	if len(batch) > 0 {
+		wait = s.enqueueN(batch, uint64(ops))
+	}
+	unlock()
+	if err := s.awaitCommit(wait, ops); err != nil {
 		return 0, nil, err
 	}
 	return videoID, frameIDs, nil
 }
 
+// applyVideo registers a video row. Callers hold catalogMu.
 func (s *Store) applyVideo(v *Video) error {
 	if _, dup := s.videos[v.ID]; dup {
 		return fmt.Errorf("%w: video %d", ErrDuplicate, v.ID)
 	}
-	if v.ID > s.nextID {
-		s.nextID = v.ID
-	}
+	s.bumpNextID(v.ID)
 	s.videos[v.ID] = v
 	return nil
 }
 
 // GetVideo returns a video's metadata and frame list.
 func (s *Store) GetVideo(id uint64) (Video, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
 	v, ok := s.videos[id]
 	if !ok {
 		return Video{}, fmt.Errorf("%w: video %d", ErrNotFound, id)
@@ -136,8 +177,8 @@ func (s *Store) GetVideo(id uint64) (Video, error) {
 
 // Videos lists all videos sorted by ID.
 func (s *Store) Videos() []Video {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
 	out := make([]Video, 0, len(s.videos))
 	for _, v := range s.videos {
 		cp := *v
@@ -154,31 +195,52 @@ func (s *Store) AddAugmented(parentID uint64, pixels *imagesim.Image) (uint64, e
 	if pixels == nil {
 		return 0, fmt.Errorf("%w: augmented image has no pixels", ErrInvalid)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
+	// Snapshot the parent's descriptors under a read lock, build and
+	// encode outside any lock, then re-check the parent under the write
+	// lock (it may have been deleted in between).
+	s.imagesMu.RLock()
 	parent, ok := s.images[parentID]
 	if !ok {
+		s.imagesMu.RUnlock()
 		return 0, fmt.Errorf("%w: parent image %d", ErrNotFound, parentID)
 	}
-	s.nextID++
 	img := &Image{
-		ID:                 s.nextID,
 		Origin:             OriginAugmented,
 		ParentID:           parentID,
 		FOV:                parent.FOV,
 		Scene:              parent.Scene,
-		Pixels:             pixels,
 		TimestampCapturing: parent.TimestampCapturing,
 		TimestampUploading: parent.TimestampUploading,
 		WorkerID:           parent.WorkerID,
 	}
-	if err := s.applyImage(img); err != nil {
+	s.imagesMu.RUnlock()
+	img.ID = s.nextID.Add(1)
+	img.Pixels = pixels
+	frame, err := s.encode(walOp{Kind: opAddImage, Image: img})
+	if err != nil {
 		return 0, err
 	}
-	if err := s.log(walOp{Kind: opAddImage, Image: img}); err != nil {
+	s.imagesMu.Lock()
+	s.geoMu.Lock()
+	unlock := func() { s.geoMu.Unlock(); s.imagesMu.Unlock() }
+	if s.closed.Load() {
+		unlock()
+		return 0, ErrClosed
+	}
+	if _, ok := s.images[parentID]; !ok {
+		unlock()
+		return 0, fmt.Errorf("%w: parent image %d", ErrNotFound, parentID)
+	}
+	if err := s.applyImage(img); err != nil {
+		unlock()
+		return 0, err
+	}
+	wait := s.enqueue(frame)
+	unlock()
+	if err := s.awaitCommit(wait, 1); err != nil {
 		return 0, err
 	}
 	return img.ID, nil
@@ -187,8 +249,8 @@ func (s *Store) AddAugmented(parentID uint64, pixels *imagesim.Image) (uint64, e
 // AugmentedOf returns the IDs of augmented derivatives of an image,
 // ascending.
 func (s *Store) AugmentedOf(parentID uint64) []uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.imagesMu.RLock()
+	defer s.imagesMu.RUnlock()
 	var out []uint64
 	for id, img := range s.images {
 		if img.Origin == OriginAugmented && img.ParentID == parentID {

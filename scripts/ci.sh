@@ -21,6 +21,14 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== concurrent serving gate (race) =="
+# The decomposed-lock store and group-commit WAL are only correct if the
+# mixed-workload and HTTP stress tests are race-clean: a failure here
+# should read as "serving concurrency broke", not as a generic suite
+# failure.
+go test -race -run 'TestConcurrentMixedWorkload|TestGroupCommitBatching|TestImageIDsSortedAcrossDeletesAndReplay|TestGetImageMutationIsolation|TestCloseUnblocksAndFailsMutations' ./internal/store
+go test -race -run 'TestConcurrentServingStress' ./internal/api
+
 echo "== crash-recovery property tests (race) =="
 # Torn-write recovery is its own gate: the kill-at-every-offset sweep, the
 # snapshot-crash interleaving, and the reopen-cycle regression must pass
@@ -30,5 +38,19 @@ go test -race -run 'TestKillAtEveryOffset|TestSnapshotPlusWALOffsetSweep|TestSna
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== serving bench smoke =="
+# A short tvdp-bench -figure serving run must produce a well-formed
+# BENCH_serving.json (the perf-trajectory artifact); throughput numbers
+# from a 300ms window are noise, so only the report shape is checked.
+bench_out=$(mktemp -d)
+trap 'rm -rf "$bench_out"' EXIT
+go run ./cmd/tvdp-bench -figure serving -duration 300ms -clients 4 -preload 16 -out "$bench_out/BENCH_serving.json"
+for key in '"figure": "serving"' '"baseline_global_mutex"' '"concurrent"' '"ops_per_sec"' '"speedup_x"' '"p99_ms"' '"fsyncs_per_write"'; do
+    if ! grep -q "$key" "$bench_out/BENCH_serving.json"; then
+        echo "BENCH_serving.json missing $key" >&2
+        exit 1
+    fi
+done
 
 echo "CI OK"
