@@ -1,0 +1,165 @@
+// Command tvdp-lint runs TVDP's invariant analyzers (internal/lint) over
+// the module: lockorder, determinism, walpath, errdiscard.
+//
+// Usage:
+//
+//	tvdp-lint ./...                        # whole module (the CI gate)
+//	tvdp-lint ./internal/store             # restrict findings to a subtree
+//	tvdp-lint ./internal/lint/testdata/lockorder   # lint a fixture package
+//	tvdp-lint -list                        # print the analyzer registry
+//
+// Exit status: 0 when clean, 1 when any finding survives nolint
+// suppression, 2 on load or usage errors. Findings print one per line as
+//
+//	file:line:col: [analyzer] message (fix: hint)
+//
+// Suppression: //tvdp:nolint <analyzer>[,<analyzer>] <reason> on the
+// offending line or the line above. The reason is mandatory; a bare
+// directive suppresses nothing and is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer registry and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tvdp-lint [-list] [packages]\n\npackages: ./... for the whole module, directories for a subtree,\nor a testdata fixture directory for a standalone package.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	findings, err := run(args, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvdp-lint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tvdp-lint: %d invariant finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func run(args []string, analyzers []lint.Analyzer) ([]lint.Finding, error) {
+	// Fixture directories (under a testdata tree) load standalone, with
+	// the path-scoped analyzers widened to cover them; everything else is
+	// a selector over the module load.
+	var fixtures, selectors []string
+	wholeModule := false
+	for _, a := range args {
+		switch {
+		case strings.Contains(a, "testdata"):
+			fixtures = append(fixtures, a)
+		case a == "./..." || a == "...":
+			wholeModule = true
+		default:
+			selectors = append(selectors, strings.TrimSuffix(a, "/..."))
+		}
+	}
+
+	var findings []lint.Finding
+	if wholeModule || len(selectors) > 0 {
+		root, err := moduleRoot()
+		if err != nil {
+			return nil, err
+		}
+		pkgs, err := lint.LoadModule(root)
+		if err != nil {
+			return nil, err
+		}
+		fs := lint.Run(pkgs, analyzers)
+		if !wholeModule {
+			fs, err = filterToDirs(fs, selectors)
+			if err != nil {
+				return nil, err
+			}
+		}
+		findings = append(findings, fs...)
+	}
+	for _, dir := range fixtures {
+		pkg, err := lint.LoadFixture(dir)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, lint.Run([]*lint.Package{pkg}, fixtureAnalyzers())...)
+	}
+	return findings, nil
+}
+
+// fixtureAnalyzers widens the path-scoped analyzers to the fixture
+// namespace so a testdata package exercises every rule.
+func fixtureAnalyzers() []lint.Analyzer {
+	det := lint.NewDeterminism()
+	det.Scope = []string{"fixture"}
+	ed := lint.NewErrDiscard()
+	ed.Scope = []string{"fixture"}
+	return []lint.Analyzer{lint.NewLockOrder(), det, lint.NewWALPath(), ed}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterToDirs keeps findings whose file lives under one of the selector
+// directories.
+func filterToDirs(fs []lint.Finding, dirs []string) ([]lint.Finding, error) {
+	var roots []string
+	for _, d := range dirs {
+		abs, err := filepath.Abs(d)
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, abs)
+	}
+	var out []lint.Finding
+	for _, f := range fs {
+		abs, err := filepath.Abs(f.Pos.Filename)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range roots {
+			if abs == r || strings.HasPrefix(abs, r+string(filepath.Separator)) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -69,6 +69,7 @@ func (c *Client) do(method, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
+	//tvdp:nolint errdiscard response-body close errors are unactionable; the read path already surfaces transport failures
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		var e ErrorResponse
@@ -235,6 +236,7 @@ func (c *Client) DownloadModel(name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	//tvdp:nolint errdiscard response-body close errors are unactionable; the read path already surfaces transport failures
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		var e ErrorResponse

@@ -84,12 +84,12 @@ func RunA1SpatialIndexes(n, queries int, seed int64) (*A1Result, error) {
 	}
 	out := &A1Result{N: n, Queries: queries, QPS: map[string]float64{}, Hits: map[string]float64{}}
 	run := func(name string, search func(geo.Rect) []uint64) {
-		start := time.Now()
+		sw := startStopwatch()
 		hits := 0
 		for _, q := range qs {
 			hits += len(search(q))
 		}
-		el := time.Since(start)
+		el := sw.elapsed()
 		out.QPS[name] = float64(queries) / el.Seconds()
 		out.Hits[name] = float64(hits) / float64(queries)
 	}
@@ -145,7 +145,7 @@ func RunA2LSHvsExact(n, dim, k, queries int, seed int64) (*A2Result, error) {
 		qs[qi] = v
 	}
 	hits, total := 0, 0
-	start := time.Now()
+	sw := startStopwatch()
 	approx := make([][]index.Match, queries)
 	for qi, q := range qs {
 		ms, err := lsh.TopK(q, k)
@@ -154,8 +154,8 @@ func RunA2LSHvsExact(n, dim, k, queries int, seed int64) (*A2Result, error) {
 		}
 		approx[qi] = ms
 	}
-	lshDur := time.Since(start)
-	start = time.Now()
+	lshDur := sw.elapsed()
+	sw = startStopwatch()
 	for qi, q := range qs {
 		exact, err := lsh.ExactTopK(q, k)
 		if err != nil {
@@ -172,7 +172,7 @@ func RunA2LSHvsExact(n, dim, k, queries int, seed int64) (*A2Result, error) {
 			}
 		}
 	}
-	exactDur := time.Since(start)
+	exactDur := sw.elapsed()
 	return &A2Result{
 		N: n, Dim: dim, K: k,
 		Recall:   float64(hits) / float64(total),
@@ -240,7 +240,7 @@ func RunA3Hybrid(n, queries int, seed int64) (*A3Result, error) {
 	}
 	const k = 10
 	agree, total := 0, 0
-	start := time.Now()
+	sw := startStopwatch()
 	hybridRes := make([][]uint64, queries)
 	for i := range qs {
 		ms, ok, err := st.SearchHybrid(kind, qs[i], qvs[i], k)
@@ -253,8 +253,8 @@ func RunA3Hybrid(n, queries int, seed int64) (*A3Result, error) {
 		}
 		hybridRes[i] = ids
 	}
-	hybridDur := time.Since(start)
-	start = time.Now()
+	hybridDur := sw.elapsed()
+	sw = startStopwatch()
 	for i := range qs {
 		rs, err := eng.TwoPhaseSpatialVisual(qs[i], kind, qvs[i], k)
 		if err != nil {
@@ -267,7 +267,7 @@ func RunA3Hybrid(n, queries int, seed int64) (*A3Result, error) {
 			}
 		}
 	}
-	twoDur := time.Since(start)
+	twoDur := sw.elapsed()
 	out := &A3Result{
 		N:         n,
 		HybridQPS: float64(queries) / hybridDur.Seconds(),
@@ -463,22 +463,22 @@ func RunA6Store(dir string, n int, seed int64) (*A6Result, error) {
 		return nil, err
 	}
 	recs := g.Generate(n)
-	start := time.Now()
+	sw := startStopwatch()
 	for _, rec := range recs {
 		if _, err := st.AddImage(store.Image{FOV: rec.FOV, Pixels: rec.Image, TimestampCapturing: rec.CapturedAt}); err != nil {
 			return nil, err
 		}
 	}
-	ingest := time.Since(start)
+	ingest := sw.elapsed()
 	if err := st.Close(); err != nil {
 		return nil, err
 	}
-	start = time.Now()
+	sw = startStopwatch()
 	st2, err := store.Open(cfg)
 	if err != nil {
 		return nil, err
 	}
-	reopen := time.Since(start)
+	reopen := sw.elapsed()
 	defer st2.Close()
 	return &A6Result{
 		N:            n,
@@ -525,12 +525,12 @@ func RunA7Text(docs, queries int, seed int64) (*A7Result, error) {
 	for i := range qs {
 		qs[i] = vocab[rng.Intn(len(vocab))]
 	}
-	start := time.Now()
+	sw := startStopwatch()
 	for _, q := range qs {
 		_ = ix.SearchAny([]string{q})
 	}
-	invDur := time.Since(start)
-	start = time.Now()
+	invDur := sw.elapsed()
+	sw = startStopwatch()
 	for _, q := range qs {
 		var hits []uint64
 		for i, kws := range raw {
@@ -543,7 +543,7 @@ func RunA7Text(docs, queries int, seed int64) (*A7Result, error) {
 		}
 		_ = hits
 	}
-	scanDur := time.Since(start)
+	scanDur := sw.elapsed()
 	return &A7Result{
 		Docs:        docs,
 		InvertedQPS: float64(queries) / invDur.Seconds(),

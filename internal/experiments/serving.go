@@ -140,7 +140,7 @@ func runServingMode(mode string, lk locker, cfg ServingConfig) (ServingModeResul
 	outs := make([]clientOut, cfg.Clients)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	start := time.Now()
+	sw := startStopwatch()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -154,7 +154,7 @@ func runServingMode(mode string, lk locker, cfg ServingConfig) (ServingModeResul
 				default:
 				}
 				isRead := rng.Float64() < cfg.ReadFrac
-				t0 := time.Now()
+				op := startStopwatch()
 				if isRead {
 					// Constant-cost metadata point read over the preloaded set
 					// (IDs 1..Preload): reads cost the same in both modes and at
@@ -174,7 +174,7 @@ func runServingMode(mode string, lk locker, cfg ServingConfig) (ServingModeResul
 					})
 					out.writes++
 				}
-				out.lat = append(out.lat, time.Since(t0))
+				out.lat = append(out.lat, op.elapsed())
 				if out.err != nil {
 					return
 				}
@@ -184,7 +184,7 @@ func runServingMode(mode string, lk locker, cfg ServingConfig) (ServingModeResul
 	time.Sleep(cfg.Duration)
 	close(stop)
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := sw.elapsed()
 
 	var all []time.Duration
 	res := ServingModeResult{Mode: mode, ElapsedS: elapsed.Seconds()}

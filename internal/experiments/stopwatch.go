@@ -1,0 +1,28 @@
+package experiments
+
+import "time"
+
+// stopwatch is this package's single audited wall-clock escape hatch.
+// experiments is inside tvdp-lint's determinism scope — figure *data*
+// (recalls, accuracies, coverage curves) must replay bit-identically from
+// seeds — but throughput and latency numbers are measurements of the run
+// itself and have to read the real clock. Routing every elapsed-time read
+// through here keeps the nondeterminism in one place, with the two nolint
+// justifications below, instead of scattering clock reads (and nolint
+// comments) across every ablation.
+//
+// Discipline for callers: a stopwatch value may flow into reported
+// QPS/latency fields, never into anything a determinism test compares.
+type stopwatch struct{ t0 time.Time }
+
+// startStopwatch begins a wall-clock measurement.
+func startStopwatch() stopwatch {
+	//tvdp:nolint determinism wall-clock benchmark timing; elapsed values feed reported QPS/latency only, never figure data
+	return stopwatch{t0: time.Now()}
+}
+
+// elapsed returns the wall-clock time since the stopwatch started.
+func (s stopwatch) elapsed() time.Duration {
+	//tvdp:nolint determinism wall-clock benchmark timing; elapsed values feed reported QPS/latency only, never figure data
+	return time.Since(s.t0)
+}

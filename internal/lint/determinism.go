@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The determinism analyzer guards the par layer's contract: for the same
+// inputs and seeds, pipeline results are bit-identical regardless of
+// worker count or run count. The race detector is orthogonal here — a
+// pipeline can be perfectly race-free and still unreproducible because it
+// read the clock, drew from the global RNG, or let map iteration order
+// leak into an ordered output. Those three are exactly what this analyzer
+// forbids inside the pipeline packages:
+//
+//  1. time.Now / time.Since — wall-clock reads. Timestamps must be inputs
+//     (parameters, injected clocks); genuine wall-clock measurement
+//     (benchmark timing) is the nolint escape hatch's intended use.
+//  2. The global math/rand stream (rand.Intn, rand.Float64, rand.Shuffle,
+//     ...) — shared, lock-ordered, seeded from the clock since Go 1.20.
+//     Stochastic work must draw from rand.New(rand.NewSource(seed)) with a
+//     seed derived via par.SplitSeed.
+//  3. `for ... range m` over a map that appends to a slice declared
+//     outside the loop — iteration order is randomized per run, so the
+//     slice's element order is too. Sorting the slice afterwards in the
+//     same function is recognized and allowed.
+
+// Determinism is the analyzer. Scope lists import-path prefixes the
+// contract applies to; packages outside it are skipped entirely.
+type Determinism struct {
+	Scope []string
+}
+
+// DeterminismScope is the production scope: the pipeline packages named in
+// the par contract, plus crowd and edge, whose campaign-assignment and
+// edge-learning runs must stay replayable end to end.
+var DeterminismScope = []string{
+	"repro/internal/par",
+	"repro/internal/synth",
+	"repro/internal/feature",
+	"repro/internal/ml",
+	"repro/internal/nn",
+	"repro/internal/experiments",
+	"repro/internal/crowd",
+	"repro/internal/edge",
+}
+
+// NewDeterminism returns the production-configured analyzer.
+func NewDeterminism() *Determinism {
+	return &Determinism{Scope: DeterminismScope}
+}
+
+func (d *Determinism) Name() string { return "determinism" }
+
+// Doc describes the analyzer in one line.
+func (d *Determinism) Doc() string {
+	return "pipeline packages must not read the clock, the global RNG, or map iteration order into ordered outputs"
+}
+
+func (d *Determinism) inScope(path string) bool {
+	for _, p := range d.Scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Check runs the analyzer over one package.
+func (d *Determinism) Check(pkg *Package) []Finding {
+	if !d.inScope(pkg.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, d.checkFunc(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+func (d *Determinism) checkFunc(pkg *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if f := d.checkCall(pkg, fd, n); f != nil {
+				out = append(out, *f)
+			}
+		case *ast.RangeStmt:
+			out = append(out, d.checkMapRange(pkg, fd, n)...)
+		}
+		return true
+	})
+	return out
+}
+
+func (d *Determinism) checkCall(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr) *Finding {
+	fn := funcObj(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			return &Finding{
+				Analyzer: d.Name(),
+				Pos:      posOf(pkg, call.Pos()),
+				Message:  fmt.Sprintf("%s: time.%s reads the wall clock inside a determinism-scoped package", fd.Name.Name, fn.Name()),
+				Hint:     "take timestamps as parameters or inject a clock; wall-clock benchmark timing belongs in the stopwatch helper",
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors are the sanctioned path; everything else at package
+		// level draws from the shared clock-seeded stream.
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return nil // method on a *rand.Rand the caller seeded
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return nil
+		}
+		return &Finding{
+			Analyzer: d.Name(),
+			Pos:      posOf(pkg, call.Pos()),
+			Message:  fmt.Sprintf("%s: rand.%s draws from the global clock-seeded RNG stream", fd.Name.Name, fn.Name()),
+			Hint:     "use rand.New(rand.NewSource(par.SplitSeed(seed, i))) so the stream is replayable and worker-count independent",
+		}
+	}
+	return nil
+}
+
+// checkMapRange flags `for k := range m { out = append(out, ...) }` where
+// m is a map and out outlives the loop, unless out is later passed to a
+// sort call in the same function.
+func (d *Determinism) checkMapRange(pkg *Package, fd *ast.FuncDecl, rng *ast.RangeStmt) []Finding {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pkg, call) || i >= len(asg.Lhs) {
+				continue
+			}
+			target, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident)
+			if !ok || target.Name == "_" {
+				continue
+			}
+			obj := pkg.Info.Uses[target]
+			if obj == nil {
+				obj = pkg.Info.Defs[target]
+			}
+			if obj == nil {
+				continue
+			}
+			// Only outputs that outlive the loop can leak iteration order.
+			if rng.Pos() <= obj.Pos() && obj.Pos() <= rng.End() {
+				continue
+			}
+			if sortedLater(pkg, fd, obj) {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: d.Name(),
+				Pos:      posOf(pkg, asg.Pos()),
+				Message:  fmt.Sprintf("%s: append to %q inside range over a map leaks iteration order into an ordered output", fd.Name.Name, target.Name),
+				Hint:     "iterate sorted keys, or sort " + target.Name + " before it escapes",
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func isBuiltinAppend(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedLater reports whether obj is referenced inside a sort.*/slices.*
+// call somewhere in the same function — the "collect then sort" idiom that
+// makes map-order appends deterministic again.
+func sortedLater(pkg *Package, fd *ast.FuncDecl, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		// The sorted value must be (part of) an argument expression.
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Inline suppression. The directive
+//
+//	//tvdp:nolint <analyzer>[,<analyzer>...] <reason>
+//
+// silences the named analyzers on its own line and on the line directly
+// below it (so a comment-only line can shield the statement it precedes).
+// The reason is not decoration: a directive without one suppresses nothing
+// and is itself reported, which is what keeps "shut the tool up" honest —
+// every escape hatch in the tree carries its justification next to the
+// code it excuses.
+
+const nolintPrefix = "tvdp:nolint"
+
+// directive is one parsed, well-formed nolint comment.
+type directive struct {
+	analyzers map[string]bool
+	line      int
+	file      string
+}
+
+// directiveSet indexes directives by file and line for suppression lookups.
+type directiveSet map[string]map[int]*directive
+
+// suppresses reports whether a finding is covered by a directive on its
+// line or the line above.
+func (ds directiveSet) suppresses(f Finding) bool {
+	lines := ds[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		if d := lines[ln]; d != nil && d.analyzers[f.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives scans a package's comments for nolint directives.
+// Malformed ones — no analyzer list, or no justification — come back as
+// findings of the synthetic "nolint" analyzer and are excluded from the
+// suppression set.
+func parseDirectives(pkg *Package) (directiveSet, []Finding) {
+	ds := directiveSet{}
+	var bad []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := nolintText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				names, reason := splitDirective(text)
+				if len(names) == 0 {
+					bad = append(bad, Finding{
+						Analyzer: "nolint",
+						Pos:      pos,
+						Message:  "nolint directive names no analyzer",
+						Hint:     "write //tvdp:nolint <analyzer> <reason>",
+					})
+					continue
+				}
+				if reason == "" {
+					bad = append(bad, Finding{
+						Analyzer: "nolint",
+						Pos:      pos,
+						Message:  "nolint directive for " + strings.Join(names, ",") + " has no justification; it suppresses nothing",
+						Hint:     "append a reason: //tvdp:nolint " + strings.Join(names, ",") + " <why this is safe>",
+					})
+					continue
+				}
+				d := &directive{analyzers: map[string]bool{}, line: pos.Line, file: pos.Filename}
+				for _, n := range names {
+					d.analyzers[n] = true
+				}
+				if ds[pos.Filename] == nil {
+					ds[pos.Filename] = map[int]*directive{}
+				}
+				ds[pos.Filename][pos.Line] = d
+			}
+		}
+	}
+	return ds, bad
+}
+
+// nolintText extracts the directive body from a comment, if it is one.
+func nolintText(comment string) (string, bool) {
+	var body string
+	switch {
+	case strings.HasPrefix(comment, "//"):
+		body = strings.TrimPrefix(comment, "//")
+	case strings.HasPrefix(comment, "/*"):
+		body = strings.TrimSuffix(strings.TrimPrefix(comment, "/*"), "*/")
+	default:
+		return "", false
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, nolintPrefix)
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// splitDirective separates the analyzer list from the justification.
+func splitDirective(text string) (names []string, reason string) {
+	list, rest, _ := strings.Cut(text, " ")
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, strings.TrimSpace(rest)
+}
+
+// posOf is a tiny helper analyzers share.
+func posOf(pkg *Package, pos token.Pos) token.Position { return pkg.Fset.Position(pos) }

@@ -1,0 +1,73 @@
+// Package determinismfix is the determinism analyzer's golden fixture:
+// clock reads, global-RNG draws, and map-iteration-order leaks that must
+// be flagged, next to the seeded/sorted idioms that must not be.
+package determinismfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clockRead() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func globalRNG() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global clock-seeded RNG"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "rand.Shuffle draws from the global clock-seeded RNG"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// seededOK draws from a caller-seeded stream: the sanctioned path.
+func seededOK(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func mapOrderLeak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "leaks iteration order into an ordered output"
+	}
+	return out
+}
+
+// mapOrderSorted collects then sorts: deterministic, must stay clean.
+func mapOrderSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mapIntoMap builds another map: order cannot leak, must stay clean.
+func mapIntoMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// loopLocalAppend appends to a slice born inside the loop body: it cannot
+// outlive an iteration, so order cannot leak. Must stay clean.
+func loopLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

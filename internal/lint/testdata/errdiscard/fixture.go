@@ -1,0 +1,37 @@
+// Package errdiscardfix is the errdiscard analyzer's golden fixture: every
+// discard shape the analyzer flags, next to the handled forms it must not.
+package errdiscardfix
+
+import "os"
+
+func discards(f *os.File, data []byte) {
+	f.Write(data)   // want "Write error discarded"
+	f.Sync()        // want "Sync error discarded"
+	defer f.Close() // want "Close error discarded"
+	_ = f.Sync()    // want "Sync error discarded"
+}
+
+func goDiscard(f *os.File) {
+	go f.Close() // want "Close error discarded"
+}
+
+// handles propagates every error: must stay clean.
+func handles(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// deferredCapture is the closure idiom the store uses: must stay clean.
+func deferredCapture(f *os.File) (err error) {
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}

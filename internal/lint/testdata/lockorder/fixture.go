@@ -1,0 +1,99 @@
+// Package lockorderfix is the lockorder analyzer's golden fixture: a
+// Store-shaped struct carrying the six subsystem mutexes, with functions
+// that violate (and respect) the documented acquisition order. Lines that
+// must be flagged carry want-comment expectations (see lint_test.go).
+package lockorderfix
+
+import (
+	"os"
+	"sync"
+)
+
+type Store struct {
+	catalogMu sync.RWMutex
+	imagesMu  sync.RWMutex
+	featMu    sync.RWMutex
+	annMu     sync.RWMutex
+	kwMu      sync.RWMutex
+	geoMu     sync.RWMutex
+}
+
+// scratchReorder is the acceptance-criterion case: geoMu taken before
+// catalogMu, the exact inversion the documentation forbids.
+func (s *Store) scratchReorder() {
+	s.geoMu.Lock()
+	s.catalogMu.Lock() // want "acquires catalogMu while holding geoMu"
+	s.catalogMu.Unlock()
+	s.geoMu.Unlock()
+}
+
+// okOrder follows the table and must stay clean.
+func (s *Store) okOrder() {
+	s.catalogMu.Lock()
+	s.imagesMu.Lock()
+	s.geoMu.Lock()
+	s.geoMu.Unlock()
+	s.imagesMu.Unlock()
+	s.catalogMu.Unlock()
+}
+
+// okSkip skips locks, which the discipline allows.
+func (s *Store) okSkip() {
+	s.imagesMu.RLock()
+	s.kwMu.Lock()
+	s.kwMu.Unlock()
+	s.imagesMu.RUnlock()
+}
+
+// lockKw leaves kwMu held for its caller (the helper half of the one-level
+// call-graph case).
+func (s *Store) lockKw() {
+	s.kwMu.Lock()
+}
+
+// viaCall inverts the order through one call level: the splice of lockKw's
+// acquisition makes the later imagesMu lock an inversion.
+func (s *Store) viaCall() {
+	s.lockKw()
+	s.imagesMu.Lock() // want "acquires imagesMu while holding kwMu"
+	s.imagesMu.Unlock()
+	s.kwMu.Unlock()
+}
+
+// reacquire self-deadlocks: the second RLock can block behind a waiting
+// writer that arrived between the two.
+func (s *Store) reacquire() {
+	s.featMu.RLock()
+	s.featMu.RLock() // want "re-acquires featMu"
+	s.featMu.RUnlock()
+	s.featMu.RUnlock()
+}
+
+// syncUnderLock blocks every annotation reader behind an fsync.
+func (s *Store) syncUnderLock(f *os.File) error {
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	err := f.Sync() // want "blocking file I/O"
+	return err
+}
+
+// renameHelper does file I/O directly; ioViaCall reaches it through the
+// call graph while holding a lock.
+func renameHelper(from, to string) error {
+	return os.Rename(from, to)
+}
+
+func (s *Store) ioViaCall() error {
+	s.geoMu.Lock()
+	defer s.geoMu.Unlock()
+	err := renameHelper("a", "b") // want "blocking file I/O"
+	return err
+}
+
+// okIOUnlocked performs the same I/O with no lock held and must stay
+// clean.
+func (s *Store) okIOUnlocked() error {
+	s.geoMu.Lock()
+	s.geoMu.Unlock()
+	return renameHelper("a", "b")
+}

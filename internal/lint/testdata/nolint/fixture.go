@@ -1,0 +1,24 @@
+// Package nolintfix exercises the suppression machinery: a justified
+// directive silences its finding; a bare directive (no reason) silences
+// nothing and is itself reported. The expectations for this fixture are
+// asserted explicitly in lint_test.go rather than via want comments,
+// because a want comment appended to a directive line would parse as the
+// directive's justification.
+package nolintfix
+
+import "time"
+
+// justified documents why the clock read is acceptable; the directive
+// carries a reason, so the determinism finding is suppressed.
+func justified() time.Time {
+	//tvdp:nolint determinism fixture exercises a justified suppression
+	return time.Now()
+}
+
+// unjustified has a bare directive: missing its reason, it suppresses
+// nothing — the time.Now finding below survives, and the directive itself
+// is reported by the synthetic nolint analyzer.
+func unjustified() time.Time {
+	//tvdp:nolint determinism
+	return time.Now()
+}

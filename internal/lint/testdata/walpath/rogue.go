@@ -1,0 +1,14 @@
+package walpathfix
+
+// rogueAppend bypasses the committer and writes the log directly.
+func rogueAppend(w *walWriter, frame []byte) error {
+	if err := w.append(frame); err != nil { // want "direct walWriter.append call outside the WAL layer"
+		return err
+	}
+	return w.b.Sync() // want "direct walBackend.Sync call outside the WAL layer"
+}
+
+// rogueEncode emits a raw payload with no length+CRC framing.
+func rogueEncode(op int) ([]byte, error) {
+	return walPayloads.encode(op) // want "raw walPayloads.encode call outside wal.go"
+}

@@ -1,0 +1,32 @@
+// Package walpathfix is the walpath analyzer's golden fixture: a miniature
+// WAL layer (walBackend, walWriter, walPayloads — the names the analyzer
+// keys on) whose files wal.go and committer.go may touch the backend, and
+// a rogue.go that must not.
+package walpathfix
+
+type walBackend interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+type walWriter struct {
+	b walBackend
+}
+
+type payloadEncoder struct{}
+
+func (payloadEncoder) encode(op int) ([]byte, error) { return []byte{byte(op)}, nil }
+
+var walPayloads payloadEncoder
+
+// encodeFrame is the only sanctioned wrapper around the raw encoder.
+func encodeFrame(op int) ([]byte, error) {
+	return walPayloads.encode(op)
+}
+
+// append writes one frame; legal here because this is wal.go.
+func (w *walWriter) append(frame []byte) error {
+	_, err := w.b.Write(frame)
+	return err
+}

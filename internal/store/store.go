@@ -371,6 +371,7 @@ func (s *Store) Snapshot() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	//tvdp:nolint lockorder snapshot fsync under all six locks is the design: compaction must quiesce the store (see DESIGN.md "Durability")
 	return s.snapshotLocked()
 }
 

@@ -238,7 +238,9 @@ func createWAL(dir string, gen uint64, ops []walOp, syncEvery bool) (*walWriter,
 	}
 	b := newWALBackend(f)
 	fail := func(err error) (*walWriter, error) {
-		b.Close()
+		// A failed close can mean buffered bytes never hit the disk; it
+		// belongs in the reported error alongside whatever failed first.
+		err = errors.Join(err, b.Close())
 		os.Remove(tmp)
 		return nil, fmt.Errorf("store: creating WAL: %w", err)
 	}
@@ -465,12 +467,12 @@ func writeSnapshot(dir string, st *snapshotState) error {
 		return fmt.Errorf("store: creating snapshot: %w", err)
 	}
 	if err := gob.NewEncoder(f).Encode(st); err != nil {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return fmt.Errorf("store: encoding snapshot: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return fmt.Errorf("store: syncing snapshot: %w", err)
 	}
@@ -495,6 +497,7 @@ func readSnapshot(dir string) (*snapshotState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: opening snapshot: %w", err)
 	}
+	//tvdp:nolint errdiscard read-only fd: a close error after a successful decode cannot lose data
 	defer f.Close()
 	var st snapshotState
 	if err := gob.NewDecoder(f).Decode(&st); err != nil {

@@ -18,6 +18,26 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== tvdp-lint (invariant gate) =="
+# The in-tree analyzers guard what vet and -race cannot: the store's
+# six-lock acquisition order, the pipeline determinism contract, the
+# WAL-frames-go-through-the-committer rule, and discarded Close/Sync
+# errors in the durability layers. A failure here means a load-bearing
+# invariant broke — read the finding's fix hint, don't reach for nolint.
+if ! go run ./cmd/tvdp-lint ./...; then
+    echo "tvdp-lint: a platform invariant broke (lock order / determinism / WAL path / error discard)" >&2
+    exit 1
+fi
+# The analyzers themselves must still detect violations: each fixture
+# package is a known-bad corpus, so a clean exit on one means the
+# analyzer went blind.
+for fixture in lockorder determinism walpath errdiscard nolint; do
+    if go run ./cmd/tvdp-lint "./internal/lint/testdata/$fixture" >/dev/null 2>&1; then
+        echo "tvdp-lint: fixture $fixture produced no findings — analyzer regression" >&2
+        exit 1
+    fi
+done
+
 echo "== go build =="
 go build ./...
 
