@@ -6,6 +6,7 @@ package tvdp
 // reproduction record; `cmd/tvdp-bench` prints the full tables.
 
 import (
+	"context"
 	"hash/fnv"
 	"math"
 	"math/rand"
@@ -275,7 +276,7 @@ func BenchmarkA2LSHvsExact_LSH(b *testing.B) {
 	l, qs := lshFixture(b, 20000, 32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := l.TopK(qs[i%len(qs)], 10); err != nil {
+		if _, err := l.TopK(context.Background(), qs[i%len(qs)], 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -285,7 +286,7 @@ func BenchmarkA2LSHvsExact_Exact(b *testing.B) {
 	l, qs := lshFixture(b, 20000, 32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := l.ExactTopK(qs[i%len(qs)], 10); err != nil {
+		if _, err := l.ExactTopK(context.Background(), qs[i%len(qs)], 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -346,7 +347,7 @@ func BenchmarkA3HybridIndex_Hybrid(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		j := i % len(qs)
-		if _, ok, err := p.Store.SearchHybrid(string(feature.KindCNN), qs[j], qvs[j], 10); err != nil || !ok {
+		if _, ok, err := p.Store.SearchHybrid(context.Background(), string(feature.KindCNN), qs[j], qvs[j], 10); err != nil || !ok {
 			b.Fatalf("hybrid: ok=%v err=%v", ok, err)
 		}
 	}
@@ -357,7 +358,7 @@ func BenchmarkA3HybridIndex_TwoPhase(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		j := i % len(qs)
-		if _, err := p.Query.TwoPhaseSpatialVisual(qs[j], string(feature.KindCNN), qvs[j], 10); err != nil {
+		if _, err := p.Query.TwoPhaseSpatialVisual(context.Background(), qs[j], string(feature.KindCNN), qvs[j], 10); err != nil {
 			b.Fatal(err)
 		}
 	}

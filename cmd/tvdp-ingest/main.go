@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"time"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	var (
 		dir     = flag.String("dir", "", "store directory (required)")
 		n       = flag.Int("n", 500, "number of images to generate")
@@ -52,7 +54,7 @@ func main() {
 	}
 	start := time.Now()
 	for i, rec := range g.Generate(*n) {
-		id, err := p.IngestRecord(rec)
+		id, err := p.IngestRecord(ctx, rec)
 		if err != nil {
 			log.Fatalf("ingesting record %d: %v", i, err)
 		}

@@ -1,5 +1,5 @@
 // Command tvdp-lint runs TVDP's invariant analyzers (internal/lint) over
-// the module: lockorder, determinism, walpath, errdiscard.
+// the module: lockorder, determinism, walpath, errdiscard, ctxflow.
 //
 // Usage:
 //
@@ -116,7 +116,9 @@ func fixtureAnalyzers() []lint.Analyzer {
 	det.Scope = []string{"fixture"}
 	ed := lint.NewErrDiscard()
 	ed.Scope = []string{"fixture"}
-	return []lint.Analyzer{lint.NewLockOrder(), det, lint.NewWALPath(), ed}
+	cf := lint.NewCtxFlow()
+	cf.BackgroundScope = []string{"fixture"}
+	return []lint.Analyzer{lint.NewLockOrder(), det, lint.NewWALPath(), ed, cf}
 }
 
 // moduleRoot walks up from the working directory to the enclosing go.mod.

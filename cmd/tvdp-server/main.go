@@ -7,6 +7,11 @@
 //	                                             # print a ready API key
 //	tvdp-server -addr :8080 -pprof :6060         # profiling side listener
 //
+// Lifecycle: SIGINT/SIGTERM triggers a graceful shutdown — the listener
+// stops accepting, in-flight requests drain for up to -shutdown-grace,
+// the group-commit committer quiesces, and the store snapshots and closes
+// so the next open replays nothing. A clean shutdown exits 0.
+//
 // With -pprof, net/http/pprof is served on its own listener (never the
 // API address), so serving-path contention is inspectable live:
 //
@@ -18,11 +23,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	tvdp "repro"
@@ -32,37 +40,68 @@ import (
 )
 
 func main() {
+	logger := log.New(os.Stderr, "tvdp ", log.LstdFlags)
+	if err := run(logger); err != nil {
+		logger.Printf("fatal: %v", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the whole process lifecycle so that every exit path — flag
+// errors, seed failures, server faults, signals — releases the platform
+// (WAL close, committer quiesce) before the process ends. log.Fatalf is
+// banned here: it would skip the deferred Close and leave the next open
+// to replay the WAL.
+func run(logger *log.Logger) error {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		dir   = flag.String("dir", "", "durability directory (empty = in-memory)")
-		demo  = flag.Int("demo", 0, "seed N labelled synthetic images and train a demo model")
-		seed  = flag.Int64("seed", 1, "demo corpus seed")
-		pprof = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. :6060); empty disables")
+		addr       = flag.String("addr", ":8080", "listen address")
+		dir        = flag.String("dir", "", "durability directory (empty = in-memory)")
+		demo       = flag.Int("demo", 0, "seed N labelled synthetic images and train a demo model")
+		seed       = flag.Int64("seed", 1, "demo corpus seed")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. :6060); empty disables")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline budget")
+		grace      = flag.Duration("shutdown-grace", 10*time.Second, "in-flight drain budget after SIGINT/SIGTERM")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "tvdp ", log.LstdFlags)
 
-	if *pprof != "" {
+	// ctx is the process lifecycle: cancelled on the first SIGINT/SIGTERM.
+	// A second signal kills the process the default way (stop() restores
+	// default handling once ctx is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *pprofAddr != "" {
 		// The pprof import registers its handlers on http.DefaultServeMux;
 		// serving that mux on a separate listener keeps the profiling
-		// surface off the API address.
+		// surface off the API address. ReadHeaderTimeout keeps the side
+		// listener Slowloris-proof.
+		side := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
 		go func() {
-			logger.Printf("pprof listening on %s", *pprof)
-			if err := http.ListenAndServe(*pprof, nil); err != nil {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			if err := side.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				logger.Printf("pprof listener: %v", err)
 			}
 		}()
+		defer side.Close()
 	}
 
 	p, err := tvdp.Open(tvdp.Config{Dir: *dir})
 	if err != nil {
-		logger.Fatalf("opening platform: %v", err)
+		return err
 	}
-	defer p.Close()
+	defer func() {
+		if err := p.Close(); err != nil {
+			logger.Printf("closing platform: %v", err)
+		}
+	}()
 
 	if *demo > 0 {
-		if err := seedDemo(p, *demo, *seed, logger); err != nil {
-			logger.Fatalf("seeding demo: %v", err)
+		if err := seedDemo(ctx, p, *demo, *seed, logger); err != nil {
+			return err
 		}
 	}
 
@@ -70,12 +109,26 @@ func main() {
 	logger.Printf("platform ready: %d images, %d classifications, %d models, features %v",
 		st.Images, st.Classifications, st.Models, st.FeatureKinds)
 	logger.Printf("listening on %s", *addr)
-	if err := p.Serve(*addr, logger); err != nil {
-		logger.Fatalf("server: %v", err)
+	err = p.Serve(ctx, tvdp.ServeConfig{
+		Addr:           *addr,
+		Logger:         logger,
+		RequestTimeout: *reqTimeout,
+		ShutdownGrace:  *grace,
+	})
+	if err != nil {
+		return err
 	}
+	// Clean drain: snapshot now so the next open is replay-free, then let
+	// the deferred Close quiesce the committer and close the WAL.
+	logger.Printf("drained; snapshotting store")
+	if err := p.Store.Snapshot(); err != nil {
+		return err
+	}
+	logger.Printf("shutdown complete")
+	return nil
 }
 
-func seedDemo(p *tvdp.Platform, n int, seed int64, logger *log.Logger) error {
+func seedDemo(ctx context.Context, p *tvdp.Platform, n int, seed int64, logger *log.Logger) error {
 	if _, err := p.CreateClassification("street_cleanliness", synth.ClassNames[:]); err != nil {
 		return err
 	}
@@ -84,7 +137,7 @@ func seedDemo(p *tvdp.Platform, n int, seed int64, logger *log.Logger) error {
 		return err
 	}
 	for _, rec := range g.Generate(n) {
-		id, err := p.IngestRecord(rec)
+		id, err := p.IngestRecord(ctx, rec)
 		if err != nil {
 			return err
 		}
@@ -92,7 +145,7 @@ func seedDemo(p *tvdp.Platform, n int, seed int64, logger *log.Logger) error {
 			return err
 		}
 	}
-	spec, err := p.TrainModel(analysis.TrainConfig{
+	spec, err := p.TrainModel(ctx, analysis.TrainConfig{
 		Name:           "cleanliness-demo",
 		Classification: "street_cleanliness",
 		FeatureKind:    string(feature.KindColorHist),

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := tvdp.Open(tvdp.Config{})
 	if err != nil {
 		log.Fatal(err)
@@ -37,7 +39,7 @@ func main() {
 	for i, rec := range g.Generate(60) {
 		// Clamp passive captures toward the center to create gaps.
 		rec.FOV.Camera = geo.Destination(la, float64(i*6), 300)
-		if _, err := p.IngestRecord(rec); err != nil {
+		if _, err := p.IngestRecord(ctx, rec); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -63,7 +65,7 @@ func main() {
 		for _, c := range caps {
 			img := imagesim.MustNew(48, 48)
 			img.Fill(imagesim.RGB{R: 120, G: 120, B: 120})
-			if _, err := p.Ingest(img, c.FOV, time.Now(), []string{"campaign"}); err != nil {
+			if _, err := p.Ingest(ctx, img, c.FOV, time.Now(), []string{"campaign"}); err != nil {
 				log.Printf("ingest: %v", err)
 			}
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := tvdp.Open(tvdp.Config{})
 	if err != nil {
 		log.Fatal(err)
@@ -66,7 +68,7 @@ func main() {
 		}
 		smoke := 0
 		for i, id := range ids {
-			if _, err := p.Analysis.ExtractAndStore(id); err != nil {
+			if _, err := p.Analysis.ExtractAndStore(ctx, id); err != nil {
 				log.Fatal(err)
 			}
 			if label {
@@ -94,7 +96,7 @@ func main() {
 	_, _, _ = ingestFlight("training flight 2", geo.Destination(base, 180, 150), 90, 2, true)
 
 	// Train the smoke detector from the stored, labelled frames.
-	spec, err := p.TrainModel(analysis.TrainConfig{
+	spec, err := p.TrainModel(ctx, analysis.TrainConfig{
 		Name:           "smoke-detector",
 		Classification: "wildfire_smoke",
 		FeatureKind:    string(feature.KindColorHist),
@@ -110,7 +112,7 @@ func main() {
 
 	// Flight 3 (monitoring): a new unlabelled pass on a different track.
 	_, ids3, frames3 := ingestFlight("monitoring flight", geo.Destination(base, 0, 100), 90, 3, false)
-	annotated, _, err := p.Analysis.AnnotateImages("smoke-detector", ids3, time.Now())
+	annotated, _, err := p.Analysis.AnnotateImages(ctx, "smoke-detector", ids3, time.Now())
 	if err != nil {
 		log.Fatal(err)
 	}

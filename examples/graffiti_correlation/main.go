@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := tvdp.Open(tvdp.Config{})
 	if err != nil {
 		log.Fatal(err)
@@ -43,7 +45,7 @@ func main() {
 	recs := g.Generate(400)
 	truthGraffiti := make(map[uint64]bool)
 	for i, rec := range recs {
-		id, err := p.IngestRecord(rec)
+		id, err := p.IngestRecord(ctx, rec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,7 +69,7 @@ func main() {
 
 	// Separate learning: a graffiti detector from the same stored
 	// features the cleanliness work already extracted.
-	spec, err := p.TrainModel(analysis.TrainConfig{
+	spec, err := p.TrainModel(ctx, analysis.TrainConfig{
 		Name:           "graffiti-detector",
 		Classification: "graffiti",
 		FeatureKind:    string(feature.KindColorHist),
@@ -82,7 +84,7 @@ func main() {
 	fmt.Printf("graffiti detector trained on %d rows (validation macro-F1 %.3f)\n\n", spec.TrainedOn, spec.MacroF1)
 
 	// Machine-annotate the 100 images the graffiti team never saw.
-	annotated, _, err := p.AnnotateAll("graffiti-detector", time.Now())
+	annotated, _, err := p.AnnotateAll(ctx, "graffiti-detector", time.Now())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,11 +96,11 @@ func main() {
 	var dirtyRate, cleanRate float64
 	for cls := 0; cls < synth.NumClasses; cls++ {
 		name := synth.Class(cls).String()
-		withG, _, err := p.Search(queryAnd(name, "Graffiti"))
+		withG, _, err := p.Search(ctx, queryAnd(name, "Graffiti"))
 		if err != nil {
 			log.Fatal(err)
 		}
-		withoutG, _, err := p.Search(queryAnd(name, "No Graffiti"))
+		withoutG, _, err := p.Search(ctx, queryAnd(name, "No Graffiti"))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := tvdp.Open(tvdp.Config{})
 	if err != nil {
 		log.Fatal(err)
@@ -37,7 +39,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, rec := range g.Generate(400) {
-		id, err := p.IngestRecord(rec)
+		id, err := p.IngestRecord(ctx, rec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,7 +49,7 @@ func main() {
 	}
 
 	// --- Department B (Homeless Coordinator): pure reuse. ---
-	res, plan, err := p.Search(query.Query{
+	res, plan, err := p.Search(ctx, query.Query{
 		Categorical: &query.CategoricalClause{
 			Classification: "street_cleanliness", Label: "Encampment",
 		},

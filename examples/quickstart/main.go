@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := tvdp.Open(tvdp.Config{}) // in-memory
 	if err != nil {
 		log.Fatal(err)
@@ -36,7 +38,7 @@ func main() {
 	}
 	var firstEncampment uint64
 	for _, rec := range g.Generate(50) {
-		id, err := p.IngestRecord(rec)
+		id, err := p.IngestRecord(ctx, rec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,14 +56,14 @@ func main() {
 
 	// 3. Spatial query: everything within 3 km of downtown.
 	r := geo.NewRect(geo.Destination(la, 315, 3000), geo.Destination(la, 135, 3000))
-	res, plan, err := p.Search(query.Query{Spatial: &query.SpatialClause{Rect: &r}})
+	res, plan, err := p.Search(ctx, query.Query{Spatial: &query.SpatialClause{Rect: &r}})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("spatial (3 km box): %d hits  [%s]\n", len(res), plan)
 
 	// 4. Categorical query: images labelled Encampment.
-	res, plan, err = p.Search(query.Query{
+	res, plan, err = p.Search(ctx, query.Query{
 		Categorical: &query.CategoricalClause{Classification: "street_cleanliness", Label: "Encampment"},
 	})
 	if err != nil {
@@ -70,7 +72,7 @@ func main() {
 	fmt.Printf("categorical (Encampment): %d hits  [%s]\n", len(res), plan)
 
 	// 5. Textual query: keyword search.
-	res, plan, err = p.Search(query.Query{
+	res, plan, err = p.Search(ctx, query.Query{
 		Textual: &query.TextualClause{Terms: []string{"tent", "homeless"}},
 	})
 	if err != nil {
@@ -80,7 +82,7 @@ func main() {
 
 	// 6. Temporal query: the first collection week.
 	start := time.Date(2019, 1, 7, 0, 0, 0, 0, time.UTC)
-	res, plan, err = p.Search(query.Query{
+	res, plan, err = p.Search(ctx, query.Query{
 		Temporal: &query.TemporalClause{From: start, To: start.AddDate(0, 0, 7)},
 	})
 	if err != nil {
@@ -94,7 +96,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, plan, err = p.Search(query.Query{
+	res, plan, err = p.Search(ctx, query.Query{
 		Visual: &query.VisualClause{Kind: string(feature.KindColorHist), Vec: vec, K: 5},
 	})
 	if err != nil {

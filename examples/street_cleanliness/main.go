@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := tvdp.Open(tvdp.Config{})
 	if err != nil {
 		log.Fatal(err)
@@ -39,7 +41,7 @@ func main() {
 	var unlabeled []uint64
 	truth := make(map[uint64]synth.Class)
 	for i, rec := range g.Generate(300) {
-		id, err := p.IngestRecord(rec)
+		id, err := p.IngestRecord(ctx, rec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,7 +58,7 @@ func main() {
 
 	// USC researchers train an SVM over the shared colour features with a
 	// validation holdout (the paper's protocol).
-	spec, err := p.TrainModel(analysis.TrainConfig{
+	spec, err := p.TrainModel(ctx, analysis.TrainConfig{
 		Name:           "lasan-cleanliness-svm",
 		Classification: "street_cleanliness",
 		FeatureKind:    string(feature.KindColorHist),
@@ -73,7 +75,7 @@ func main() {
 
 	// The model machine-annotates the raw captures; results are written
 	// back to the store as augmented knowledge.
-	annotated, skipped, err := p.Analysis.AnnotateImages(spec.Name, unlabeled, time.Now())
+	annotated, skipped, err := p.Analysis.AnnotateImages(ctx, spec.Name, unlabeled, time.Now())
 	if err != nil {
 		log.Fatal(err)
 	}

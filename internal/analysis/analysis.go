@@ -7,6 +7,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -18,6 +19,11 @@ import (
 	"repro/internal/ml"
 	"repro/internal/store"
 )
+
+// recordCheckpoint is the cancellation-poll cadence of the service's
+// per-record loops (training join, batch annotation): ctx.Err is consulted
+// once per this many records.
+const recordCheckpoint = 64
 
 // ModelSpec is the shareable description of a registered model — the
 // "defining its input and output specifications" of §V's devise-new-models
@@ -202,8 +208,10 @@ func (s *Service) ExtractorKinds() []string {
 }
 
 // ExtractAndStore computes and stores every registered feature family for
-// an image, returning the kinds written.
-func (s *Service) ExtractAndStore(imageID uint64) ([]string, error) {
+// an image, returning the kinds written. Cancellation is honoured between
+// feature families: kinds already written stay written (each PutFeature is
+// durable on its own), and the partial list is returned with the error.
+func (s *Service) ExtractAndStore(ctx context.Context, imageID uint64) ([]string, error) {
 	img, err := s.Store.GetImage(imageID)
 	if err != nil {
 		return nil, err
@@ -211,6 +219,9 @@ func (s *Service) ExtractAndStore(imageID uint64) ([]string, error) {
 	kinds := s.ExtractorKinds()
 	var done []string
 	for _, kind := range kinds {
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
 		e, err := s.Extractor(kind)
 		if err != nil {
 			return done, err
@@ -265,7 +276,7 @@ var ErrNoTrainingData = errors.New("analysis: no training data")
 // TrainModel joins stored features with stored annotations for the given
 // classification, fits a classifier, registers it, and returns its spec.
 // This is how a collaborator "devises a new ML model" from shared data.
-func (s *Service) TrainModel(cfg TrainConfig) (ModelSpec, error) {
+func (s *Service) TrainModel(ctx context.Context, cfg TrainConfig) (ModelSpec, error) {
 	if cfg.Name == "" {
 		return ModelSpec{}, errors.New("analysis: TrainConfig.Name required")
 	}
@@ -278,8 +289,15 @@ func (s *Service) TrainModel(cfg TrainConfig) (ModelSpec, error) {
 	}
 	var d ml.Dataset
 	d.Classes = len(cls.Labels)
+	joined := 0
 	for label := range cls.Labels {
 		for _, id := range s.Store.ImagesByLabel(cls.ID, label) {
+			if joined%recordCheckpoint == 0 {
+				if err := ctx.Err(); err != nil {
+					return ModelSpec{}, err
+				}
+			}
+			joined++
 			if cfg.MinConfidence > 0 {
 				ok := false
 				for _, a := range s.Store.AnnotationsFor(id) {
@@ -302,6 +320,10 @@ func (s *Service) TrainModel(cfg TrainConfig) (ModelSpec, error) {
 	}
 	if d.Len() == 0 {
 		return ModelSpec{}, fmt.Errorf("%w: classification %q feature %q", ErrNoTrainingData, cfg.Classification, cfg.FeatureKind)
+	}
+	// Phase boundary: join done, standardisation + fitting ahead.
+	if err := ctx.Err(); err != nil {
+		return ModelSpec{}, err
 	}
 	std, err := ml.FitStandardizer(d.X)
 	if err != nil {
@@ -328,6 +350,10 @@ func (s *Service) TrainModel(cfg TrainConfig) (ModelSpec, error) {
 			spec.MacroF1 = res.MacroF1
 		}
 	}
+	// Phase boundary: validation done, final fit ahead.
+	if err := ctx.Err(); err != nil {
+		return ModelSpec{}, err
+	}
 	final = cfg.Factory()
 	if err := final.Fit(d); err != nil {
 		return ModelSpec{}, err
@@ -345,7 +371,9 @@ func (s *Service) TrainModel(cfg TrainConfig) (ModelSpec, error) {
 // AnnotateImages runs the named model over stored images and writes
 // machine annotations back (the translational write-back of §VII-B).
 // Images lacking the model's feature kind are skipped and reported.
-func (s *Service) AnnotateImages(modelName string, imageIDs []uint64, at time.Time) (annotated, skipped int, err error) {
+// Cancellation is honoured between records: annotations already written
+// stay written and the partial counts are returned with the error.
+func (s *Service) AnnotateImages(ctx context.Context, modelName string, imageIDs []uint64, at time.Time) (annotated, skipped int, err error) {
 	spec, err := s.Registry.Spec(modelName)
 	if err != nil {
 		return 0, 0, err
@@ -354,7 +382,12 @@ func (s *Service) AnnotateImages(modelName string, imageIDs []uint64, at time.Ti
 	if err != nil {
 		return 0, 0, err
 	}
-	for _, id := range imageIDs {
+	for i, id := range imageIDs {
+		if i%recordCheckpoint == 0 {
+			if err := ctx.Err(); err != nil {
+				return annotated, skipped, err
+			}
+		}
 		vec, err := s.Store.GetFeature(id, spec.FeatureKind)
 		if err != nil {
 			skipped++
@@ -384,7 +417,7 @@ func (s *Service) AnnotateImages(modelName string, imageIDs []uint64, at time.Ti
 // attaches the largest salient region of each image to the written
 // annotation — the part-of-image bounding boundary of §IV-A. Images where
 // no region is proposed get a whole-image annotation.
-func (s *Service) AnnotateImagesWithRegions(modelName string, imageIDs []uint64, at time.Time, rc feature.RegionConfig) (annotated, withRegion int, err error) {
+func (s *Service) AnnotateImagesWithRegions(ctx context.Context, modelName string, imageIDs []uint64, at time.Time, rc feature.RegionConfig) (annotated, withRegion int, err error) {
 	spec, err := s.Registry.Spec(modelName)
 	if err != nil {
 		return 0, 0, err
@@ -393,7 +426,12 @@ func (s *Service) AnnotateImagesWithRegions(modelName string, imageIDs []uint64,
 	if err != nil {
 		return 0, 0, err
 	}
-	for _, id := range imageIDs {
+	for i, id := range imageIDs {
+		if i%recordCheckpoint == 0 {
+			if err := ctx.Err(); err != nil {
+				return annotated, withRegion, err
+			}
+		}
 		vec, err := s.Store.GetFeature(id, spec.FeatureKind)
 		if err != nil {
 			continue

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -53,7 +54,7 @@ func setup(t *testing.T) *fixture {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := svc.ExtractAndStore(id); err != nil {
+		if _, err := svc.ExtractAndStore(context.Background(), id); err != nil {
 			t.Fatal(err)
 		}
 		if i < 80 {
@@ -129,7 +130,7 @@ func TestExtractAndStore(t *testing.T) {
 	if err != nil || len(vec) != 50 {
 		t.Fatalf("vec len=%d err=%v", len(vec), err)
 	}
-	if _, err := f.svc.ExtractAndStore(99999); err == nil {
+	if _, err := f.svc.ExtractAndStore(context.Background(), 99999); err == nil {
 		t.Fatal("missing image accepted")
 	}
 }
@@ -148,7 +149,7 @@ func TestExtractUploaded(t *testing.T) {
 
 func TestTrainModelAndPredict(t *testing.T) {
 	f := setup(t)
-	spec, err := f.svc.TrainModel(TrainConfig{
+	spec, err := f.svc.TrainModel(context.Background(), TrainConfig{
 		Name:           "cleanliness-color-svm",
 		Classification: "street_cleanliness",
 		FeatureKind:    string(feature.KindColorHist),
@@ -178,13 +179,13 @@ func TestTrainModelAndPredict(t *testing.T) {
 
 func TestTrainModelErrors(t *testing.T) {
 	f := setup(t)
-	if _, err := f.svc.TrainModel(TrainConfig{}); err == nil {
+	if _, err := f.svc.TrainModel(context.Background(), TrainConfig{}); err == nil {
 		t.Fatal("nameless train accepted")
 	}
-	if _, err := f.svc.TrainModel(TrainConfig{Name: "m", Classification: "nope", FeatureKind: "f"}); err == nil {
+	if _, err := f.svc.TrainModel(context.Background(), TrainConfig{Name: "m", Classification: "nope", FeatureKind: "f"}); err == nil {
 		t.Fatal("unknown classification accepted")
 	}
-	if _, err := f.svc.TrainModel(TrainConfig{
+	if _, err := f.svc.TrainModel(context.Background(), TrainConfig{
 		Name: "m", Classification: "street_cleanliness", FeatureKind: "no_such_kind",
 	}); !errors.Is(err, ErrNoTrainingData) {
 		t.Fatal("unknown feature kind should give no training data")
@@ -193,7 +194,7 @@ func TestTrainModelErrors(t *testing.T) {
 
 func TestAnnotateImagesWriteBack(t *testing.T) {
 	f := setup(t)
-	if _, err := f.svc.TrainModel(TrainConfig{
+	if _, err := f.svc.TrainModel(context.Background(), TrainConfig{
 		Name:           "m",
 		Classification: "street_cleanliness",
 		FeatureKind:    string(feature.KindColorHist),
@@ -202,7 +203,7 @@ func TestAnnotateImagesWriteBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	at := time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC)
-	annotated, skipped, err := f.svc.AnnotateImages("m", f.raw, at)
+	annotated, skipped, err := f.svc.AnnotateImages(context.Background(), "m", f.raw, at)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestAnnotateImagesWriteBack(t *testing.T) {
 		t.Fatalf("labelled images = %d, want 100", total)
 	}
 	// Unknown model errors; images without the feature are skipped.
-	if _, _, err := f.svc.AnnotateImages("nope", f.raw, at); !errors.Is(err, ErrModelNotFound) {
+	if _, _, err := f.svc.AnnotateImages(context.Background(), "nope", f.raw, at); !errors.Is(err, ErrModelNotFound) {
 		t.Fatal("unknown model accepted")
 	}
 	// Add an image without features: it must be skipped, not fail.
@@ -236,7 +237,7 @@ func TestAnnotateImagesWriteBack(t *testing.T) {
 		FOV:    geo.FOV{Camera: la, Direction: 0, Angle: 60, Radius: 100},
 		Pixels: px, TimestampCapturing: at,
 	})
-	annotated, skipped, err = f.svc.AnnotateImages("m", []uint64{id}, at)
+	annotated, skipped, err = f.svc.AnnotateImages(context.Background(), "m", []uint64{id}, at)
 	if err != nil || annotated != 0 || skipped != 1 {
 		t.Fatalf("featureless image: annotated=%d skipped=%d err=%v", annotated, skipped, err)
 	}
@@ -253,7 +254,7 @@ func TestMinConfidenceFiltersTraining(t *testing.T) {
 			Confidence: 0.2, Source: store.SourceMachine,
 		})
 	}
-	spec, err := f.svc.TrainModel(TrainConfig{
+	spec, err := f.svc.TrainModel(context.Background(), TrainConfig{
 		Name:           "confident-only",
 		Classification: "street_cleanliness",
 		FeatureKind:    string(feature.KindColorHist),
@@ -270,7 +271,7 @@ func TestMinConfidenceFiltersTraining(t *testing.T) {
 
 func TestAnnotateImagesWithRegions(t *testing.T) {
 	f := setup(t)
-	if _, err := f.svc.TrainModel(TrainConfig{
+	if _, err := f.svc.TrainModel(context.Background(), TrainConfig{
 		Name:           "regions-model",
 		Classification: "street_cleanliness",
 		FeatureKind:    string(feature.KindColorHist),
@@ -279,7 +280,7 @@ func TestAnnotateImagesWithRegions(t *testing.T) {
 		t.Fatal(err)
 	}
 	at := time.Date(2019, 3, 2, 0, 0, 0, 0, time.UTC)
-	annotated, withRegion, err := f.svc.AnnotateImagesWithRegions(
+	annotated, withRegion, err := f.svc.AnnotateImagesWithRegions(context.Background(),
 		"regions-model", f.raw, at, feature.DefaultRegionConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -310,14 +311,14 @@ func TestAnnotateImagesWithRegions(t *testing.T) {
 	if !found {
 		t.Fatal("no region annotations written")
 	}
-	if _, _, err := f.svc.AnnotateImagesWithRegions("nope", f.raw, at, feature.DefaultRegionConfig()); !errors.Is(err, ErrModelNotFound) {
+	if _, _, err := f.svc.AnnotateImagesWithRegions(context.Background(), "nope", f.raw, at, feature.DefaultRegionConfig()); !errors.Is(err, ErrModelNotFound) {
 		t.Fatal("unknown model accepted")
 	}
 }
 
 func TestModelExportImportRoundTrip(t *testing.T) {
 	f := setup(t)
-	if _, err := f.svc.TrainModel(TrainConfig{
+	if _, err := f.svc.TrainModel(context.Background(), TrainConfig{
 		Name:           "exportable",
 		Classification: "street_cleanliness",
 		FeatureKind:    string(feature.KindColorHist),

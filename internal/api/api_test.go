@@ -25,6 +25,13 @@ type env struct {
 }
 
 func newEnv(t *testing.T) *env {
+	return newEnvTimeout(t, 0)
+}
+
+// newEnvTimeout is newEnv with an explicit per-request deadline budget
+// (0 keeps the default); the budget must be set before the listener
+// starts so handlers and the test never race on the field.
+func newEnvTimeout(t *testing.T, budget time.Duration) *env {
 	t.Helper()
 	st, err := store.Open(store.DefaultConfig())
 	if err != nil {
@@ -35,6 +42,9 @@ func newEnv(t *testing.T) *env {
 	svc.RegisterExtractor(feature.NewColorHistogram())
 	server := NewServer(st, svc, nil)
 	server.Clock = func() time.Time { return time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC) }
+	if budget != 0 {
+		server.RequestTimeout = budget
+	}
 	ts := httptest.NewServer(server)
 	t.Cleanup(ts.Close)
 	boot := NewClient(ts.URL, "")

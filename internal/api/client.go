@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,7 +16,14 @@ import (
 // nnProfiles indirection keeps the server's dispatch endpoint testable.
 func nnProfiles() []nn.ModelProfile { return nn.Profiles() }
 
-// Client is the typed cross-platform client library of §V.
+// DefaultClientTimeout bounds each client call when NewClient's caller
+// does not override the transport.
+const DefaultClientTimeout = 30 * time.Second
+
+// Client is the typed cross-platform client library of §V. Every request
+// carries a context: the convenience methods originate one internally
+// (bounded by the HTTP client's timeout), and DoCtx-based variants let
+// callers supply their own for cancellation or tighter deadlines.
 type Client struct {
 	BaseURL string
 	APIKey  string
@@ -23,12 +31,22 @@ type Client struct {
 }
 
 // NewClient returns a client for the given base URL (no trailing slash)
-// and API key.
+// and API key, with DefaultClientTimeout on every call.
 func NewClient(baseURL, apiKey string) *Client {
+	return NewClientTimeout(baseURL, apiKey, DefaultClientTimeout)
+}
+
+// NewClientTimeout is NewClient with an explicit per-call timeout;
+// timeout <= 0 means unbounded (the caller then owns bounding calls via
+// the ctx variants).
+func NewClientTimeout(baseURL, apiKey string, timeout time.Duration) *Client {
+	if timeout < 0 {
+		timeout = 0
+	}
 	return &Client{
 		BaseURL: baseURL,
 		APIKey:  apiKey,
-		HTTP:    &http.Client{Timeout: 30 * time.Second},
+		HTTP:    &http.Client{Timeout: timeout},
 	}
 }
 
@@ -43,7 +61,20 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("api: HTTP %d: %s", e.Status, e.Message)
 }
 
+// root originates the request context for the non-ctx convenience
+// methods. The client library is a lifecycle boundary: its callers by
+// definition have no surrounding request, so this is the one legitimate
+// origination point in the package.
+func (c *Client) root() context.Context {
+	//tvdp:nolint ctxflow client convenience methods are lifecycle roots; calls stay bounded by the HTTP client timeout
+	return context.Background()
+}
+
 func (c *Client) do(method, path string, in, out any) error {
+	return c.doCtx(c.root(), method, path, in, out)
+}
+
+func (c *Client) doCtx(ctx context.Context, method, path string, in, out any) error {
 	var body *bytes.Buffer
 	if in != nil {
 		body = &bytes.Buffer{}
@@ -53,7 +84,7 @@ func (c *Client) do(method, path string, in, out any) error {
 	} else {
 		body = &bytes.Buffer{}
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
@@ -100,8 +131,13 @@ func (c *Client) CreateKey(userID uint64) (string, error) {
 
 // UploadImage adds new visual data.
 func (c *Client) UploadImage(req UploadImageRequest) (UploadImageResponse, error) {
+	return c.UploadImageCtx(c.root(), req)
+}
+
+// UploadImageCtx is UploadImage bounded by the caller's context.
+func (c *Client) UploadImageCtx(ctx context.Context, req UploadImageRequest) (UploadImageResponse, error) {
 	var out UploadImageResponse
-	err := c.do("POST", "/api/v1/images", req, &out)
+	err := c.doCtx(ctx, "POST", "/api/v1/images", req, &out)
 	return out, err
 }
 
@@ -126,8 +162,13 @@ func (c *Client) Annotate(id uint64, req AnnotateRequest) error {
 
 // Search runs a multi-modal query.
 func (c *Client) Search(req SearchRequest) (SearchResponse, error) {
+	return c.SearchCtx(c.root(), req)
+}
+
+// SearchCtx is Search bounded by the caller's context.
+func (c *Client) SearchCtx(ctx context.Context, req SearchRequest) (SearchResponse, error) {
 	var out SearchResponse
-	err := c.do("POST", "/api/v1/search", req, &out)
+	err := c.doCtx(ctx, "POST", "/api/v1/search", req, &out)
 	return out, err
 }
 
@@ -155,8 +196,15 @@ func (c *Client) ListModels() ([]ModelSpecDTO, error) {
 
 // TrainModel devises a new model from stored annotated data.
 func (c *Client) TrainModel(req TrainRequest) (ModelSpecDTO, error) {
+	return c.TrainModelCtx(c.root(), req)
+}
+
+// TrainModelCtx is TrainModel bounded by the caller's context — training
+// is the longest-running endpoint, so cancellable invocation matters most
+// here.
+func (c *Client) TrainModelCtx(ctx context.Context, req TrainRequest) (ModelSpecDTO, error) {
 	var out ModelSpecDTO
-	err := c.do("POST", "/api/v1/models/train", req, &out)
+	err := c.doCtx(ctx, "POST", "/api/v1/models/train", req, &out)
 	return out, err
 }
 
@@ -221,7 +269,12 @@ func (c *Client) GetVideo(id uint64) (VideoDTO, error) {
 // DownloadModel fetches the portable form of a trained model for local
 // execution (API 6 of §V).
 func (c *Client) DownloadModel(name string) ([]byte, error) {
-	req, err := http.NewRequest("GET", c.BaseURL+"/api/v1/models/"+url.PathEscape(name)+"/download", nil)
+	return c.DownloadModelCtx(c.root(), name)
+}
+
+// DownloadModelCtx is DownloadModel bounded by the caller's context.
+func (c *Client) DownloadModelCtx(ctx context.Context, name string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", c.BaseURL+"/api/v1/models/"+url.PathEscape(name)+"/download", nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,103 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// Request-lifecycle tests: the deadline budget each handler derives, the
+// HTTP mapping of context errors (504 for a blown deadline, 499 for a
+// client that hung up), and the client library's ctx plumbing.
+
+// TestExpiredDeadlineMapsTo504 serves with a deadline budget so small the
+// handler's context is already expired when the query layer first checks
+// it; the search must come back as 504 Gateway Timeout, not 500 and not a
+// partial result set.
+func TestExpiredDeadlineMapsTo504(t *testing.T) {
+	e := newEnvTimeout(t, time.Nanosecond)
+	var req SearchRequest
+	req.Textual = &struct {
+		Terms    []string `json:"terms"`
+		MatchAll bool     `json:"match_all"`
+	}{Terms: []string{"tent"}}
+	_, err := e.client.Search(req)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusGatewayTimeout {
+		t.Fatalf("expired-deadline search error = %v, want HTTP 504", err)
+	}
+}
+
+// TestUploadExpiredDeadlineMapsTo504 pins the same contract on the write
+// path: feature extraction checks its context between kinds.
+func TestUploadExpiredDeadlineMapsTo504(t *testing.T) {
+	e := newEnvTimeout(t, time.Nanosecond)
+	_, err := e.client.UploadImage(sampleUpload(t, 3))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusGatewayTimeout {
+		t.Fatalf("expired-deadline upload error = %v, want HTTP 504", err)
+	}
+}
+
+// TestStatusForContextErrors pins the error→status table for context
+// errors, including wrapped forms: DeadlineExceeded is the server's fault
+// budget running out (504); Canceled means the client went away (499, the
+// nginx convention).
+func TestStatusForContextErrors(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{fmt.Errorf("search: %w", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{context.Canceled, StatusClientClosedRequest},
+		{fmt.Errorf("drive: %w", context.Canceled), StatusClientClosedRequest},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err); got != c.want {
+			t.Errorf("statusFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+	if StatusClientClosedRequest != 499 {
+		t.Fatalf("StatusClientClosedRequest = %d, want 499", StatusClientClosedRequest)
+	}
+}
+
+// TestClientCtxVariantsPropagate proves the ...Ctx client methods hand the
+// caller's context to the transport: a pre-cancelled context aborts the
+// call before any response is read.
+func TestClientCtxVariantsPropagate(t *testing.T) {
+	e := newEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.client.SearchCtx(ctx, SearchRequest{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SearchCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := e.client.UploadImageCtx(ctx, sampleUpload(t, 4)); !errors.Is(err, context.Canceled) {
+		t.Errorf("UploadImageCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := e.client.TrainModelCtx(ctx, TrainRequest{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("TrainModelCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := e.client.DownloadModelCtx(ctx, "missing"); !errors.Is(err, context.Canceled) {
+		t.Errorf("DownloadModelCtx err = %v, want context.Canceled", err)
+	}
+}
+
+// TestClientTimeoutConfigurable pins the NewClientTimeout contract: the
+// default client carries DefaultClientTimeout, an explicit timeout is
+// honoured, and <= 0 means unbounded.
+func TestClientTimeoutConfigurable(t *testing.T) {
+	if c := NewClient("http://x", ""); c.HTTP.Timeout != DefaultClientTimeout {
+		t.Fatalf("default timeout = %v", c.HTTP.Timeout)
+	}
+	if c := NewClientTimeout("http://x", "", 5*time.Second); c.HTTP.Timeout != 5*time.Second {
+		t.Fatalf("explicit timeout = %v", c.HTTP.Timeout)
+	}
+	if c := NewClientTimeout("http://x", "", -1); c.HTTP.Timeout != 0 {
+		t.Fatalf("negative timeout = %v, want unbounded", c.HTTP.Timeout)
+	}
+}

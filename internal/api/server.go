@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +18,15 @@ import (
 	"repro/internal/store"
 )
 
+// DefaultRequestTimeout is the per-request deadline budget handlers get
+// when the Server's RequestTimeout field is left zero.
+const DefaultRequestTimeout = 30 * time.Second
+
+// StatusClientClosedRequest is the non-standard 499 status (nginx
+// convention) reported when the client abandoned the request — the
+// context was cancelled rather than deadline-expired.
+const StatusClientClosedRequest = 499
+
 // Server wires the platform services behind HTTP.
 type Server struct {
 	Store   *store.Store
@@ -25,25 +35,39 @@ type Server struct {
 	Logger  *log.Logger
 	// Clock supplies timestamps (injectable for tests).
 	Clock func() time.Time
-	mux   *http.ServeMux
+	// RequestTimeout is the deadline budget each request's context gets
+	// (measured from dispatch). Zero means DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	mux            *http.ServeMux
 }
 
 // NewServer builds the router.
 func NewServer(st *store.Store, svc *analysis.Service, logger *log.Logger) *Server {
 	s := &Server{
-		Store:   st,
-		Service: svc,
-		Query:   query.New(st),
-		Logger:  logger,
-		Clock:   time.Now,
-		mux:     http.NewServeMux(),
+		Store:          st,
+		Service:        svc,
+		Query:          query.New(st),
+		Logger:         logger,
+		Clock:          time.Now,
+		RequestTimeout: DefaultRequestTimeout,
+		mux:            http.NewServeMux(),
 	}
 	s.routes()
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request runs under a context
+// derived from the client's with the server's deadline budget applied, so
+// a slow scan is bounded even when the client never disconnects.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	budget := s.RequestTimeout
+	if budget <= 0 {
+		budget = DefaultRequestTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	s.mux.ServeHTTP(w, r.WithContext(ctx))
+}
 
 func (s *Server) routes() {
 	// Bootstrap endpoints (unauthenticated): participant and key
@@ -107,9 +131,15 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 
-// statusFor maps domain errors to HTTP codes.
+// statusFor maps domain errors to HTTP codes. Context errors come first:
+// a deadline overrun is the server's 504, a client-side cancellation the
+// nginx-style 499.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
 	case errors.Is(err, store.ErrNotFound), errors.Is(err, analysis.ErrModelNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, store.ErrDuplicate), errors.Is(err, analysis.ErrModelExists):
@@ -190,7 +220,7 @@ func (s *Server) handleUploadImage(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	kinds, err := s.Service.ExtractAndStore(id)
+	kinds, err := s.Service.ExtractAndStore(r.Context(), id)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -337,7 +367,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.Temporal != nil {
 		q.Temporal = &query.TemporalClause{From: req.Temporal.From, To: req.Temporal.To}
 	}
-	results, plan, err := s.Query.Run(q)
+	results, plan, err := s.Query.Run(r.Context(), q)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -356,13 +386,17 @@ func (s *Server) handleDownloadDataset(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, errors.New("classification and label query params required"))
 		return
 	}
-	results, err := s.Query.ByLabel(classification, label)
+	results, err := s.Query.ByLabel(r.Context(), classification, label)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
 	}
 	metas := make([]ImageMeta, 0, len(results))
 	for _, res := range results {
+		if err := r.Context().Err(); err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
 		m, err := s.imageMeta(res.ID)
 		if err != nil {
 			continue
@@ -419,7 +453,7 @@ func (s *Server) handleTrainModel(w http.ResponseWriter, r *http.Request) {
 	if u, err := s.Store.Authenticate(r.Header.Get("X-API-Key")); err == nil {
 		owner = u.Name
 	}
-	spec, err := s.Service.TrainModel(analysis.TrainConfig{
+	spec, err := s.Service.TrainModel(r.Context(), analysis.TrainConfig{
 		Name:           req.Name,
 		Classification: req.Classification,
 		FeatureKind:    req.FeatureKind,
@@ -488,7 +522,7 @@ func (s *Server) handleModelAnnotate(w http.ResponseWriter, r *http.Request) {
 	if len(ids) == 0 {
 		ids = s.Store.ImageIDs()
 	}
-	annotated, skipped, err := s.Service.AnnotateImages(name, ids, s.Clock())
+	annotated, skipped, err := s.Service.AnnotateImages(r.Context(), name, ids, s.Clock())
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -584,7 +618,7 @@ func (s *Server) handleUploadVideo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, id := range ids {
-		if _, err := s.Service.ExtractAndStore(id); err != nil {
+		if _, err := s.Service.ExtractAndStore(r.Context(), id); err != nil {
 			s.writeError(w, statusFor(err), err)
 			return
 		}

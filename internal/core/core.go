@@ -26,8 +26,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"time"
 
@@ -100,7 +102,7 @@ func (p *Platform) RegisterExtractor(e feature.Extractor) {
 // Ingest stores one image with its spatial and temporal descriptors plus
 // optional keywords, extracts all registered feature families, and
 // returns the new image ID.
-func (p *Platform) Ingest(img *imagesim.Image, fov geo.FOV, capturedAt time.Time, keywords []string) (uint64, error) {
+func (p *Platform) Ingest(ctx context.Context, img *imagesim.Image, fov geo.FOV, capturedAt time.Time, keywords []string) (uint64, error) {
 	id, err := p.Store.AddImage(store.Image{
 		FOV:                fov,
 		Pixels:             img,
@@ -114,7 +116,7 @@ func (p *Platform) Ingest(img *imagesim.Image, fov geo.FOV, capturedAt time.Time
 			return 0, err
 		}
 	}
-	if _, err := p.Analysis.ExtractAndStore(id); err != nil {
+	if _, err := p.Analysis.ExtractAndStore(ctx, id); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -122,7 +124,7 @@ func (p *Platform) Ingest(img *imagesim.Image, fov geo.FOV, capturedAt time.Time
 
 // IngestRecord stores one synthetic capture record (the MediaQ-style
 // ingest path used by examples and benchmarks).
-func (p *Platform) IngestRecord(rec synth.Record) (uint64, error) {
+func (p *Platform) IngestRecord(ctx context.Context, rec synth.Record) (uint64, error) {
 	id, err := p.Store.AddImage(store.Image{
 		FOV:                rec.FOV,
 		Pixels:             rec.Image,
@@ -138,7 +140,7 @@ func (p *Platform) IngestRecord(rec synth.Record) (uint64, error) {
 			return 0, err
 		}
 	}
-	if _, err := p.Analysis.ExtractAndStore(id); err != nil {
+	if _, err := p.Analysis.ExtractAndStore(ctx, id); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -147,13 +149,13 @@ func (p *Platform) IngestRecord(rec synth.Record) (uint64, error) {
 // IngestVideo stores a video as ordered key frames (each a full image
 // row with its own FOV, per the paper's video model) and extracts every
 // registered feature family for each frame.
-func (p *Platform) IngestVideo(description, workerID string, frames []store.Frame) (uint64, []uint64, error) {
+func (p *Platform) IngestVideo(ctx context.Context, description, workerID string, frames []store.Frame) (uint64, []uint64, error) {
 	vid, ids, err := p.Store.AddVideo(description, workerID, frames)
 	if err != nil {
 		return 0, nil, err
 	}
 	for _, id := range ids {
-		if _, err := p.Analysis.ExtractAndStore(id); err != nil {
+		if _, err := p.Analysis.ExtractAndStore(ctx, id); err != nil {
 			return vid, ids, err
 		}
 	}
@@ -180,8 +182,8 @@ func (p *Platform) AnnotateHuman(imageID uint64, classification string, label in
 
 // TrainModel fits a classifier on the store's annotated features and
 // registers it under cfg.Name.
-func (p *Platform) TrainModel(cfg analysis.TrainConfig) (analysis.ModelSpec, error) {
-	return p.Analysis.TrainModel(cfg)
+func (p *Platform) TrainModel(ctx context.Context, cfg analysis.TrainConfig) (analysis.ModelSpec, error) {
+	return p.Analysis.TrainModel(ctx, cfg)
 }
 
 // Predict runs a registered model on a feature vector.
@@ -191,13 +193,13 @@ func (p *Platform) Predict(model string, vec []float64) (analysis.Prediction, er
 
 // AnnotateAll machine-annotates every stored image with the model,
 // writing results back as augmented knowledge (the translational step).
-func (p *Platform) AnnotateAll(model string, at time.Time) (annotated, skipped int, err error) {
-	return p.Analysis.AnnotateImages(model, p.Store.ImageIDs(), at)
+func (p *Platform) AnnotateAll(ctx context.Context, model string, at time.Time) (annotated, skipped int, err error) {
+	return p.Analysis.AnnotateImages(ctx, model, p.Store.ImageIDs(), at)
 }
 
 // Search executes a multi-modal query.
-func (p *Platform) Search(q query.Query) ([]query.Result, query.Plan, error) {
-	return p.Query.Run(q)
+func (p *Platform) Search(ctx context.Context, q query.Query) ([]query.Result, query.Plan, error) {
+	return p.Query.Run(ctx, q)
 }
 
 // Handler returns the REST API handler (paper §V) over this platform.
@@ -205,14 +207,76 @@ func (p *Platform) Handler(logger *log.Logger) http.Handler {
 	return api.NewServer(p.Store, p.Analysis, logger)
 }
 
-// Serve runs the REST API on addr until the server fails.
-func (p *Platform) Serve(addr string, logger *log.Logger) error {
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           p.Handler(logger),
-		ReadHeaderTimeout: 10 * time.Second,
+// ServeConfig controls Platform.Serve. The zero value of each field
+// selects a production-safe default.
+type ServeConfig struct {
+	// Addr is the listen address (host:port).
+	Addr string
+	// Logger receives request and lifecycle lines; nil discards.
+	Logger *log.Logger
+	// RequestTimeout is the per-request deadline budget each handler
+	// derives from the client's context (default 30s).
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds the in-flight drain after ctx is cancelled
+	// (default 10s). Requests still running when it expires are
+	// force-closed.
+	ShutdownGrace time.Duration
+	// Ready, when non-nil, is called once with the bound listen address
+	// before the first request is accepted. With Addr ":0" it is the only
+	// way to learn the kernel-assigned port (tests, the CI shutdown gate).
+	Ready func(addr net.Addr)
+}
+
+// Serve runs the REST API on cfg.Addr until ctx is cancelled or the
+// listener fails. On cancellation it stops accepting, drains in-flight
+// requests for up to cfg.ShutdownGrace, then force-closes stragglers. A
+// nil return means every request drained cleanly; the caller then owns
+// quiescing the store (Snapshot + Close). The http.Server carries full
+// slow-client armour: header/read/write/idle timeouts all set.
+func (p *Platform) Serve(ctx context.Context, cfg ServeConfig) error {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
 	}
-	return srv.ListenAndServe()
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = 10 * time.Second
+	}
+	h := api.NewServer(p.Store, p.Analysis, cfg.Logger)
+	h.RequestTimeout = cfg.RequestTimeout
+	srv := &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		// WriteTimeout must outlast the handler deadline budget, or slow
+		// (but in-budget) handlers get their response writes torn.
+		WriteTimeout: cfg.RequestTimeout + 30*time.Second,
+		IdleTimeout:  2 * time.Minute,
+		ErrorLog:     cfg.Logger,
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	if cfg.Ready != nil {
+		cfg.Ready(ln.Addr())
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	// The parent is already cancelled; the drain needs its own budget, so
+	// derive it from a cancellation-stripped copy (not Background — the
+	// parent's values survive).
+	sdCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), cfg.ShutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("tvdp: shutdown drain: %w", err)
+	}
+	return nil
 }
 
 // Dispatch picks the model variant an edge device should run.
@@ -244,7 +308,7 @@ func (p *Platform) NewCampaignRunner(c crowd.Campaign, rows, cols int, workers [
 // TrainCNNExtractor fine-tunes a CNN feature extractor on labelled store
 // images of the given classification and returns it (register it with
 // RegisterExtractor to use at ingest).
-func (p *Platform) TrainCNNExtractor(classification string, cfg feature.CNNTrainConfig) (*feature.CNNExtractor, error) {
+func (p *Platform) TrainCNNExtractor(ctx context.Context, classification string, cfg feature.CNNTrainConfig) (*feature.CNNExtractor, error) {
 	cls, err := p.Store.ClassificationByName(classification)
 	if err != nil {
 		return nil, err
@@ -267,7 +331,7 @@ func (p *Platform) TrainCNNExtractor(classification string, cfg feature.CNNTrain
 	if cfg.Net.Classes == 0 {
 		cfg = feature.DefaultCNNTrainConfig(len(cls.Labels))
 	}
-	return feature.TrainCNN(imgs, labels, cfg)
+	return feature.TrainCNN(ctx, imgs, labels, cfg)
 }
 
 // Stats summarises platform contents.

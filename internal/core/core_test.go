@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -46,7 +47,7 @@ func TestIngestExtractsFeatures(t *testing.T) {
 	p := open(t)
 	img := imagesim.MustNew(24, 24)
 	fov := geo.FOV{Camera: la, Direction: 0, Angle: 60, Radius: 100}
-	id, err := p.Ingest(img, fov, time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC), []string{"kw"})
+	id, err := p.Ingest(context.Background(), img, fov, time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC), []string{"kw"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestIngestVideoExtractsPerFrame(t *testing.T) {
 		}
 	}
 	base := time.Date(2019, 8, 1, 0, 0, 0, 0, time.UTC)
-	vid, ids, err := p.IngestVideo("flight", "drone", []store.Frame{
+	vid, ids, err := p.IngestVideo(context.Background(), "flight", "drone", []store.Frame{
 		mk(0, base), mk(10, base.Add(time.Second)),
 	})
 	if err != nil {
@@ -82,7 +83,7 @@ func TestIngestVideoExtractsPerFrame(t *testing.T) {
 			t.Fatalf("frame %d feature missing: %v", id, err)
 		}
 	}
-	if _, _, err := p.IngestVideo("empty", "w", nil); err == nil {
+	if _, _, err := p.IngestVideo(context.Background(), "empty", "w", nil); err == nil {
 		t.Fatal("empty video accepted")
 	}
 }
@@ -90,7 +91,7 @@ func TestIngestVideoExtractsPerFrame(t *testing.T) {
 func TestAnnotateHumanUnknownClassification(t *testing.T) {
 	p := open(t)
 	img := imagesim.MustNew(16, 16)
-	id, err := p.Ingest(img, geo.FOV{Camera: la, Direction: 0, Angle: 60, Radius: 100}, time.Now(), nil)
+	id, err := p.Ingest(context.Background(), img, geo.FOV{Camera: la, Direction: 0, Angle: 60, Radius: 100}, time.Now(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,13 +130,13 @@ func TestHybridConfigFlowsThrough(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, rec := range g.Generate(10) {
-		if _, err := p.IngestRecord(rec); err != nil {
+		if _, err := p.IngestRecord(context.Background(), rec); err != nil {
 			t.Fatal(err)
 		}
 	}
 	r := geo.NewRect(geo.Destination(la, 315, 12000), geo.Destination(la, 135, 12000))
 	vec := make([]float64, 50)
-	ms, ok, err := p.Store.SearchHybrid(kind, r, vec, 3)
+	ms, ok, err := p.Store.SearchHybrid(context.Background(), kind, r, vec, 3)
 	if err != nil || !ok {
 		t.Fatalf("hybrid not maintained: ok=%v err=%v", ok, err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -37,7 +38,7 @@ func seedCorpus(t *testing.T, p *Platform, n int, seed int64) []uint64 {
 	}
 	var ids []uint64
 	for _, rec := range g.Generate(n) {
-		id, err := p.IngestRecord(rec)
+		id, err := p.IngestRecord(context.Background(), rec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatalf("images = %d", p.Store.NumImages())
 	}
 	// Train, predict, annotate-all.
-	spec, err := p.TrainModel(analysis.TrainConfig{
+	spec, err := p.TrainModel(context.Background(), analysis.TrainConfig{
 		Name:           "cleanliness",
 		Classification: "street_cleanliness",
 		FeatureKind:    string(feature.KindColorHist),
@@ -80,13 +81,13 @@ func TestEndToEndPipeline(t *testing.T) {
 	if pred.LabelName == "" {
 		t.Fatalf("prediction = %+v", pred)
 	}
-	annotated, skipped, err := p.AnnotateAll("cleanliness", time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC))
+	annotated, skipped, err := p.AnnotateAll(context.Background(), "cleanliness", time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC))
 	if err != nil || annotated != 60 || skipped != 0 {
 		t.Fatalf("annotate-all = %d/%d err=%v", annotated, skipped, err)
 	}
 	// Search by label now returns both human and machine annotations'
 	// targets; encampment class had 12 human labels at minimum.
-	res, err := p.Query.ByLabel("street_cleanliness", "Encampment")
+	res, err := p.Query.ByLabel(context.Background(), "street_cleanliness", "Encampment")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestDurabilityAcrossReopen(t *testing.T) {
 		t.Fatalf("recovered %d images", p2.Store.NumImages())
 	}
 	// Query indexes were rebuilt.
-	res, err := p2.Query.ByKeywords("street", "sidewalk", "losangeles", "lasan", "survey")
+	res, err := p2.Query.ByKeywords(context.Background(), "street", "sidewalk", "losangeles", "lasan", "survey")
 	if err != nil || len(res) == 0 {
 		t.Fatalf("post-recovery keyword search: %d err=%v", len(res), err)
 	}
@@ -121,7 +122,7 @@ func TestSearchFacade(t *testing.T) {
 	p := openPlatform(t, "")
 	seedCorpus(t, p, 30, 3)
 	r := geo.NewRect(geo.Destination(la, 315, 12000), geo.Destination(la, 135, 12000))
-	res, plan, err := p.Search(query.Query{Spatial: &query.SpatialClause{Rect: &r}})
+	res, plan, err := p.Search(context.Background(), query.Query{Spatial: &query.SpatialClause{Rect: &r}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestTrainCNNExtractorFromStore(t *testing.T) {
 	cfg := feature.DefaultCNNTrainConfig(synth.NumClasses)
 	cfg.Train.Epochs = 2 // keep the unit test fast
 	cfg.Augment = 0
-	ex, err := p.TrainCNNExtractor("street_cleanliness", cfg)
+	ex, err := p.TrainCNNExtractor(context.Background(), "street_cleanliness", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestTrainCNNExtractorFromStore(t *testing.T) {
 	if len(kinds) != 2 {
 		t.Fatalf("kinds = %v", kinds)
 	}
-	if _, err := p.TrainCNNExtractor("no_such", cfg); err == nil {
+	if _, err := p.TrainCNNExtractor(context.Background(), "no_such", cfg); err == nil {
 		t.Fatal("unknown classification accepted")
 	}
 }

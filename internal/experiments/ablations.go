@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -148,7 +149,7 @@ func RunA2LSHvsExact(n, dim, k, queries int, seed int64) (*A2Result, error) {
 	sw := startStopwatch()
 	approx := make([][]index.Match, queries)
 	for qi, q := range qs {
-		ms, err := lsh.TopK(q, k)
+		ms, err := lsh.TopK(context.Background(), q, k)
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +158,7 @@ func RunA2LSHvsExact(n, dim, k, queries int, seed int64) (*A2Result, error) {
 	lshDur := sw.elapsed()
 	sw = startStopwatch()
 	for qi, q := range qs {
-		exact, err := lsh.ExactTopK(q, k)
+		exact, err := lsh.ExactTopK(context.Background(), q, k)
 		if err != nil {
 			return nil, err
 		}
@@ -243,7 +244,7 @@ func RunA3Hybrid(n, queries int, seed int64) (*A3Result, error) {
 	sw := startStopwatch()
 	hybridRes := make([][]uint64, queries)
 	for i := range qs {
-		ms, ok, err := st.SearchHybrid(kind, qs[i], qvs[i], k)
+		ms, ok, err := st.SearchHybrid(context.Background(), kind, qs[i], qvs[i], k)
 		if err != nil || !ok {
 			return nil, fmt.Errorf("experiments: hybrid unavailable: %v", err)
 		}
@@ -256,7 +257,7 @@ func RunA3Hybrid(n, queries int, seed int64) (*A3Result, error) {
 	hybridDur := sw.elapsed()
 	sw = startStopwatch()
 	for i := range qs {
-		rs, err := eng.TwoPhaseSpatialVisual(qs[i], kind, qvs[i], k)
+		rs, err := eng.TwoPhaseSpatialVisual(context.Background(), qs[i], kind, qvs[i], k)
 		if err != nil {
 			return nil, err
 		}
@@ -620,7 +621,7 @@ func buildCNNOnlyCorpus(s Scale) (*Corpus, error) {
 	cfg.Augment = s.CNNAugment
 	cfg.Train.Seed = s.Seed
 	cfg.AugmentSeed = s.Seed
-	cnn, err := feature.TrainCNN(trainImgs, trainLabels, cfg)
+	cnn, err := feature.TrainCNN(context.Background(), trainImgs, trainLabels, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/feature"
@@ -125,7 +126,7 @@ func BuildCorpus(s Scale) (*Corpus, error) {
 	cnnCfg.Augment = s.CNNAugment
 	cnnCfg.Train.Seed = s.Seed
 	cnnCfg.AugmentSeed = s.Seed
-	cnn, err := feature.TrainCNN(trainImgs, trainLabels, cnnCfg)
+	cnn, err := feature.TrainCNN(context.Background(), trainImgs, trainLabels, cnnCfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: CNN training: %w", err)
 	}

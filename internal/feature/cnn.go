@@ -1,6 +1,7 @@
 package feature
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -97,8 +98,11 @@ func normalizeTensor(t []float64) {
 }
 
 // TrainCNN fine-tunes a feature network on labelled images and returns an
-// extractor over its penultimate layer.
-func TrainCNN(imgs []*imagesim.Image, labels []int, cfg CNNTrainConfig) (*CNNExtractor, error) {
+// extractor over its penultimate layer. Cancellation is honoured between
+// tensor-build records and between SGD minibatches (via nn.TrainConfig's
+// Stop hook, which this function wires to ctx when the caller has not set
+// its own).
+func TrainCNN(ctx context.Context, imgs []*imagesim.Image, labels []int, cfg CNNTrainConfig) (*CNNExtractor, error) {
 	if len(imgs) == 0 {
 		return nil, errors.New("feature: empty CNN training set")
 	}
@@ -113,6 +117,9 @@ func TrainCNN(imgs []*imagesim.Image, labels []int, cfg CNNTrainConfig) (*CNNExt
 	ys := make([]int, 0, cap(xs))
 	aug := imagesim.NewAugmentor(cfg.AugmentSeed, imagesim.OpFlipH, imagesim.OpCrop, imagesim.OpNoise)
 	for i, img := range imgs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t, err := ImageToTensor(img, side)
 		if err != nil {
 			return nil, fmt.Errorf("feature: CNN training image %d: %w", i, err)
@@ -129,6 +136,9 @@ func TrainCNN(imgs []*imagesim.Image, labels []int, cfg CNNTrainConfig) (*CNNExt
 		}
 	}
 	net := nn.BuildFeatureNet(cfg.Net)
+	if cfg.Train.Stop == nil {
+		cfg.Train.Stop = ctx.Err
+	}
 	if _, err := net.Train(xs, ys, cfg.Train); err != nil {
 		return nil, fmt.Errorf("feature: CNN fine-tuning: %w", err)
 	}

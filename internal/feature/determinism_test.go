@@ -1,6 +1,7 @@
 package feature
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestCNNExtractionDeterministicAcrossWorkerCounts(t *testing.T) {
 		cfg := DefaultCNNTrainConfig(synth.NumClasses)
 		cfg.Train.Epochs = 2
 		cfg.Augment = 1
-		cnn, err := TrainCNN(imgs, labels, cfg)
+		cnn, err := TrainCNN(context.Background(), imgs, labels, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

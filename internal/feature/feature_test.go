@@ -1,6 +1,7 @@
 package feature
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -271,7 +272,7 @@ func TestTrainCNNAndExtract(t *testing.T) {
 		},
 		Train: nn.TrainConfig{Epochs: 6, BatchSize: 8, LR: 0.05, Momentum: 0.9, Seed: 3},
 	}
-	ex, err := TrainCNN(imgs, labels, cfg)
+	ex, err := TrainCNN(context.Background(), imgs, labels, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,15 +292,15 @@ func TestTrainCNNAndExtract(t *testing.T) {
 }
 
 func TestTrainCNNValidation(t *testing.T) {
-	if _, err := TrainCNN(nil, nil, DefaultCNNTrainConfig(2)); err == nil {
+	if _, err := TrainCNN(context.Background(), nil, nil, DefaultCNNTrainConfig(2)); err == nil {
 		t.Fatal("empty training accepted")
 	}
-	if _, err := TrainCNN([]*imagesim.Image{solid(imagesim.RGB{})}, []int{0, 1}, DefaultCNNTrainConfig(2)); err == nil {
+	if _, err := TrainCNN(context.Background(), []*imagesim.Image{solid(imagesim.RGB{})}, []int{0, 1}, DefaultCNNTrainConfig(2)); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
 	bad := DefaultCNNTrainConfig(2)
 	bad.Net.In = nn.Shape{C: 3, H: 8, W: 16}
-	if _, err := TrainCNN([]*imagesim.Image{solid(imagesim.RGB{})}, []int{0}, bad); err == nil {
+	if _, err := TrainCNN(context.Background(), []*imagesim.Image{solid(imagesim.RGB{})}, []int{0}, bad); err == nil {
 		t.Fatal("non-square input accepted")
 	}
 	un := &CNNExtractor{}

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -362,8 +363,9 @@ func (n *hnode) minFeatureDist(q []float64) float64 {
 
 // SearchSpatialVisual returns up to k items whose rects intersect qRect,
 // ranked by ascending L2 distance between their vectors and qVec. Both
-// pruning dimensions are applied during traversal.
-func (t *HybridTree) SearchSpatialVisual(qRect geo.Rect, qVec []float64, k int) ([]Match, error) {
+// pruning dimensions are applied during traversal, which checks ctx at
+// every node descent and aborts the walk once the context is done.
+func (t *HybridTree) SearchSpatialVisual(ctx context.Context, qRect geo.Rect, qVec []float64, k int) ([]Match, error) {
 	if len(qVec) != t.dim {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(qVec), t.dim)
 	}
@@ -392,10 +394,13 @@ func (t *HybridTree) SearchSpatialVisual(qRect geo.Rect, qVec []float64, k int) 
 			best = best[:k]
 		}
 	}
-	var walk func(n *hnode)
-	walk = func(n *hnode) {
+	var walk func(n *hnode) error
+	walk = func(n *hnode) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if !n.rect.Intersects(qRect) || n.minFeatureDist(qVec) > worst() {
-			return
+			return nil
 		}
 		if n.leaf {
 			for _, it := range n.items {
@@ -406,7 +411,7 @@ func (t *HybridTree) SearchSpatialVisual(qRect geo.Rect, qVec []float64, k int) 
 					add(Match{ID: it.ID, Dist: d})
 				}
 			}
-			return
+			return nil
 		}
 		// Visit children closest in feature space first to tighten the
 		// bound early.
@@ -416,10 +421,15 @@ func (t *HybridTree) SearchSpatialVisual(qRect geo.Rect, qVec []float64, k int) 
 			return order[i].minFeatureDist(qVec) < order[j].minFeatureDist(qVec)
 		})
 		for _, c := range order {
-			walk(c)
+			if err := walk(c); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	walk(t.root)
+	if err := walk(t.root); err != nil {
+		return nil, err
+	}
 	return best, nil
 }
 

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -286,7 +287,7 @@ func TestLSHFindsNearDuplicates(t *testing.T) {
 	}
 	q := append([]float64(nil), base...)
 	q[0] += 0.01
-	got, err := l.TopK(q, 1)
+	got, err := l.TopK(context.Background(), q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,8 +321,8 @@ func TestLSHRecallVsExact(t *testing.T) {
 		for j := range q {
 			q[j] = c + rng.NormFloat64()*0.2
 		}
-		exact, _ := l.ExactTopK(q, 10)
-		approx, _ := l.TopK(q, 10)
+		exact, _ := l.ExactTopK(context.Background(), q, 10)
+		approx, _ := l.TopK(context.Background(), q, 10)
 		aset := map[uint64]bool{}
 		for _, m := range approx {
 			aset[m.ID] = true
@@ -344,7 +345,7 @@ func TestLSHWithinRadius(t *testing.T) {
 	_ = l.Insert(1, []float64{0, 0, 0, 0})
 	_ = l.Insert(2, []float64{0.1, 0, 0, 0})
 	_ = l.Insert(3, []float64{10, 10, 10, 10})
-	got, err := l.WithinRadius([]float64{0, 0, 0, 0}, 1)
+	got, err := l.WithinRadius(context.Background(), []float64{0, 0, 0, 0}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestLSHRemoveAndReplace(t *testing.T) {
 	if l.Len() != 1 {
 		t.Fatalf("len after replace = %d", l.Len())
 	}
-	got, _ := l.ExactTopK([]float64{5, 6, 7, 8}, 1)
+	got, _ := l.ExactTopK(context.Background(), []float64{5, 6, 7, 8}, 1)
 	if got[0].Dist != 0 {
 		t.Fatal("replacement vector not stored")
 	}
@@ -393,10 +394,10 @@ func TestLSHValidation(t *testing.T) {
 	if err := l.Insert(1, []float64{1}); err == nil {
 		t.Fatal("wrong dim insert accepted")
 	}
-	if _, err := l.TopK([]float64{1}, 3); err == nil {
+	if _, err := l.TopK(context.Background(), []float64{1}, 3); err == nil {
 		t.Fatal("wrong dim query accepted")
 	}
-	if got, err := l.TopK([]float64{1, 2, 3, 4}, 0); err != nil || got != nil {
+	if got, err := l.TopK(context.Background(), []float64{1, 2, 3, 4}, 0); err != nil || got != nil {
 		t.Fatal("k=0 should be empty, nil error")
 	}
 }
@@ -564,7 +565,7 @@ func TestHybridTreeMatchesBruteForce(t *testing.T) {
 		qr.MaxLat += 0.05
 		qr.MaxLon += 0.05
 		qv := randVec(rng, dim)
-		got, err := ht.SearchSpatialVisual(qr, qv, 5)
+		got, err := ht.SearchSpatialVisual(context.Background(), qr, qv, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -629,10 +630,10 @@ func TestHybridTreeValidation(t *testing.T) {
 	if err := ht.Insert(HybridItem{ID: 1, Rect: geo.Rect{}, Vec: []float64{1}}); err == nil {
 		t.Fatal("wrong-dim vec accepted")
 	}
-	if _, err := ht.SearchSpatialVisual(geo.Rect{}, []float64{1}, 3); err == nil {
+	if _, err := ht.SearchSpatialVisual(context.Background(), geo.Rect{}, []float64{1}, 3); err == nil {
 		t.Fatal("wrong-dim query accepted")
 	}
-	got, err := ht.SearchSpatialVisual(geo.Rect{MaxLat: 1, MaxLon: 1}, []float64{1, 2, 3, 4}, 3)
+	got, err := ht.SearchSpatialVisual(context.Background(), geo.Rect{MaxLat: 1, MaxLon: 1}, []float64{1, 2, 3, 4}, 3)
 	if err != nil || got != nil {
 		t.Fatal("empty tree query should be nil, nil")
 	}
@@ -733,7 +734,7 @@ func TestLSHInsertFindsSelfProperty(t *testing.T) {
 			}
 		}
 		for i, v := range vecs {
-			got, err := l.TopK(v, 1)
+			got, err := l.TopK(context.Background(), v, 1)
 			if err != nil || len(got) == 0 {
 				return false
 			}

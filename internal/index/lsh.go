@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +9,11 @@ import (
 	"sort"
 	"strings"
 )
+
+// scanCheckpoint is the cancellation-poll cadence of the exact re-rank
+// loops: ctx.Err is consulted once per this many candidate distances, so
+// a cancelled search returns within one checkpoint grain of work.
+const scanCheckpoint = 256
 
 // LSH is a locality-sensitive hash index for Euclidean (L2) similarity
 // over feature vectors, using p-stable (Gaussian) projections (Datar et
@@ -140,29 +146,45 @@ type Match struct {
 	Dist float64
 }
 
-// candidates gathers the union of bucket contents across tables.
-func (l *LSH) candidates(q []float64) map[uint64]bool {
+// candidates gathers the union of bucket contents across tables, checking
+// for cancellation between tables (each table probe is one hash + one
+// bucket append run; the boundary between them is the natural abort
+// point).
+func (l *LSH) candidates(ctx context.Context, q []float64) (map[uint64]bool, error) {
 	set := make(map[uint64]bool)
 	for t := range l.tables {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, id := range l.tables[t][l.key(t, q)] {
 			set[id] = true
 		}
 	}
-	return set
+	return set, nil
 }
 
 // TopK returns up to k approximate nearest neighbours of q by exact
-// re-ranking of LSH candidates, ordered by ascending L2 distance.
-func (l *LSH) TopK(q []float64, k int) ([]Match, error) {
+// re-ranking of LSH candidates, ordered by ascending L2 distance. The
+// scan honours ctx between hash tables and every scanCheckpoint
+// candidates of the re-rank.
+func (l *LSH) TopK(ctx context.Context, q []float64, k int) ([]Match, error) {
 	if len(q) != l.dim {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), l.dim)
 	}
 	if k <= 0 {
 		return nil, nil
 	}
-	cands := l.candidates(q)
+	cands, err := l.candidates(ctx, q)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Match, 0, len(cands))
 	for id := range cands {
+		if len(out)%scanCheckpoint == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		out = append(out, Match{ID: id, Dist: l2(q, l.vectors[id])})
 	}
 	sortMatches(out)
@@ -174,12 +196,23 @@ func (l *LSH) TopK(q []float64, k int) ([]Match, error) {
 
 // WithinRadius returns all candidates within L2 distance <= r of q,
 // ordered by ascending distance (the threshold visual query of §IV-C).
-func (l *LSH) WithinRadius(q []float64, r float64) ([]Match, error) {
+func (l *LSH) WithinRadius(ctx context.Context, q []float64, r float64) ([]Match, error) {
 	if len(q) != l.dim {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), l.dim)
 	}
+	cands, err := l.candidates(ctx, q)
+	if err != nil {
+		return nil, err
+	}
 	var out []Match
-	for id := range l.candidates(q) {
+	scanned := 0
+	for id := range cands {
+		if scanned%scanCheckpoint == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		scanned++
 		if d := l2(q, l.vectors[id]); d <= r {
 			out = append(out, Match{ID: id, Dist: d})
 		}
@@ -189,8 +222,9 @@ func (l *LSH) WithinRadius(q []float64, r float64) ([]Match, error) {
 }
 
 // ExactTopK linearly scans every indexed vector — the ground-truth
-// baseline the LSH ablation (bench A2) compares against.
-func (l *LSH) ExactTopK(q []float64, k int) ([]Match, error) {
+// baseline the LSH ablation (bench A2) compares against. The scan honours
+// ctx every scanCheckpoint vectors.
+func (l *LSH) ExactTopK(ctx context.Context, q []float64, k int) ([]Match, error) {
 	if len(q) != l.dim {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), l.dim)
 	}
@@ -199,6 +233,11 @@ func (l *LSH) ExactTopK(q []float64, k int) ([]Match, error) {
 	}
 	out := make([]Match, 0, len(l.vectors))
 	for id, v := range l.vectors {
+		if len(out)%scanCheckpoint == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		out = append(out, Match{ID: id, Dist: l2(q, v)})
 	}
 	sortMatches(out)

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The ctxflow analyzer enforces the request-lifecycle contract introduced
+// with the context refactor: every request that enters the API travels as
+// one context from handler to index probe, so a client disconnect or a
+// deadline reaches the innermost scan loop. Three rules keep that chain
+// unbroken:
+//
+//  1. Where a function takes a context.Context, it is the first
+//     parameter. A buried ctx is invisible at call sites and invites a
+//     second, divergent context being threaded alongside it.
+//  2. Request-path packages never originate a fresh root with
+//     context.Background() or context.TODO(). A root minted mid-chain
+//     silently detaches everything below it from the caller's deadline —
+//     the search keeps scanning after the client is gone. Lifecycle
+//     boundaries (cmd/, examples/, the experiments harness, the platform
+//     core's own Serve loop) legitimately originate contexts and sit
+//     outside the scope.
+//  3. No struct stores a context.Context in a field. A stored context
+//     outlives the request it belonged to; the next caller inherits a
+//     dead deadline. Contexts flow through parameters only (the nn
+//     package's Stop func() error hook is the sanctioned pattern for
+//     ctx-free packages).
+//
+// Rules 1 and 3 are structural and apply everywhere the analyzer runs;
+// rule 2 is scoped to the packages that sit strictly below the API's
+// context origination point.
+
+// CtxFlow is the analyzer. BackgroundScope lists the import-path prefixes
+// where rule 2 (no Background/TODO origination) applies.
+type CtxFlow struct {
+	BackgroundScope []string
+}
+
+// CtxFlowBackgroundScope is the production rule-2 scope: the layers every
+// request flows through after the API has originated its context.
+var CtxFlowBackgroundScope = []string{
+	"repro/internal/api",
+	"repro/internal/query",
+	"repro/internal/store",
+	"repro/internal/analysis",
+	"repro/internal/par",
+}
+
+// NewCtxFlow returns the production-configured analyzer.
+func NewCtxFlow() *CtxFlow {
+	return &CtxFlow{BackgroundScope: CtxFlowBackgroundScope}
+}
+
+func (c *CtxFlow) Name() string { return "ctxflow" }
+
+// Doc describes the analyzer in one line.
+func (c *CtxFlow) Doc() string {
+	return "contexts flow ctx-first through parameters; request paths never mint Background/TODO roots or store a context in a struct"
+}
+
+func (c *CtxFlow) inBackgroundScope(path string) bool {
+	for _, p := range c.BackgroundScope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Check runs the analyzer over one package.
+func (c *CtxFlow) Check(pkg *Package) []Finding {
+	var out []Finding
+	banRoots := c.inBackgroundScope(pkg.Path)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				// Covers declared funcs and methods, function literals,
+				// interface methods, and named function types alike.
+				out = append(out, c.checkParams(pkg, n)...)
+			case *ast.StructType:
+				out = append(out, c.checkFields(pkg, n)...)
+			case *ast.CallExpr:
+				if !banRoots {
+					return true
+				}
+				fn := funcObj(pkg.Info, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if name := fn.Name(); name == "Background" || name == "TODO" {
+					out = append(out, Finding{
+						Analyzer: c.Name(),
+						Pos:      posOf(pkg, n.Pos()),
+						Message:  "context." + name + "() originates a root context in a request path",
+						Hint:     "accept a ctx parameter and derive from it; only lifecycle boundaries (main, Serve, clients) may mint roots",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkParams flags a context.Context parameter that is not the first
+// parameter of its signature.
+func (c *CtxFlow) checkParams(pkg *Package, ft *ast.FuncType) []Finding {
+	if ft.Params == nil {
+		return nil
+	}
+	var out []Finding
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies a position
+		}
+		if isContextType(pkg, field.Type) && idx > 0 {
+			out = append(out, Finding{
+				Analyzer: c.Name(),
+				Pos:      posOf(pkg, field.Pos()),
+				Message:  "context.Context is not the first parameter",
+				Hint:     "move ctx to the front: func F(ctx context.Context, ...)",
+			})
+		}
+		idx += n
+	}
+	return out
+}
+
+// checkFields flags struct fields whose type is context.Context.
+func (c *CtxFlow) checkFields(pkg *Package, st *ast.StructType) []Finding {
+	var out []Finding
+	for _, field := range st.Fields.List {
+		if !isContextType(pkg, field.Type) {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: c.Name(),
+			Pos:      posOf(pkg, field.Pos()),
+			Message:  "context.Context stored in a struct field",
+			Hint:     "pass ctx as a parameter; a stored context outlives its request (use a Stop func() error hook if the package must stay context-free)",
+		})
+	}
+	return out
+}
+
+// isContextType reports whether the expression's type is context.Context.
+func isContextType(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

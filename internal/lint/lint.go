@@ -74,6 +74,7 @@ func DefaultAnalyzers() []Analyzer {
 		NewDeterminism(),
 		NewWALPath(),
 		NewErrDiscard(),
+		NewCtxFlow(),
 	}
 }
 

@@ -78,6 +78,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 			Scope:   fixtureScope,
 			Methods: []string{"Close", "Sync", "Flush", "Write"},
 		}}},
+		{"ctxflow", []Analyzer{&CtxFlow{BackgroundScope: fixtureScope}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

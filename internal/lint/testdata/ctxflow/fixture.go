@@ -1,0 +1,80 @@
+// Package ctxflowfix is the ctxflow analyzer's golden fixture: every
+// violation of the request-lifecycle contract — a buried ctx parameter, a
+// root context minted mid-chain, a context stored in a struct — next to
+// the conforming forms it must not flag.
+package ctxflowfix
+
+import "context"
+
+// ctxFirst is the conforming shape: must stay clean.
+func ctxFirst(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// noCtx takes no context at all: must stay clean.
+func noCtx(a, b int) int { return a + b }
+
+// buried hides the context behind a value parameter.
+func buried(n int, ctx context.Context) error { // want "context.Context is not the first parameter"
+	return ctx.Err()
+}
+
+type service struct{}
+
+// run buries the context in a method signature; the receiver does not
+// count as a parameter, so ctx-first on a method means first after the
+// receiver: must stay clean.
+func (s service) run(ctx context.Context, id uint64) error { return ctx.Err() }
+
+// lookup buries the context behind the id.
+func (s service) lookup(id uint64, ctx context.Context) error { // want "context.Context is not the first parameter"
+	return ctx.Err()
+}
+
+// literals is the same rule applied to function literals.
+func literals() {
+	ok := func(ctx context.Context, s string) error { return ctx.Err() }
+	bad := func(s string, ctx context.Context) error { // want "context.Context is not the first parameter"
+		return ctx.Err()
+	}
+	_, _ = ok, bad
+}
+
+// searcher shows the rule reaching interface method signatures.
+type searcher interface {
+	Search(ctx context.Context, q string) error
+	Lookup(q string, ctx context.Context) error // want "context.Context is not the first parameter"
+}
+
+// holder stores a context across calls — the stored deadline outlives the
+// request that carried it.
+type holder struct {
+	name string
+	ctx  context.Context // want "context.Context stored in a struct field"
+}
+
+// stopHook is the sanctioned alternative for context-free packages: must
+// stay clean.
+type stopHook struct {
+	Stop func() error
+}
+
+// originate mints a fresh root inside the (fixture-scoped) request path.
+func originate() context.Context {
+	return context.Background() // want "originates a root context in a request path"
+}
+
+// todoRoot is the same hole spelled TODO.
+func todoRoot(q string) error {
+	ctx := context.TODO() // want "originates a root context in a request path"
+	_ = q
+	return ctx.Err()
+}
+
+// derive flows the caller's context onward — deriving is fine, minting is
+// not: must stay clean.
+func derive(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+func use(h holder) string { return h.name }

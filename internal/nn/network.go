@@ -150,6 +150,13 @@ type TrainConfig struct {
 	Seed      int64
 	// Verbose receives one line per epoch when non-nil.
 	Verbose func(epoch int, loss float64)
+	// Stop, when non-nil, is polled between minibatches; a non-nil return
+	// aborts training with that error. A context-aware caller passes
+	// ctx.Err, making training cancellable without the package depending
+	// on context (and without storing a context in a struct). Completed
+	// minibatches are never torn: the abort happens only on batch
+	// boundaries, after the optimiser update.
+	Stop func() error
 }
 
 // DefaultTrainConfig returns sensible small-scale defaults.
@@ -227,6 +234,11 @@ func (n *Network) Train(xs [][]float64, ys []int, cfg TrainConfig) (float64, err
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		epochLoss := 0.0
 		for start := 0; start < len(order); start += cfg.BatchSize {
+			if cfg.Stop != nil {
+				if err := cfg.Stop(); err != nil {
+					return lastLoss, err
+				}
+			}
 			end := start + cfg.BatchSize
 			if end > len(order) {
 				end = len(order)

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -8,48 +9,49 @@ import (
 )
 
 // Convenience wrappers over Run for the common single- and dual-modal
-// query shapes the REST API and examples use.
+// query shapes the REST API and examples use. Each takes the caller's
+// request context and inherits Run's cancellation contract.
 
 // SpatialRange returns images whose scenes intersect r.
-func (e *Engine) SpatialRange(r geo.Rect) ([]Result, error) {
-	out, _, err := e.Run(Query{Spatial: &SpatialClause{Rect: &r}})
+func (e *Engine) SpatialRange(ctx context.Context, r geo.Rect) ([]Result, error) {
+	out, _, err := e.Run(ctx, Query{Spatial: &SpatialClause{Rect: &r}})
 	return out, err
 }
 
 // KNearest returns the k images closest to p.
-func (e *Engine) KNearest(p geo.Point, k int) ([]Result, error) {
-	out, _, err := e.Run(Query{Spatial: &SpatialClause{Near: &p, K: k}})
+func (e *Engine) KNearest(ctx context.Context, p geo.Point, k int) ([]Result, error) {
+	out, _, err := e.Run(ctx, Query{Spatial: &SpatialClause{Near: &p, K: k}})
 	return out, err
 }
 
 // VisualTopK returns the k most similar images under a feature kind.
-func (e *Engine) VisualTopK(kind string, vec []float64, k int) ([]Result, error) {
-	out, _, err := e.Run(Query{Visual: &VisualClause{Kind: kind, Vec: vec, K: k}})
+func (e *Engine) VisualTopK(ctx context.Context, kind string, vec []float64, k int) ([]Result, error) {
+	out, _, err := e.Run(ctx, Query{Visual: &VisualClause{Kind: kind, Vec: vec, K: k}})
 	return out, err
 }
 
 // ByLabel returns images annotated with the label.
-func (e *Engine) ByLabel(classification, label string) ([]Result, error) {
-	out, _, err := e.Run(Query{Categorical: &CategoricalClause{Classification: classification, Label: label}})
+func (e *Engine) ByLabel(ctx context.Context, classification, label string) ([]Result, error) {
+	out, _, err := e.Run(ctx, Query{Categorical: &CategoricalClause{Classification: classification, Label: label}})
 	return out, err
 }
 
 // ByKeywords returns images matching any keyword, TF-IDF ranked.
-func (e *Engine) ByKeywords(terms ...string) ([]Result, error) {
-	out, _, err := e.Run(Query{Textual: &TextualClause{Terms: terms}})
+func (e *Engine) ByKeywords(ctx context.Context, terms ...string) ([]Result, error) {
+	out, _, err := e.Run(ctx, Query{Textual: &TextualClause{Terms: terms}})
 	return out, err
 }
 
 // TimeRange returns images captured in [from, to].
-func (e *Engine) TimeRange(from, to time.Time) ([]Result, error) {
-	out, _, err := e.Run(Query{Temporal: &TemporalClause{From: from, To: to}})
+func (e *Engine) TimeRange(ctx context.Context, from, to time.Time) ([]Result, error) {
+	out, _, err := e.Run(ctx, Query{Temporal: &TemporalClause{From: from, To: to}})
 	return out, err
 }
 
 // SpatialVisual returns the k visually closest images within r; the
 // planner uses the hybrid tree when the store maintains one.
-func (e *Engine) SpatialVisual(r geo.Rect, kind string, vec []float64, k int) ([]Result, Plan, error) {
-	return e.Run(Query{
+func (e *Engine) SpatialVisual(ctx context.Context, r geo.Rect, kind string, vec []float64, k int) ([]Result, Plan, error) {
+	return e.Run(ctx, Query{
 		Spatial: &SpatialClause{Rect: &r},
 		Visual:  &VisualClause{Kind: kind, Vec: vec, K: k},
 	})
@@ -57,15 +59,24 @@ func (e *Engine) SpatialVisual(r geo.Rect, kind string, vec []float64, k int) ([
 
 // TwoPhaseSpatialVisual forces the two-phase plan — r-tree filter, then
 // per-candidate visual re-rank — regardless of hybrid availability. It is
-// the baseline of ablation A3.
-func (e *Engine) TwoPhaseSpatialVisual(r geo.Rect, kind string, vec []float64, k int) ([]Result, error) {
-	ids := e.st.SearchScene(r)
+// the baseline of ablation A3. The fetch loop polls ctx every
+// scanCheckpoint candidates between feature-fetch rounds.
+func (e *Engine) TwoPhaseSpatialVisual(ctx context.Context, r geo.Rect, kind string, vec []float64, k int) ([]Result, error) {
+	ids, err := e.st.SearchScene(ctx, r)
+	if err != nil {
+		return nil, err
+	}
 	type sc struct {
 		id uint64
 		d  float64
 	}
 	out := make([]sc, 0, len(ids))
-	for _, id := range ids {
+	for i, id := range ids {
+		if i%scanCheckpoint == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		f, err := e.st.GetFeature(id, kind)
 		if err != nil {
 			continue // images without the feature are not rankable
@@ -95,8 +106,8 @@ func (e *Engine) TwoPhaseSpatialVisual(r geo.Rect, kind string, vec []float64, k
 
 // SpatialTextual returns keyword matches restricted to a geographic
 // region — the spatial-textual hybrid query the paper names in §IV-C.
-func (e *Engine) SpatialTextual(r geo.Rect, terms ...string) ([]Result, Plan, error) {
-	return e.Run(Query{
+func (e *Engine) SpatialTextual(ctx context.Context, r geo.Rect, terms ...string) ([]Result, Plan, error) {
+	return e.Run(ctx, Query{
 		Spatial: &SpatialClause{Rect: &r},
 		Textual: &TextualClause{Terms: terms},
 	})

@@ -6,6 +6,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -16,6 +17,12 @@ import (
 	"repro/internal/index"
 	"repro/internal/store"
 )
+
+// scanCheckpoint is the cancellation-poll cadence of the engine's
+// candidate loops (filter predicates, visual re-rank, two-phase fetch):
+// ctx.Err is consulted once per this many candidates, bounding how much
+// work a cancelled query performs past the cancellation instant.
+const scanCheckpoint = 256
 
 // Engine executes queries against one store.
 type Engine struct {
@@ -117,20 +124,26 @@ func (p Plan) String() string {
 // ErrEmptyQuery reports a query with no clauses.
 var ErrEmptyQuery = errors.New("query: no clauses")
 
-// Run plans and executes q.
-func (e *Engine) Run(q Query) ([]Result, Plan, error) {
+// Run plans and executes q. The engine checks ctx at every stage boundary
+// and at scanCheckpoint cadence inside candidate loops; a cancelled query
+// returns ctx's error (context.Canceled / DeadlineExceeded) promptly,
+// bounded by one checkpoint grain of work.
+func (e *Engine) Run(ctx context.Context, q Query) ([]Result, Plan, error) {
 	if q.Spatial == nil && q.Visual == nil && q.Categorical == nil &&
 		len(q.Categoricals) == 0 && q.Textual == nil && q.Temporal == nil {
 		return nil, Plan{}, ErrEmptyQuery
 	}
 	var plan Plan
+	if err := ctx.Err(); err != nil {
+		return nil, plan, err
+	}
 
 	// Single-pass hybrid path: spatial rect + visual top-k over a kind
 	// with a maintained hybrid tree.
 	if q.Spatial != nil && q.Spatial.Rect != nil && q.Visual != nil && q.Visual.K > 0 &&
 		q.Visual.Radius == 0 && !q.Visual.Exact &&
 		len(q.categoricals()) == 0 && q.Textual == nil && q.Temporal == nil {
-		ms, ok, err := e.st.SearchHybrid(q.Visual.Kind, *q.Spatial.Rect, q.Visual.Vec, q.Visual.K)
+		ms, ok, err := e.st.SearchHybrid(ctx, q.Visual.Kind, *q.Spatial.Rect, q.Visual.Vec, q.Visual.K)
 		if err != nil {
 			return nil, plan, err
 		}
@@ -148,17 +161,17 @@ func (e *Engine) Run(q Query) ([]Result, Plan, error) {
 	// Pick the driving clause by typical selectivity: categorical >
 	// conjunctive text > temporal > spatial rect > visual > disjunctive
 	// text > spatial near.
-	cands, ordered, err := e.drive(q, &plan)
+	cands, ordered, err := e.drive(ctx, q, &plan)
 	if err != nil {
 		return nil, plan, err
 	}
 	// Apply remaining clauses as filters.
-	cands, err = e.filter(q, cands, &plan)
+	cands, err = e.filter(ctx, q, cands, &plan)
 	if err != nil {
 		return nil, plan, err
 	}
 	// Rank.
-	out, err := e.rank(q, cands, ordered, &plan)
+	out, err := e.rank(ctx, q, cands, ordered, &plan)
 	if err != nil {
 		return nil, plan, err
 	}
@@ -183,13 +196,13 @@ type candidate struct {
 // drive evaluates the most selective clause into a candidate list.
 // ordered reports that the returned order is meaningful (distance or time)
 // and must be preserved absent a re-ranking clause.
-func (e *Engine) drive(q Query, plan *Plan) (cands []candidate, ordered bool, err error) {
+func (e *Engine) drive(ctx context.Context, q Query, plan *Plan) (cands []candidate, ordered bool, err error) {
 	cats := q.categoricals()
 	switch {
 	case len(cats) > 0:
 		plan.Driving = "categorical"
 		plan.Steps = append(plan.Steps, "label index lookup")
-		ids, err := e.labelIDs(cats[0])
+		ids, err := e.labelIDs(ctx, cats[0])
 		if err != nil {
 			return nil, false, err
 		}
@@ -197,7 +210,10 @@ func (e *Engine) drive(q Query, plan *Plan) (cands []candidate, ordered bool, er
 	case q.Textual != nil && q.Textual.MatchAll:
 		plan.Driving = "textual"
 		plan.Steps = append(plan.Steps, "inverted index conjunctive lookup")
-		ms := e.st.SearchTextAll(q.Textual.Terms)
+		ms, err := e.st.SearchTextAll(ctx, q.Textual.Terms)
+		if err != nil {
+			return nil, false, err
+		}
 		out := make([]candidate, len(ms))
 		for i, m := range ms {
 			out[i] = candidate{id: m.ID, score: m.Dist, scored: true}
@@ -206,14 +222,22 @@ func (e *Engine) drive(q Query, plan *Plan) (cands []candidate, ordered bool, er
 	case q.Temporal != nil:
 		plan.Driving = "temporal"
 		plan.Steps = append(plan.Steps, "temporal index range scan")
-		return asCandidates(e.st.SearchTime(q.Temporal.From, q.Temporal.To)), true, nil
+		ids, err := e.st.SearchTime(ctx, q.Temporal.From, q.Temporal.To)
+		if err != nil {
+			return nil, false, err
+		}
+		return asCandidates(ids), true, nil
 	case q.Spatial != nil && q.Spatial.Rect != nil:
 		plan.Driving = "spatial"
 		plan.Steps = append(plan.Steps, "r-tree range search")
-		return asCandidates(e.st.SearchScene(*q.Spatial.Rect)), false, nil
+		ids, err := e.st.SearchScene(ctx, *q.Spatial.Rect)
+		if err != nil {
+			return nil, false, err
+		}
+		return asCandidates(ids), false, nil
 	case q.Visual != nil:
 		plan.Driving = "visual"
-		ms, err := e.visualMatches(*q.Visual, plan)
+		ms, err := e.visualMatches(ctx, *q.Visual, plan)
 		if err != nil {
 			return nil, false, err
 		}
@@ -225,7 +249,10 @@ func (e *Engine) drive(q Query, plan *Plan) (cands []candidate, ordered bool, er
 	case q.Textual != nil:
 		plan.Driving = "textual"
 		plan.Steps = append(plan.Steps, "inverted index disjunctive lookup")
-		ms := e.st.SearchText(q.Textual.Terms)
+		ms, err := e.st.SearchText(ctx, q.Textual.Terms)
+		if err != nil {
+			return nil, false, err
+		}
 		out := make([]candidate, len(ms))
 		for i, m := range ms {
 			out[i] = candidate{id: m.ID, score: m.Dist, scored: true}
@@ -241,7 +268,11 @@ func (e *Engine) drive(q Query, plan *Plan) (cands []candidate, ordered bool, er
 		if k <= 0 {
 			k = 10
 		}
-		return asCandidates(e.st.SearchNearest(*q.Spatial.Near, k)), true, nil
+		ids, err := e.st.SearchNearest(ctx, *q.Spatial.Near, k)
+		if err != nil {
+			return nil, false, err
+		}
+		return asCandidates(ids), true, nil
 	default:
 		return nil, false, fmt.Errorf("query: spatial clause needs Rect or Near")
 	}
@@ -252,25 +283,25 @@ type scoredID struct {
 	score float64
 }
 
-func (e *Engine) visualMatches(v VisualClause, plan *Plan) ([]scoredID, error) {
+func (e *Engine) visualMatches(ctx context.Context, v VisualClause, plan *Plan) ([]scoredID, error) {
 	switch {
 	case v.Exact:
 		plan.Steps = append(plan.Steps, "exact visual scan")
-		ms, err := e.st.SearchVisualExact(v.Kind, v.Vec, maxInt(v.K, 1))
+		ms, err := e.st.SearchVisualExact(ctx, v.Kind, v.Vec, maxInt(v.K, 1))
 		if err != nil {
 			return nil, err
 		}
 		return toScored(ms), nil
 	case v.Radius > 0:
 		plan.Steps = append(plan.Steps, "lsh radius probe")
-		ms, err := e.st.SearchVisualRadius(v.Kind, v.Vec, v.Radius)
+		ms, err := e.st.SearchVisualRadius(ctx, v.Kind, v.Vec, v.Radius)
 		if err != nil {
 			return nil, err
 		}
 		return toScored(ms), nil
 	default:
 		plan.Steps = append(plan.Steps, "lsh top-k probe")
-		ms, err := e.st.SearchVisual(v.Kind, v.Vec, maxInt(v.K, 1))
+		ms, err := e.st.SearchVisual(ctx, v.Kind, v.Vec, maxInt(v.K, 1))
 		if err != nil {
 			return nil, err
 		}
@@ -301,7 +332,10 @@ func asCandidates(ids []uint64) []candidate {
 	return out
 }
 
-func (e *Engine) labelIDs(c CategoricalClause) ([]uint64, error) {
+func (e *Engine) labelIDs(ctx context.Context, c CategoricalClause) ([]uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cls, err := e.st.ClassificationByName(c.Classification)
 	if err != nil {
 		return nil, err
@@ -321,7 +355,12 @@ func (e *Engine) labelIDs(c CategoricalClause) ([]uint64, error) {
 		return ids, nil
 	}
 	var out []uint64
-	for _, id := range ids {
+	for i, id := range ids {
+		if i%scanCheckpoint == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for _, a := range e.st.AnnotationsFor(id) {
 			if a.ClassificationID == cls.ID && a.Label == label && a.Confidence >= c.MinConfidence {
 				out = append(out, id)
@@ -332,8 +371,9 @@ func (e *Engine) labelIDs(c CategoricalClause) ([]uint64, error) {
 	return out, nil
 }
 
-// filter applies every non-driving clause as a predicate.
-func (e *Engine) filter(q Query, cands []candidate, plan *Plan) ([]candidate, error) {
+// filter applies every non-driving clause as a predicate, polling ctx
+// every scanCheckpoint candidates of the predicate loop.
+func (e *Engine) filter(ctx context.Context, q Query, cands []candidate, plan *Plan) ([]candidate, error) {
 	preds := make([]func(candidate) (bool, error), 0, 4)
 
 	if q.Spatial != nil && q.Spatial.Rect != nil && plan.Driving != "spatial" && plan.Driving != "hybrid" {
@@ -368,7 +408,7 @@ func (e *Engine) filter(q Query, cands []candidate, plan *Plan) ([]candidate, er
 	}
 	for _, cat := range cats {
 		plan.Steps = append(plan.Steps, "categorical filter")
-		ids, err := e.labelIDs(cat)
+		ids, err := e.labelIDs(ctx, cat)
 		if err != nil {
 			return nil, err
 		}
@@ -381,10 +421,14 @@ func (e *Engine) filter(q Query, cands []candidate, plan *Plan) ([]candidate, er
 	if q.Textual != nil && plan.Driving != "textual" {
 		plan.Steps = append(plan.Steps, "textual filter")
 		var ms []index.Match
+		var err error
 		if q.Textual.MatchAll {
-			ms = e.st.SearchTextAll(q.Textual.Terms)
+			ms, err = e.st.SearchTextAll(ctx, q.Textual.Terms)
 		} else {
-			ms = e.st.SearchText(q.Textual.Terms)
+			ms, err = e.st.SearchText(ctx, q.Textual.Terms)
+		}
+		if err != nil {
+			return nil, err
 		}
 		set := make(map[uint64]bool, len(ms))
 		for _, m := range ms {
@@ -397,7 +441,12 @@ func (e *Engine) filter(q Query, cands []candidate, plan *Plan) ([]candidate, er
 		return cands, nil
 	}
 	out := cands[:0]
-	for _, c := range cands {
+	for i, c := range cands {
+		if i%scanCheckpoint == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		keep := true
 		for _, p := range preds {
 			ok, err := p(c)
@@ -416,13 +465,19 @@ func (e *Engine) filter(q Query, cands []candidate, plan *Plan) ([]candidate, er
 	return out, nil
 }
 
-// rank orders the surviving candidates.
-func (e *Engine) rank(q Query, cands []candidate, ordered bool, plan *Plan) ([]Result, error) {
+// rank orders the surviving candidates, polling ctx every scanCheckpoint
+// candidates of the visual re-rank scoring loop.
+func (e *Engine) rank(ctx context.Context, q Query, cands []candidate, ordered bool, plan *Plan) ([]Result, error) {
 	// Visual clause not used as driver: score candidates by feature
 	// distance now.
 	if q.Visual != nil && plan.Driving != "visual" && plan.Driving != "hybrid" {
 		plan.Steps = append(plan.Steps, "visual re-rank")
 		for i := range cands {
+			if i%scanCheckpoint == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			vec, err := e.st.GetFeature(cands[i].id, q.Visual.Kind)
 			if err != nil {
 				// Images without the feature rank last.

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -76,7 +77,7 @@ func setup(t *testing.T, hybrid bool) *fixture {
 
 func TestEmptyQuery(t *testing.T) {
 	f := setup(t, false)
-	if _, _, err := f.eng.Run(Query{}); !errors.Is(err, ErrEmptyQuery) {
+	if _, _, err := f.eng.Run(context.Background(), Query{}); !errors.Is(err, ErrEmptyQuery) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -86,7 +87,7 @@ func TestSpatialRange(t *testing.T) {
 	// Rect around image 0's camera.
 	img, _ := f.st.GetImage(f.ids[0])
 	r := geo.NewRect(geo.Destination(img.FOV.Camera, 315, 150), geo.Destination(img.FOV.Camera, 135, 150))
-	got, err := f.eng.SpatialRange(r)
+	got, err := f.eng.SpatialRange(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestSpatialRange(t *testing.T) {
 func TestKNearest(t *testing.T) {
 	f := setup(t, false)
 	img, _ := f.st.GetImage(f.ids[7])
-	got, err := f.eng.KNearest(img.FOV.Camera, 3)
+	got, err := f.eng.KNearest(context.Background(), img.FOV.Camera, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestKNearest(t *testing.T) {
 
 func TestVisualTopK(t *testing.T) {
 	f := setup(t, false)
-	got, err := f.eng.VisualTopK(string(feature.KindColorHist), []float64{12, 0}, 3)
+	got, err := f.eng.VisualTopK(context.Background(), string(feature.KindColorHist), []float64{12, 0}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestVisualTopK(t *testing.T) {
 
 func TestVisualExactAndRadius(t *testing.T) {
 	f := setup(t, false)
-	got, plan, err := f.eng.Run(Query{Visual: &VisualClause{
+	got, plan, err := f.eng.Run(context.Background(), Query{Visual: &VisualClause{
 		Kind: string(feature.KindColorHist), Vec: []float64{12, 0}, K: 3, Exact: true}})
 	if err != nil {
 		t.Fatal(err)
@@ -140,7 +141,7 @@ func TestVisualExactAndRadius(t *testing.T) {
 	if plan.Driving != "visual" || got[0].ID != f.ids[12] {
 		t.Fatalf("exact visual: plan=%v got=%+v", plan, got)
 	}
-	got, _, err = f.eng.Run(Query{Visual: &VisualClause{
+	got, _, err = f.eng.Run(context.Background(), Query{Visual: &VisualClause{
 		Kind: string(feature.KindColorHist), Vec: []float64{12, 0}, Radius: 1.5}})
 	if err != nil {
 		t.Fatal(err)
@@ -154,7 +155,7 @@ func TestVisualExactAndRadius(t *testing.T) {
 
 func TestCategorical(t *testing.T) {
 	f := setup(t, false)
-	got, err := f.eng.ByLabel("street_cleanliness", "Encampment")
+	got, err := f.eng.ByLabel(context.Background(), "street_cleanliness", "Encampment")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,10 +169,10 @@ func TestCategorical(t *testing.T) {
 			t.Fatalf("wrong label in results: %+v", anns)
 		}
 	}
-	if _, err := f.eng.ByLabel("street_cleanliness", "NoSuchLabel"); err == nil {
+	if _, err := f.eng.ByLabel(context.Background(), "street_cleanliness", "NoSuchLabel"); err == nil {
 		t.Fatal("unknown label accepted")
 	}
-	if _, err := f.eng.ByLabel("nope", "Clean"); err == nil {
+	if _, err := f.eng.ByLabel(context.Background(), "nope", "Clean"); err == nil {
 		t.Fatal("unknown classification accepted")
 	}
 }
@@ -179,7 +180,7 @@ func TestCategorical(t *testing.T) {
 func TestCategoricalMinConfidence(t *testing.T) {
 	f := setup(t, false)
 	// Encampment annotations carry confidence 0.7 in the fixture.
-	got, _, err := f.eng.Run(Query{Categorical: &CategoricalClause{
+	got, _, err := f.eng.Run(context.Background(), Query{Categorical: &CategoricalClause{
 		Classification: "street_cleanliness", Label: "Encampment", MinConfidence: 0.9}})
 	if err != nil {
 		t.Fatal(err)
@@ -187,7 +188,7 @@ func TestCategoricalMinConfidence(t *testing.T) {
 	if len(got) != 0 {
 		t.Fatalf("high-confidence filter passed %d", len(got))
 	}
-	got, _, err = f.eng.Run(Query{Categorical: &CategoricalClause{
+	got, _, err = f.eng.Run(context.Background(), Query{Categorical: &CategoricalClause{
 		Classification: "street_cleanliness", Label: "Encampment", MinConfidence: 0.6}})
 	if err != nil {
 		t.Fatal(err)
@@ -199,14 +200,14 @@ func TestCategoricalMinConfidence(t *testing.T) {
 
 func TestTextual(t *testing.T) {
 	f := setup(t, false)
-	got, err := f.eng.ByKeywords("tent")
+	got, err := f.eng.ByKeywords(context.Background(), "tent")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 6 {
 		t.Fatalf("tent matches = %d", len(got))
 	}
-	got, plan, err := f.eng.Run(Query{Textual: &TextualClause{Terms: []string{"tent", "trash"}, MatchAll: true}})
+	got, plan, err := f.eng.Run(context.Background(), Query{Textual: &TextualClause{Terms: []string{"tent", "trash"}, MatchAll: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestTextual(t *testing.T) {
 
 func TestTemporal(t *testing.T) {
 	f := setup(t, false)
-	got, err := f.eng.TimeRange(f.epoch, f.epoch.Add(4*time.Minute))
+	got, err := f.eng.TimeRange(context.Background(), f.epoch, f.epoch.Add(4*time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestTemporal(t *testing.T) {
 func TestHybridSpatialVisualUsesHybridTree(t *testing.T) {
 	f := setup(t, true)
 	everywhere := geo.NewRect(geo.Destination(la, 315, 2000), geo.Destination(la, 135, 2000))
-	got, plan, err := f.eng.SpatialVisual(everywhere, string(feature.KindColorHist), []float64{5, 0}, 3)
+	got, plan, err := f.eng.SpatialVisual(context.Background(), everywhere, string(feature.KindColorHist), []float64{5, 0}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestHybridSpatialVisualUsesHybridTree(t *testing.T) {
 func TestHybridFallsBackToTwoPhase(t *testing.T) {
 	f := setup(t, false) // no hybrid tree maintained
 	everywhere := geo.NewRect(geo.Destination(la, 315, 2000), geo.Destination(la, 135, 2000))
-	got, plan, err := f.eng.SpatialVisual(everywhere, string(feature.KindColorHist), []float64{5, 0}, 3)
+	got, plan, err := f.eng.SpatialVisual(context.Background(), everywhere, string(feature.KindColorHist), []float64{5, 0}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestHybridFallsBackToTwoPhase(t *testing.T) {
 		t.Fatalf("two-phase top = %+v", got)
 	}
 	// The explicit two-phase helper agrees.
-	tp, err := f.eng.TwoPhaseSpatialVisual(everywhere, string(feature.KindColorHist), []float64{5, 0}, 3)
+	tp, err := f.eng.TwoPhaseSpatialVisual(context.Background(), everywhere, string(feature.KindColorHist), []float64{5, 0}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,11 +273,11 @@ func TestHybridFallsBackToTwoPhase(t *testing.T) {
 func TestHybridAndTwoPhaseAgree(t *testing.T) {
 	f := setup(t, true)
 	everywhere := geo.NewRect(geo.Destination(la, 315, 2000), geo.Destination(la, 135, 2000))
-	hy, plan, err := f.eng.SpatialVisual(everywhere, string(feature.KindColorHist), []float64{13, 0}, 5)
+	hy, plan, err := f.eng.SpatialVisual(context.Background(), everywhere, string(feature.KindColorHist), []float64{13, 0}, 5)
 	if err != nil || plan.Driving != "hybrid" {
 		t.Fatalf("hybrid run: %v %v", plan, err)
 	}
-	tp, err := f.eng.TwoPhaseSpatialVisual(everywhere, string(feature.KindColorHist), []float64{13, 0}, 5)
+	tp, err := f.eng.TwoPhaseSpatialVisual(context.Background(), everywhere, string(feature.KindColorHist), []float64{13, 0}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestCategoricalSpatialCombination(t *testing.T) {
 	// Encampment images near image 2's camera only.
 	img, _ := f.st.GetImage(f.ids[2])
 	r := geo.NewRect(geo.Destination(img.FOV.Camera, 315, 200), geo.Destination(img.FOV.Camera, 135, 200))
-	got, plan, err := f.eng.Run(Query{
+	got, plan, err := f.eng.Run(context.Background(), Query{
 		Categorical: &CategoricalClause{Classification: "street_cleanliness", Label: "Encampment"},
 		Spatial:     &SpatialClause{Rect: &r},
 	})
@@ -318,7 +319,7 @@ func TestCategoricalSpatialCombination(t *testing.T) {
 
 func TestTemporalTextualCombination(t *testing.T) {
 	f := setup(t, false)
-	got, plan, err := f.eng.Run(Query{
+	got, plan, err := f.eng.Run(context.Background(), Query{
 		Temporal: &TemporalClause{From: f.epoch, To: f.epoch.Add(9 * time.Minute)},
 		Textual:  &TextualClause{Terms: []string{"tent"}},
 	})
@@ -336,7 +337,7 @@ func TestTemporalTextualCombination(t *testing.T) {
 
 func TestVisualRerankWithCategoricalDriver(t *testing.T) {
 	f := setup(t, false)
-	got, plan, err := f.eng.Run(Query{
+	got, plan, err := f.eng.Run(context.Background(), Query{
 		Categorical: &CategoricalClause{Classification: "street_cleanliness", Label: "Clean"},
 		Visual:      &VisualClause{Kind: string(feature.KindColorHist), Vec: []float64{14, 0}, K: 2},
 	})
@@ -355,7 +356,7 @@ func TestVisualRerankWithCategoricalDriver(t *testing.T) {
 
 func TestLimit(t *testing.T) {
 	f := setup(t, false)
-	got, _, err := f.eng.Run(Query{
+	got, _, err := f.eng.Run(context.Background(), Query{
 		Textual: &TextualClause{Terms: []string{"tent"}},
 		Limit:   2,
 	})
@@ -369,7 +370,7 @@ func TestLimit(t *testing.T) {
 
 func TestPlanString(t *testing.T) {
 	f := setup(t, false)
-	_, plan, err := f.eng.Run(Query{Textual: &TextualClause{Terms: []string{"tent"}}})
+	_, plan, err := f.eng.Run(context.Background(), Query{Textual: &TextualClause{Terms: []string{"tent"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +384,7 @@ func TestSpatialTextualHelper(t *testing.T) {
 	// Region around image 0 only; image 0 carries keyword "tent".
 	img, _ := f.st.GetImage(f.ids[0])
 	r := geo.NewRect(geo.Destination(img.FOV.Camera, 315, 200), geo.Destination(img.FOV.Camera, 135, 200))
-	got, plan, err := f.eng.SpatialTextual(r, "tent")
+	got, plan, err := f.eng.SpatialTextual(context.Background(), r, "tent")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestSpatialTextualHelper(t *testing.T) {
 	}
 	// Outside the region: no hits even though the keyword matches.
 	far := geo.NewRect(geo.Destination(la, 0, 50000), geo.Destination(la, 0, 51000))
-	got, _, err = f.eng.SpatialTextual(far, "tent")
+	got, _, err = f.eng.SpatialTextual(context.Background(), far, "tent")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +426,7 @@ func TestCrossSchemeCategoricals(t *testing.T) {
 		}
 	}
 	// Encampment (i%5==2: 2,7,12,17,22,27) AND Graffiti (even): 2,12,22.
-	got, plan, err := f.eng.Run(Query{
+	got, plan, err := f.eng.Run(context.Background(), Query{
 		Categorical: &CategoricalClause{Classification: "street_cleanliness", Label: "Encampment"},
 		Categoricals: []CategoricalClause{
 			{Classification: "graffiti", Label: "Graffiti"},
@@ -452,7 +453,7 @@ func TestCrossSchemeCategoricals(t *testing.T) {
 		}
 	}
 	// List-only form (no sugar field) also works.
-	got2, _, err := f.eng.Run(Query{
+	got2, _, err := f.eng.Run(context.Background(), Query{
 		Categoricals: []CategoricalClause{
 			{Classification: "graffiti", Label: "Graffiti"},
 			{Classification: "street_cleanliness", Label: "Encampment"},
@@ -463,5 +464,80 @@ func TestCrossSchemeCategoricals(t *testing.T) {
 	}
 	if len(got2) != 3 {
 		t.Fatalf("list-form hits = %d", len(got2))
+	}
+}
+
+// --- cancellation semantics -----------------------------------------------
+
+// TestRunCancelledReturnsPromptly pins the request-lifecycle contract at
+// the query layer: a context cancelled before (or during) Run surfaces
+// context.Canceled — not a partial result set — and does so at the next
+// checkpoint, for every clause family.
+func TestRunCancelledReturnsPromptly(t *testing.T) {
+	f := setup(t, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := geo.NewRect(geo.Destination(la, 315, 600), geo.Destination(la, 135, 600))
+	queries := []Query{
+		{Spatial: &SpatialClause{Rect: &r}},
+		{Visual: &VisualClause{Kind: string(feature.KindColorHist), Vec: []float64{3, 0}, K: 5}},
+		{Categorical: &CategoricalClause{Classification: "street_cleanliness", Label: "Encampment"}},
+		{Textual: &TextualClause{Terms: []string{"tent"}}},
+		{Temporal: &TemporalClause{From: f.epoch, To: f.epoch.Add(time.Hour)}},
+		{
+			Categorical: &CategoricalClause{Classification: "street_cleanliness", Label: "Clean"},
+			Visual:      &VisualClause{Kind: string(feature.KindColorHist), Vec: []float64{14, 0}, K: 2},
+		},
+	}
+	for i, q := range queries {
+		if _, _, err := f.eng.Run(ctx, q); !errors.Is(err, context.Canceled) {
+			t.Errorf("query %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+// TestRunDeadlineExceeded drives an already-expired deadline through Run
+// and expects context.DeadlineExceeded — the error the API layer maps to
+// HTTP 504.
+func TestRunDeadlineExceeded(t *testing.T) {
+	f := setup(t, false)
+	ctx, cancel := context.WithDeadline(context.Background(), f.epoch) // long past
+	defer cancel()
+	_, _, err := f.eng.Run(ctx, Query{Textual: &TextualClause{Terms: []string{"tent"}}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestHelpersPropagateCancellation covers the convenience entry points —
+// each must observe the caller's context, not swallow it.
+func TestHelpersPropagateCancellation(t *testing.T) {
+	f := setup(t, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := geo.NewRect(geo.Destination(la, 315, 600), geo.Destination(la, 135, 600))
+	checks := []struct {
+		name string
+		call func() error
+	}{
+		{"SpatialRange", func() error { _, err := f.eng.SpatialRange(ctx, r); return err }},
+		{"KNearest", func() error { _, err := f.eng.KNearest(ctx, la, 3); return err }},
+		{"VisualTopK", func() error {
+			_, err := f.eng.VisualTopK(ctx, string(feature.KindColorHist), []float64{1, 0}, 3)
+			return err
+		}},
+		{"ByLabel", func() error { _, err := f.eng.ByLabel(ctx, "street_cleanliness", "Clean"); return err }},
+		{"ByKeywords", func() error { _, err := f.eng.ByKeywords(ctx, "tent"); return err }},
+		{"TimeRange", func() error { _, err := f.eng.TimeRange(ctx, f.epoch, f.epoch.Add(time.Hour)); return err }},
+		{"SpatialTextual", func() error { _, _, err := f.eng.SpatialTextual(ctx, r, "tent"); return err }},
+		{"TwoPhaseSpatialVisual", func() error {
+			_, err := f.eng.TwoPhaseSpatialVisual(ctx, r, string(feature.KindColorHist), []float64{1, 0}, 3)
+			return err
+		}},
+	}
+	for _, c := range checks {
+		if err := c.call(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", c.name, err)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"os"
 	"sync"
@@ -171,10 +172,10 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 						return
 					}
 				}
-				s.SearchScene(geo.NewRect(geo.Destination(la, 315, 3000), geo.Destination(la, 135, 3000)))
-				s.SearchText([]string{"graffiti"})
+				s.SearchScene(context.Background(), geo.NewRect(geo.Destination(la, 315, 3000), geo.Destination(la, 135, 3000)))
+				s.SearchText(context.Background(), []string{"graffiti"})
 				s.ImagesByLabel(classID, 0)
-				_, _ = s.SearchVisual("colour", []float64{1, 1, 0.5}, 5)
+				_, _ = s.SearchVisual(context.Background(), "colour", []float64{1, 1, 0.5}, 5)
 			}
 		}()
 	}

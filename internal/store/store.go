@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
@@ -1096,86 +1097,121 @@ func (s *Store) Authenticate(key string) (User, error) {
 }
 
 // ---- Query primitives (composed by internal/query) ----
+//
+// Every search takes a ctx and refuses to start (or, for the scan-shaped
+// probes, aborts at the index's internal checkpoints) once the context is
+// done. The ctx is only ever *polled* (ctx.Err) — never waited on — so a
+// search holds its subsystem read lock strictly while computing, and a
+// cancelled caller cannot stall Snapshot/Close behind a lock it parked
+// on.
 
 // SearchScene returns image IDs whose scene MBR intersects r.
-func (s *Store) SearchScene(r geo.Rect) []uint64 {
+func (s *Store) SearchScene(ctx context.Context, r geo.Rect) ([]uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.geoMu.RLock()
 	defer s.geoMu.RUnlock()
-	return s.spatial.SearchRect(r)
+	return s.spatial.SearchRect(r), nil
 }
 
 // SearchNearest returns up to k image IDs whose scenes are closest to p.
-func (s *Store) SearchNearest(p geo.Point, k int) []uint64 {
+func (s *Store) SearchNearest(ctx context.Context, p geo.Point, k int) ([]uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.geoMu.RLock()
 	defer s.geoMu.RUnlock()
-	return s.spatial.NearestK(p, k)
+	return s.spatial.NearestK(p, k), nil
 }
 
 // SearchVisual returns up to k approximate visual neighbours of vec under
-// the given feature kind.
-func (s *Store) SearchVisual(kind string, vec []float64, k int) ([]index.Match, error) {
+// the given feature kind. The LSH probe checks ctx between hash tables
+// and per scan checkpoint during re-ranking.
+func (s *Store) SearchVisual(ctx context.Context, kind string, vec []float64, k int) ([]index.Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.featMu.RLock()
 	defer s.featMu.RUnlock()
 	lsh, ok := s.visual[kind]
 	if !ok {
 		return nil, fmt.Errorf("%w: no index for feature kind %q", ErrNotFound, kind)
 	}
-	return lsh.TopK(vec, k)
+	return lsh.TopK(ctx, vec, k)
 }
 
 // SearchVisualRadius returns visual matches within distance r.
-func (s *Store) SearchVisualRadius(kind string, vec []float64, r float64) ([]index.Match, error) {
+func (s *Store) SearchVisualRadius(ctx context.Context, kind string, vec []float64, r float64) ([]index.Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.featMu.RLock()
 	defer s.featMu.RUnlock()
 	lsh, ok := s.visual[kind]
 	if !ok {
 		return nil, fmt.Errorf("%w: no index for feature kind %q", ErrNotFound, kind)
 	}
-	return lsh.WithinRadius(vec, r)
+	return lsh.WithinRadius(ctx, vec, r)
 }
 
 // SearchVisualExact linearly re-ranks all vectors of a kind (baseline).
-func (s *Store) SearchVisualExact(kind string, vec []float64, k int) ([]index.Match, error) {
+func (s *Store) SearchVisualExact(ctx context.Context, kind string, vec []float64, k int) ([]index.Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.featMu.RLock()
 	defer s.featMu.RUnlock()
 	lsh, ok := s.visual[kind]
 	if !ok {
 		return nil, fmt.Errorf("%w: no index for feature kind %q", ErrNotFound, kind)
 	}
-	return lsh.ExactTopK(vec, k)
+	return lsh.ExactTopK(ctx, vec, k)
 }
 
 // SearchHybrid runs a single-pass spatial-visual query when a hybrid tree
 // is maintained for the kind; ok=false means the caller must fall back to
-// the two-phase plan.
-func (s *Store) SearchHybrid(kind string, r geo.Rect, vec []float64, k int) ([]index.Match, bool, error) {
+// the two-phase plan. The tree walk checks ctx at every node descent.
+func (s *Store) SearchHybrid(ctx context.Context, kind string, r geo.Rect, vec []float64, k int) ([]index.Match, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	s.featMu.RLock()
 	defer s.featMu.RUnlock()
 	ht, ok := s.hybrid[kind]
 	if !ok {
 		return nil, false, nil
 	}
-	ms, err := ht.SearchSpatialVisual(r, vec, k)
+	ms, err := ht.SearchSpatialVisual(ctx, r, vec, k)
 	return ms, true, err
 }
 
 // SearchText returns keyword matches (disjunctive, TF-IDF ranked).
-func (s *Store) SearchText(terms []string) []index.Match {
+func (s *Store) SearchText(ctx context.Context, terms []string) ([]index.Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.kwMu.RLock()
 	defer s.kwMu.RUnlock()
-	return s.text.SearchAny(terms)
+	return s.text.SearchAny(terms), nil
 }
 
 // SearchTextAll returns conjunctive keyword matches.
-func (s *Store) SearchTextAll(terms []string) []index.Match {
+func (s *Store) SearchTextAll(ctx context.Context, terms []string) ([]index.Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.kwMu.RLock()
 	defer s.kwMu.RUnlock()
-	return s.text.SearchAll(terms)
+	return s.text.SearchAll(terms), nil
 }
 
 // SearchTime returns image IDs captured in [from, to].
-func (s *Store) SearchTime(from, to time.Time) []uint64 {
+func (s *Store) SearchTime(ctx context.Context, from, to time.Time) ([]uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.geoMu.RLock()
 	defer s.geoMu.RUnlock()
-	return s.temporal.Range(from, to)
+	return s.temporal.Range(from, to), nil
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -104,19 +105,19 @@ func TestSpatialTemporalSearch(t *testing.T) {
 		ids = append(ids, id)
 	}
 	// A rect around the whole city finds everything.
-	all := s.SearchScene(geo.NewRect(geo.Destination(la, 315, 3000), geo.Destination(la, 135, 3000)))
+	all, _ := s.SearchScene(context.Background(), geo.NewRect(geo.Destination(la, 315, 3000), geo.Destination(la, 135, 3000)))
 	if len(all) != 10 {
 		t.Fatalf("city-wide search found %d", len(all))
 	}
 	// Nearest to the camera of image 0.
 	img0, _ := s.GetImage(ids[0])
-	near := s.SearchNearest(img0.FOV.Camera, 3)
+	near, _ := s.SearchNearest(context.Background(), img0.FOV.Camera, 3)
 	if len(near) != 3 || near[0] != ids[0] {
 		t.Fatalf("nearest = %v", near)
 	}
 	// Temporal window covering the first three captures only.
 	from := time.Date(2019, 2, 1, 8, 0, 0, 0, time.UTC)
-	got := s.SearchTime(from, from.Add(73*time.Minute))
+	got, _ := s.SearchTime(context.Background(), from, from.Add(73*time.Minute))
 	if len(got) != 3 {
 		t.Fatalf("temporal window found %d", len(got))
 	}
@@ -133,28 +134,28 @@ func TestFeaturesAndVisualSearch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got, err := s.SearchVisual("color_hist", []float64{5, 5, 0, 0}, 1)
+	got, err := s.SearchVisual(context.Background(), "color_hist", []float64{5, 5, 0, 0}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 || got[0].ID != ids[5] {
 		t.Fatalf("visual top-1 = %+v, want id %d", got, ids[5])
 	}
-	exact, err := s.SearchVisualExact("color_hist", []float64{5, 5, 0, 0}, 3)
+	exact, err := s.SearchVisualExact(context.Background(), "color_hist", []float64{5, 5, 0, 0}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if exact[0].ID != ids[5] {
 		t.Fatalf("exact top = %+v", exact)
 	}
-	within, err := s.SearchVisualRadius("color_hist", []float64{5, 5, 0, 0}, 1.5)
+	within, err := s.SearchVisualRadius(context.Background(), "color_hist", []float64{5, 5, 0, 0}, 1.5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(within) == 0 || within[0].ID != ids[5] {
 		t.Fatalf("radius results = %+v", within)
 	}
-	if _, err := s.SearchVisual("nope", []float64{1}, 1); !errors.Is(err, ErrNotFound) {
+	if _, err := s.SearchVisual(context.Background(), "nope", []float64{1}, 1); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("unknown kind err = %v", err)
 	}
 	if _, err := s.GetFeature(ids[0], "nope"); !errors.Is(err, ErrUnknownFeature) {
@@ -187,7 +188,7 @@ func TestHybridSearch(t *testing.T) {
 		}
 	}
 	everywhere := geo.NewRect(geo.Destination(la, 315, 3000), geo.Destination(la, 135, 3000))
-	ms, ok, err := s.SearchHybrid(string(feature.KindColorHist), everywhere, []float64{3, 1}, 2)
+	ms, ok, err := s.SearchHybrid(context.Background(), string(feature.KindColorHist), everywhere, []float64{3, 1}, 2)
 	if err != nil || !ok {
 		t.Fatalf("hybrid search ok=%v err=%v", ok, err)
 	}
@@ -195,7 +196,7 @@ func TestHybridSearch(t *testing.T) {
 		t.Fatalf("hybrid results = %+v", ms)
 	}
 	// A kind without a hybrid tree reports ok=false.
-	if _, ok, err := s.SearchHybrid("other", everywhere, []float64{1}, 2); ok || err != nil {
+	if _, ok, err := s.SearchHybrid(context.Background(), "other", everywhere, []float64{1}, 2); ok || err != nil {
 		t.Fatalf("missing hybrid: ok=%v err=%v", ok, err)
 	}
 }
@@ -267,11 +268,11 @@ func TestKeywordsAndTextSearch(t *testing.T) {
 	if err := s.AddKeywords(id2, []string{"trash"}); err != nil {
 		t.Fatal(err)
 	}
-	got := s.SearchText([]string{"tent"})
+	got, _ := s.SearchText(context.Background(), []string{"tent"})
 	if len(got) != 1 || got[0].ID != id1 {
 		t.Fatalf("text search = %+v", got)
 	}
-	all := s.SearchTextAll([]string{"tent", "homeless"})
+	all, _ := s.SearchTextAll(context.Background(), []string{"tent", "homeless"})
 	if len(all) != 1 || all[0].ID != id1 {
 		t.Fatalf("conjunctive = %+v", all)
 	}
@@ -299,13 +300,13 @@ func TestDeleteImageCascades(t *testing.T) {
 	if _, err := s.GetImage(id); !errors.Is(err, ErrNotFound) {
 		t.Fatal("image still present")
 	}
-	if got := s.SearchText([]string{"tent"}); len(got) != 0 {
+	if got, _ := s.SearchText(context.Background(), []string{"tent"}); len(got) != 0 {
 		t.Fatal("text index not cleaned")
 	}
 	if got := s.ImagesByLabel(classID, 0); len(got) != 0 {
 		t.Fatal("label index not cleaned")
 	}
-	if got, err := s.SearchVisual("f", []float64{1, 2}, 1); err != nil || len(got) != 0 {
+	if got, err := s.SearchVisual(context.Background(), "f", []float64{1, 2}, 1); err != nil || len(got) != 0 {
 		t.Fatalf("visual index not cleaned: %v %v", got, err)
 	}
 	if err := s.DeleteImage(id); !errors.Is(err, ErrNotFound) {
@@ -403,10 +404,10 @@ func TestWALRecovery(t *testing.T) {
 	if got := r.ImagesByLabel(c.ID, 2); len(got) != 5 {
 		t.Fatalf("label index not rebuilt: %v", got)
 	}
-	if got := r.SearchText([]string{"kw1"}); len(got) == 0 {
+	if got, _ := r.SearchText(context.Background(), []string{"kw1"}); len(got) == 0 {
 		t.Fatal("text index not rebuilt")
 	}
-	if got, err := r.SearchVisual("color_hist", []float64{3, 1, 2}, 1); err != nil || got[0].ID != ids[3] {
+	if got, err := r.SearchVisual(context.Background(), "color_hist", []float64{3, 1, 2}, 1); err != nil || got[0].ID != ids[3] {
 		t.Fatalf("visual index not rebuilt: %v %v", got, err)
 	}
 	if u, err := r.Authenticate(key); err != nil || u.ID != uid {
@@ -513,8 +514,8 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				s.SearchScene(geo.NewRect(geo.Destination(la, 315, 3000), geo.Destination(la, 135, 3000)))
-				s.SearchText([]string{"kw1"})
+				s.SearchScene(context.Background(), geo.NewRect(geo.Destination(la, 315, 3000), geo.Destination(la, 135, 3000)))
+				s.SearchText(context.Background(), []string{"kw1"})
 				s.NumImages()
 			}
 		}()
@@ -590,10 +591,10 @@ func TestAddVideoAndFrames(t *testing.T) {
 			t.Fatalf("frame %d linkage = %+v", i, img)
 		}
 	}
-	if got := s.SearchTime(base, base.Add(2*time.Second)); len(got) != 2 {
+	if got, _ := s.SearchTime(context.Background(), base, base.Add(2*time.Second)); len(got) != 2 {
 		t.Fatalf("temporal frame query = %v", got)
 	}
-	if got := s.SearchText([]string{"drone"}); len(got) != 3 {
+	if got, _ := s.SearchText(context.Background(), []string{"drone"}); len(got) != 3 {
 		t.Fatalf("text frame query = %v", got)
 	}
 	if _, err := s.GetVideo(9999); !errors.Is(err, ErrNotFound) {

@@ -21,17 +21,18 @@ go vet ./...
 echo "== tvdp-lint (invariant gate) =="
 # The in-tree analyzers guard what vet and -race cannot: the store's
 # six-lock acquisition order, the pipeline determinism contract, the
-# WAL-frames-go-through-the-committer rule, and discarded Close/Sync
-# errors in the durability layers. A failure here means a load-bearing
-# invariant broke — read the finding's fix hint, don't reach for nolint.
+# WAL-frames-go-through-the-committer rule, discarded Close/Sync errors
+# in the durability layers, and the request-lifecycle context contract.
+# A failure here means a load-bearing invariant broke — read the
+# finding's fix hint, don't reach for nolint.
 if ! go run ./cmd/tvdp-lint ./...; then
-    echo "tvdp-lint: a platform invariant broke (lock order / determinism / WAL path / error discard)" >&2
+    echo "tvdp-lint: a platform invariant broke (lock order / determinism / WAL path / error discard / ctx flow)" >&2
     exit 1
 fi
 # The analyzers themselves must still detect violations: each fixture
 # package is a known-bad corpus, so a clean exit on one means the
 # analyzer went blind.
-for fixture in lockorder determinism walpath errdiscard nolint; do
+for fixture in lockorder determinism walpath errdiscard ctxflow nolint; do
     if go run ./cmd/tvdp-lint "./internal/lint/testdata/$fixture" >/dev/null 2>&1; then
         echo "tvdp-lint: fixture $fixture produced no findings — analyzer regression" >&2
         exit 1
@@ -55,6 +56,78 @@ echo "== crash-recovery property tests (race) =="
 # under the race detector on every build, and a failure here should read
 # as "durability broke", not as a generic suite failure.
 go test -race -run 'TestKillAtEveryOffset|TestSnapshotPlusWALOffsetSweep|TestSnapshotCrashDiscardsStaleWAL|TestReopenMutateCycles|TestFaultInjectedTornWrites|TestBitFlipSurfacesCorruption|TestLegacyWALMigration' ./internal/store
+
+echo "== graceful shutdown gate (race) =="
+# The request-lifecycle contract under the race detector: Serve must stop
+# accepting on cancellation, drain in-flight uploads, and leave the store
+# reopenable with every acknowledged write intact. Shutdown races the
+# drain against live handlers and the committer quiesce, so this gate is
+# race-enabled and should read as "graceful shutdown broke" on failure.
+go test -race -run 'TestServeStopsOnCancel|TestServeGracefulShutdownDrainsInFlight' ./internal/core
+go test -race -run 'TestForCtxCancelNeverDeadlocks|TestForCtxGrainsNeverTear' ./internal/par
+
+echo "== SIGTERM drain smoke =="
+# The real-process twin of the gate above: SIGTERM a loaded tvdp-server
+# -dir, require exit 0 with the shutdown epilogue logged, then reopen the
+# same directory and require the full corpus back (the post-drain snapshot
+# makes the reopen replay-free). In-flight drain is covered by the race
+# test; this smoke pins the process wiring (signal → drain → snapshot →
+# close → exit code).
+drain_dir=$(mktemp -d)
+drain_port=$((20000 + $$ % 10000))
+go build -o "$drain_dir/tvdp-server" ./cmd/tvdp-server
+mkdir -p "$drain_dir/data"
+"$drain_dir/tvdp-server" -addr "127.0.0.1:$drain_port" -dir "$drain_dir/data" -demo 24 -seed 7 >"$drain_dir/run1.log" 2>&1 &
+srv_pid=$!
+ready=0
+i=0
+while [ "$i" -lt 300 ]; do
+    if grep -q "listening on" "$drain_dir/run1.log"; then ready=1; break; fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ "$ready" -ne 1 ]; then
+    echo "tvdp-server never became ready" >&2
+    cat "$drain_dir/run1.log" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$srv_pid"
+if ! wait "$srv_pid"; then
+    echo "tvdp-server did not exit 0 on SIGTERM" >&2
+    cat "$drain_dir/run1.log" >&2
+    exit 1
+fi
+grep -q "shutdown complete" "$drain_dir/run1.log" || {
+    echo "tvdp-server exited without the graceful-shutdown epilogue" >&2
+    cat "$drain_dir/run1.log" >&2
+    exit 1
+}
+# Reopen: the seeded corpus must be back in full, from the snapshot alone.
+"$drain_dir/tvdp-server" -addr "127.0.0.1:$drain_port" -dir "$drain_dir/data" >"$drain_dir/run2.log" 2>&1 &
+srv_pid=$!
+ready=0
+i=0
+while [ "$i" -lt 300 ]; do
+    if grep -q "listening on" "$drain_dir/run2.log"; then ready=1; break; fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ "$ready" -ne 1 ]; then
+    echo "tvdp-server failed to reopen after graceful shutdown" >&2
+    cat "$drain_dir/run2.log" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+fi
+grep -q "platform ready: 24 images" "$drain_dir/run2.log" || {
+    echo "reopened store lost data across graceful shutdown" >&2
+    cat "$drain_dir/run2.log" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+kill -TERM "$srv_pid"
+wait "$srv_pid" || { echo "reopened tvdp-server did not exit 0 on SIGTERM" >&2; exit 1; }
+rm -rf "$drain_dir"
 
 echo "== go test -race =="
 go test -race ./...

@@ -11,9 +11,13 @@
 //
 //	p, err := tvdp.Open(tvdp.Config{Dir: "./data"})
 //	...
-//	id, err := p.Ingest(img, fov, capturedAt, []string{"tent"})
-//	spec, err := p.TrainModel(analysis.TrainConfig{...})
-//	results, plan, err := p.Search(query.Query{...})
+//	id, err := p.Ingest(ctx, img, fov, capturedAt, []string{"tent"})
+//	spec, err := p.TrainModel(ctx, analysis.TrainConfig{...})
+//	results, plan, err := p.Search(ctx, query.Query{...})
+//
+// Every request-shaped method takes a context.Context first; pass a
+// deadline-carrying context to bound searches and training runs, and use
+// Serve's context for graceful shutdown.
 //
 // See the runnable programs under examples/ for full scenarios.
 package tvdp
@@ -28,6 +32,9 @@ type Config = core.Config
 
 // Platform is one running TVDP instance. See core.Platform.
 type Platform = core.Platform
+
+// ServeConfig controls Platform.Serve. See core.ServeConfig.
+type ServeConfig = core.ServeConfig
 
 // Stats summarises platform contents. See core.Stats.
 type Stats = core.Stats

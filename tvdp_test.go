@@ -1,6 +1,7 @@
 package tvdp
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/synth"
@@ -21,7 +22,7 @@ func TestPublicAliases(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, rec := range g.Generate(5) {
-		if _, err := p.IngestRecord(rec); err != nil {
+		if _, err := p.IngestRecord(context.Background(), rec); err != nil {
 			t.Fatal(err)
 		}
 	}
