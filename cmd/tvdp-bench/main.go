@@ -9,6 +9,8 @@
 //	tvdp-bench -fig all -scale paper    # paper-scale corpus (slow)
 //	tvdp-bench -figure serving          # mixed read/write throughput,
 //	                                    # baseline mutex vs concurrent path
+//	tvdp-bench -figure readpath         # exact vs quantized vs cached
+//	                                    # visual search + quantized recall
 package main
 
 import (
@@ -25,7 +27,7 @@ import (
 func main() {
 	var (
 		fig       = flag.String("fig", "", "figure to regenerate: 6, 7, 8, or all")
-		figure    = flag.String("figure", "", "alias for -fig; also accepts \"serving\"")
+		figure    = flag.String("figure", "", "alias for -fig; also accepts \"serving\" and \"readpath\"")
 		ablations = flag.Bool("ablations", false, "run the A1..A7 ablation studies")
 		n         = flag.Int("n", 0, "override corpus size")
 		folds     = flag.Int("folds", 0, "cross-validation folds for Fig. 6 (0 = skip)")
@@ -38,20 +40,36 @@ func main() {
 		duration = flag.Duration("duration", 2*time.Second, "serving: measured window per mode")
 		preload  = flag.Int("preload", 64, "serving: images preloaded before timing")
 		sync     = flag.Bool("sync", true, "serving: fsync every write (SyncEveryWrite)")
-		out      = flag.String("out", "BENCH_serving.json", "serving: output JSON path")
+		out      = flag.String("out", "", "serving/readpath: output JSON path (default BENCH_<figure>.json)")
+
+		timingN       = flag.Int("timing-n", 0, "readpath: timing-store vector count (0 = default 20000)")
+		timingQueries = flag.Int("timing-queries", 0, "readpath: timed queries per mode (0 = default 240)")
 	)
 	flag.Parse()
-	if *fig == "" && *figure != "" && *figure != "serving" {
+	special := *figure == "serving" || *figure == "readpath"
+	if *fig == "" && *figure != "" && !special {
 		*fig = *figure
 	}
-	if *fig == "" && !*ablations && *figure != "serving" {
+	if *fig == "" && !*ablations && !special {
 		flag.Usage()
 		os.Exit(2)
 	}
 	log.SetFlags(0)
 
 	if *figure == "serving" {
-		runServing(*clients, *readfrac, *duration, *preload, *sync, *seed, *out)
+		path := *out
+		if path == "" {
+			path = "BENCH_serving.json"
+		}
+		runServing(*clients, *readfrac, *duration, *preload, *sync, *seed, path)
+		return
+	}
+	if *figure == "readpath" {
+		path := *out
+		if path == "" {
+			path = "BENCH_readpath.json"
+		}
+		runReadpath(*scaleName, *seed, *timingN, *timingQueries, path)
 		return
 	}
 
@@ -140,6 +158,41 @@ func runServing(clients int, readfrac float64, duration time.Duration, preload i
 	if out != "" {
 		if err := r.WriteJSON(out); err != nil {
 			log.Fatalf("serving: writing %s: %v", out, err)
+		}
+		log.Printf("wrote %s", out)
+	}
+}
+
+func runReadpath(scaleName string, seed int64, timingN, timingQueries int, out string) {
+	cfg := experiments.DefaultReadpathConfig()
+	switch scaleName {
+	case "smoke":
+		cfg.Scale = experiments.SmokeScale()
+	case "default", "":
+		cfg.Scale = experiments.DefaultScale()
+	case "paper":
+		cfg.Scale = experiments.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", scaleName)
+	}
+	cfg.Seed = seed
+	cfg.Scale.Seed = seed
+	if timingN > 0 {
+		cfg.TimingN = timingN
+	}
+	if timingQueries > 0 {
+		cfg.TimingQueries = timingQueries
+	}
+	log.Printf("readpath bench: quality corpus N=%d, timing store N=%d, top-%d (seed %d)",
+		cfg.Scale.N, cfg.TimingN, cfg.K, cfg.Seed)
+	r, err := experiments.RunReadpath(cfg)
+	if err != nil {
+		log.Fatalf("readpath: %v", err)
+	}
+	fmt.Println(r.Render())
+	if out != "" {
+		if err := r.WriteJSON(out); err != nil {
+			log.Fatalf("readpath: writing %s: %v", out, err)
 		}
 		log.Printf("wrote %s", out)
 	}

@@ -118,7 +118,9 @@ func fixtureAnalyzers() []lint.Analyzer {
 	ed.Scope = []string{"fixture"}
 	cf := lint.NewCtxFlow()
 	cf.BackgroundScope = []string{"fixture"}
-	return []lint.Analyzer{lint.NewLockOrder(), det, lint.NewWALPath(), ed, cf}
+	sq := lint.NewSqrtScan()
+	sq.Scope = []string{"fixture"}
+	return []lint.Analyzer{lint.NewLockOrder(), det, lint.NewWALPath(), ed, cf, sq}
 }
 
 // moduleRoot walks up from the working directory to the enclosing go.mod.

@@ -61,6 +61,8 @@ func run(logger *log.Logger) error {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. :6060); empty disables")
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline budget")
 		grace      = flag.Duration("shutdown-grace", 10*time.Second, "in-flight drain budget after SIGINT/SIGTERM")
+		rateLimit  = flag.Float64("rate-limit", 0, "admitted requests/sec per client before shedding 429s (0 disables)")
+		rateBurst  = flag.Int("rate-burst", 0, "admission bucket capacity (0 derives from -rate-limit)")
 	)
 	flag.Parse()
 
@@ -114,6 +116,8 @@ func run(logger *log.Logger) error {
 		Logger:         logger,
 		RequestTimeout: *reqTimeout,
 		ShutdownGrace:  *grace,
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,95 @@
+package api
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Admission control: a per-client token bucket in front of the mux.
+// Under overload the server sheds excess requests as 429 with a
+// Retry-After hint *before* spending any handler work on them, keeping
+// tail latency for admitted requests bounded instead of letting every
+// request degrade together. Clients are keyed by API key when presented
+// (one budget per principal, however many connections they open) and by
+// remote host otherwise, so the unauthenticated bootstrap endpoints are
+// covered too.
+
+// bucketIdleEvict is how long an untouched client bucket survives before
+// the next admission sweep reclaims it.
+const bucketIdleEvict = 5 * time.Minute
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admission holds the per-client buckets. Rate and burst live on the
+// Server (read per call), so the zero admission is usable as soon as the
+// map exists.
+type admission struct {
+	mu        sync.Mutex
+	buckets   map[string]*tokenBucket
+	lastSweep time.Time
+}
+
+func newAdmission() *admission {
+	return &admission{buckets: make(map[string]*tokenBucket)}
+}
+
+// admit refills key's bucket at rate tokens/sec up to burst and takes
+// one token. When the bucket is empty it reports false and how long
+// until a token accrues (the Retry-After hint, rounded up to a second).
+func (a *admission) admit(key string, now time.Time, rate float64, burst int) (bool, time.Duration) {
+	cap := float64(burst)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, ok := a.buckets[key]
+	if !ok {
+		b = &tokenBucket{tokens: cap, last: now}
+		a.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * rate
+		if b.tokens > cap {
+			b.tokens = cap
+		}
+	}
+	b.last = now
+	a.sweepLocked(now)
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / rate * float64(time.Second))
+		return false, wait
+	}
+	b.tokens--
+	return true, 0
+}
+
+// sweepLocked drops buckets idle past bucketIdleEvict, at most once per
+// evict interval, so one-shot clients don't accumulate forever.
+func (a *admission) sweepLocked(now time.Time) {
+	if now.Sub(a.lastSweep) < bucketIdleEvict {
+		return
+	}
+	a.lastSweep = now
+	for key, b := range a.buckets {
+		if now.Sub(b.last) >= bucketIdleEvict {
+			delete(a.buckets, key)
+		}
+	}
+}
+
+// clientKey identifies the admission principal: the API key when the
+// request carries one, else the remote host (ignoring the ephemeral
+// port, so reconnecting does not refresh the budget).
+func clientKey(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return "k:" + key
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "h:" + host
+}

@@ -1,0 +1,157 @@
+package api
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// admissionEnv is an env whose server sheds load: rate tokens/sec,
+// burst capacity, and a manually-advanced clock so refill is exact.
+type admissionEnv struct {
+	*env
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newAdmissionEnv(t *testing.T, rate float64, burst int) *admissionEnv {
+	t.Helper()
+	e := newEnv(t)
+	ae := &admissionEnv{env: e, now: time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC)}
+	// newEnv's bootstrap requests are done; configure admission before
+	// this test's own requests flow.
+	srv := e.srv.Config.Handler.(*Server)
+	srv.RateLimit = rate
+	srv.RateBurst = burst
+	srv.Clock = func() time.Time {
+		ae.mu.Lock()
+		defer ae.mu.Unlock()
+		return ae.now
+	}
+	return ae
+}
+
+func (ae *admissionEnv) advance(d time.Duration) {
+	ae.mu.Lock()
+	ae.now = ae.now.Add(d)
+	ae.mu.Unlock()
+}
+
+// get fires one request keyed by apiKey and returns the status code.
+func (ae *admissionEnv) get(t *testing.T, apiKey string) (int, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ae.srv.URL+"/api/v1/classifications", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apiKey != "" {
+		req.Header.Set("X-API-Key", apiKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header
+}
+
+// TestAdmissionSheds429: with a frozen clock, exactly burst requests are
+// admitted per client; excess is shed as 429 with a Retry-After hint,
+// and advancing the clock refills the bucket.
+func TestAdmissionSheds429(t *testing.T) {
+	ae := newAdmissionEnv(t, 1, 3)
+	for i := 0; i < 3; i++ {
+		if code, _ := ae.get(t, "worker-key"); code == http.StatusTooManyRequests {
+			t.Fatalf("request %d within burst was shed", i)
+		}
+	}
+	code, hdr := ae.get(t, "worker-key")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("request past burst got %d, want 429", code)
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer of seconds", hdr.Get("Retry-After"))
+	}
+	// A different client has its own bucket.
+	if code, _ := ae.get(t, "other-key"); code == http.StatusTooManyRequests {
+		t.Fatal("distinct client was shed by the first client's bucket")
+	}
+	// One second accrues one token at rate 1.
+	ae.advance(time.Second)
+	if code, _ := ae.get(t, "worker-key"); code == http.StatusTooManyRequests {
+		t.Fatal("bucket did not refill after clock advance")
+	}
+	if code, _ := ae.get(t, "worker-key"); code != http.StatusTooManyRequests {
+		t.Fatalf("second request after 1s refill got %d, want 429", code)
+	}
+}
+
+// TestAdmissionConcurrent hammers one client key from many goroutines
+// under the race detector: with a frozen clock exactly burst requests
+// may pass, and every response is one of admitted or 429.
+func TestAdmissionConcurrent(t *testing.T) {
+	const burst, callers = 5, 20
+	ae := newAdmissionEnv(t, 1, burst)
+	codes := make([]int, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = ae.get(t, "stress-key")
+		}(i)
+	}
+	wg.Wait()
+	shed := 0
+	for _, code := range codes {
+		if code == http.StatusTooManyRequests {
+			shed++
+		}
+	}
+	if shed != callers-burst {
+		t.Fatalf("%d of %d shed, want exactly %d (burst %d, frozen clock)",
+			shed, callers, callers-burst, burst)
+	}
+}
+
+// TestAdmissionDisabledByDefault: RateLimit 0 never sheds.
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	e := newEnv(t)
+	for i := 0; i < 50; i++ {
+		resp, err := http.Get(e.srv.URL + "/api/v1/classifications")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			t.Fatalf("request %d shed with admission disabled", i)
+		}
+	}
+}
+
+// TestSearchDimMismatchIs400: a query vector of the wrong width must
+// surface as a client error, not a 500.
+func TestSearchDimMismatchIs400(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.client.UploadImage(sampleUpload(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"visual":{"kind":"color_hist","vector":[1,2,3],"k":5,"exact":true}}`)
+	req, err := http.NewRequest(http.MethodPost, e.srv.URL+"/api/v1/search", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-API-Key", e.client.APIKey)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dim-mismatched search got %d, want 400", resp.StatusCode)
+	}
+}

@@ -126,6 +126,10 @@ type SearchRequest struct {
 		Kind   string    `json:"kind"`
 		Vector []float64 `json:"vector"`
 		K      int       `json:"k"`
+		// Exact forces the full-precision linear scan; Quant the int8
+		// quantized scan with exact re-rank. Neither set = LSH probe.
+		Exact bool `json:"exact,omitempty"`
+		Quant bool `json:"quant,omitempty"`
 	} `json:"visual,omitempty"`
 	Categorical *struct {
 		Classification string  `json:"classification"`

@@ -6,14 +6,17 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/crowd"
 	"repro/internal/edge"
 	"repro/internal/geo"
+	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/store"
 )
@@ -38,15 +41,27 @@ type Server struct {
 	// RequestTimeout is the deadline budget each request's context gets
 	// (measured from dispatch). Zero means DefaultRequestTimeout.
 	RequestTimeout time.Duration
-	mux            *http.ServeMux
+	// RateLimit admits this many requests per second per client (keyed
+	// by API key, else remote host) before shedding 429s. Zero disables
+	// admission control.
+	RateLimit float64
+	// RateBurst is the bucket capacity above the steady rate; <= 0
+	// selects max(1, ceil(RateLimit)).
+	RateBurst int
+	mux       *http.ServeMux
+	admOnce   sync.Once
+	adm       *admission
 }
 
-// NewServer builds the router.
+// NewServer builds the router. The query engine it serves is the cached
+// one: repeated identical searches hit the generation-stamped result
+// cache, and concurrent identical searches collapse onto one execution.
+// Any store write invalidates, so cached answers are never stale.
 func NewServer(st *store.Store, svc *analysis.Service, logger *log.Logger) *Server {
 	s := &Server{
 		Store:          st,
 		Service:        svc,
-		Query:          query.New(st),
+		Query:          query.NewCached(st, 0),
 		Logger:         logger,
 		Clock:          time.Now,
 		RequestTimeout: DefaultRequestTimeout,
@@ -56,10 +71,32 @@ func NewServer(st *store.Store, svc *analysis.Service, logger *log.Logger) *Serv
 	return s
 }
 
-// ServeHTTP implements http.Handler. Every request runs under a context
-// derived from the client's with the server's deadline budget applied, so
-// a slow scan is bounded even when the client never disconnects.
+// ServeHTTP implements http.Handler. Admission control runs first —
+// overload is shed as 429 before the request costs any handler work.
+// Every admitted request runs under a context derived from the client's
+// with the server's deadline budget applied, so a slow scan is bounded
+// even when the client never disconnects.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if rate := s.RateLimit; rate > 0 {
+		s.admOnce.Do(func() { s.adm = newAdmission() })
+		burst := s.RateBurst
+		if burst <= 0 {
+			burst = int(math.Ceil(rate))
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		ok, retry := s.adm.admit(clientKey(r), s.Clock(), rate, burst)
+		if !ok {
+			secs := int(math.Ceil(retry.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			s.writeError(w, http.StatusTooManyRequests, errors.New("rate limit exceeded, retry later"))
+			return
+		}
+	}
 	budget := s.RequestTimeout
 	if budget <= 0 {
 		budget = DefaultRequestTimeout
@@ -146,7 +183,7 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, store.ErrInvalid), errors.Is(err, store.ErrUnknownLabel),
 		errors.Is(err, analysis.ErrNoTrainingData), errors.Is(err, query.ErrEmptyQuery),
-		errors.Is(err, analysis.ErrNotExportable):
+		errors.Is(err, analysis.ErrNotExportable), errors.Is(err, index.ErrDimMismatch):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError
@@ -352,7 +389,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		q.Spatial = &query.SpatialClause{Near: &p, K: req.Near.K}
 	}
 	if req.Visual != nil {
-		q.Visual = &query.VisualClause{Kind: req.Visual.Kind, Vec: req.Visual.Vector, K: req.Visual.K}
+		q.Visual = &query.VisualClause{
+			Kind: req.Visual.Kind, Vec: req.Visual.Vector, K: req.Visual.K,
+			Exact: req.Visual.Exact, Quant: req.Visual.Quant,
+		}
 	}
 	if req.Categorical != nil {
 		q.Categorical = &query.CategoricalClause{

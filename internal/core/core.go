@@ -225,6 +225,12 @@ type ServeConfig struct {
 	// before the first request is accepted. With Addr ":0" it is the only
 	// way to learn the kernel-assigned port (tests, the CI shutdown gate).
 	Ready func(addr net.Addr)
+	// RateLimit admits this many requests per second per client before
+	// the API sheds 429s; zero disables admission control.
+	RateLimit float64
+	// RateBurst is the admission bucket capacity (<= 0 derives it from
+	// RateLimit).
+	RateBurst int
 }
 
 // Serve runs the REST API on cfg.Addr until ctx is cancelled or the
@@ -242,6 +248,8 @@ func (p *Platform) Serve(ctx context.Context, cfg ServeConfig) error {
 	}
 	h := api.NewServer(p.Store, p.Analysis, cfg.Logger)
 	h.RequestTimeout = cfg.RequestTimeout
+	h.RateLimit = cfg.RateLimit
+	h.RateBurst = cfg.RateBurst
 	srv := &http.Server{
 		Addr:              cfg.Addr,
 		Handler:           h,

@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/feature"
+	"repro/internal/imagesim"
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Read-path raw-speed benchmark (`tvdp-bench -figure readpath`), the
+// evaluation artefact of the quantized-scan + result-cache PR. Two
+// phases:
+//
+//   - Quality, on the real synthetic corpus: for colour-histogram and CNN
+//     features, quantized top-k recall against the exact scan and top-k
+//     label purity (the retrieval-quality proxy behind Fig. 6). The
+//     Fig. 6 verdict — CNN features retrieve better than colour — must
+//     hold identically under quantization, or the speedup is bought with
+//     the paper's result.
+//   - Timing, on a jitter-replicated corpus at TimingN vectors: the same
+//     top-k query served three ways through the store + query engine —
+//     exact full-precision scan, int8 quantized scan with exact re-rank,
+//     and the exact scan behind the generation-stamped result cache.
+//     Quantization pays off at corpus scale (the per-query LUT build is
+//     O(dim·256), amortized over TimingN candidates), which is why the
+//     timing phase does not reuse the small quality corpus.
+
+// ReadpathConfig sizes one readpath benchmark run.
+type ReadpathConfig struct {
+	// Scale sizes the quality-phase corpus (features are genuinely
+	// trained and extracted at this scale).
+	Scale Scale
+	// K is the top-k depth for both phases.
+	K int
+	// Queries is the number of quality-phase probe queries per kind.
+	Queries int
+	// TimingN is the jitter-replicated vector count the timing store
+	// serves.
+	TimingN int
+	// TimingQueries is the number of timed queries per mode.
+	TimingQueries int
+	// QueryVecs is the size of the rotating query set (smaller than
+	// TimingQueries, so the cached mode sees repeats).
+	QueryVecs int
+	// Seed drives replication jitter and query selection.
+	Seed int64
+}
+
+// DefaultReadpathConfig mirrors the acceptance setup: smoke-scale
+// quality corpus, 20K-vector timing store, top-10.
+func DefaultReadpathConfig() ReadpathConfig {
+	return ReadpathConfig{
+		Scale:         SmokeScale(),
+		K:             10,
+		Queries:       40,
+		TimingN:       20000,
+		TimingQueries: 240,
+		QueryVecs:     32,
+		Seed:          7,
+	}
+}
+
+// ReadpathQuality is one feature kind's quantization-quality row.
+type ReadpathQuality struct {
+	Kind string `json:"kind"`
+	// RecallAtK is quantized top-k recall against the exact scan.
+	RecallAtK float64 `json:"recall_at_k"`
+	// ExactPurity / QuantPurity are the mean fraction of top-k
+	// neighbours (self excluded) sharing the query's class label.
+	ExactPurity float64 `json:"exact_label_purity"`
+	QuantPurity float64 `json:"quant_label_purity"`
+}
+
+// ReadpathModeResult is one serving mode's measurements.
+type ReadpathModeResult struct {
+	Mode        string  `json:"mode"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	ElapsedS    float64 `json:"elapsed_s"`
+}
+
+// ReadpathResult is the full comparison written to BENCH_readpath.json.
+type ReadpathResult struct {
+	Figure  string            `json:"figure"`
+	K       int               `json:"k"`
+	CorpusN int               `json:"corpus_n"`
+	TimingN int               `json:"timing_n"`
+	Dim     int               `json:"dim"`
+	Quality []ReadpathQuality `json:"quality"`
+	// MinRecall is the worst per-kind quantized recall — the acceptance
+	// number (>= 0.9).
+	MinRecall float64 `json:"min_recall"`
+	// OrderingPreserved reports that CNN >= colour label purity holds in
+	// both the exact and the quantized ranking (the Fig. 6 verdict).
+	OrderingPreserved bool               `json:"fig6_ordering_preserved"`
+	Exact             ReadpathModeResult `json:"exact"`
+	Quant             ReadpathModeResult `json:"quantized"`
+	Cached            ReadpathModeResult `json:"cached"`
+	QuantSpeedupX     float64            `json:"quant_speedup_x"`
+	CachedSpeedupX    float64            `json:"cached_speedup_x"`
+	CacheStats        query.CacheStats   `json:"cache_stats"`
+}
+
+// readpathQuality measures quantized recall and label purity for one
+// feature kind on the corpus, via a dedicated index (no store needed:
+// quality is a property of the scan, not the serving path).
+func readpathQuality(c *Corpus, kind string, cfg ReadpathConfig) (ReadpathQuality, error) {
+	feats := c.Features[kind]
+	if len(feats) == 0 {
+		return ReadpathQuality{}, fmt.Errorf("experiments: no features of kind %q", kind)
+	}
+	lsh, err := index.NewLSH(len(feats[0]), index.DefaultLSHConfig(cfg.Seed))
+	if err != nil {
+		return ReadpathQuality{}, err
+	}
+	for i, v := range feats {
+		if err := lsh.Insert(uint64(i+1), v); err != nil {
+			return ReadpathQuality{}, err
+		}
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	q := ReadpathQuality{Kind: kind}
+	queries := cfg.Queries
+	if queries > len(c.TestIdx) {
+		queries = len(c.TestIdx)
+	}
+	purity := func(self uint64, label int, ms []index.Match) float64 {
+		same, total := 0, 0
+		for _, m := range ms {
+			if m.ID == self {
+				continue
+			}
+			total++
+			if c.Labels[m.ID-1] == label {
+				same++
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(same) / float64(total)
+	}
+	for qi := 0; qi < queries; qi++ {
+		ti := c.TestIdx[rng.Intn(len(c.TestIdx))]
+		self, label, vec := uint64(ti+1), c.Labels[ti], feats[ti]
+		exact, err := lsh.ExactTopK(ctx, vec, cfg.K)
+		if err != nil {
+			return ReadpathQuality{}, err
+		}
+		quant, err := lsh.QuantTopK(ctx, vec, cfg.K)
+		if err != nil {
+			return ReadpathQuality{}, err
+		}
+		inExact := make(map[uint64]bool, len(exact))
+		for _, m := range exact {
+			inExact[m.ID] = true
+		}
+		hits := 0
+		for _, m := range quant {
+			if inExact[m.ID] {
+				hits++
+			}
+		}
+		q.RecallAtK += float64(hits) / float64(cfg.K)
+		q.ExactPurity += purity(self, label, exact)
+		q.QuantPurity += purity(self, label, quant)
+	}
+	q.RecallAtK /= float64(queries)
+	q.ExactPurity /= float64(queries)
+	q.QuantPurity /= float64(queries)
+	return q, nil
+}
+
+// buildTimingStore replicates the corpus CNN vectors with per-dimension
+// jitter out to TimingN and serves them from an in-memory store, so the
+// timed path is the production one: store locks, feature index, query
+// engine.
+func buildTimingStore(c *Corpus, cfg ReadpathConfig) (*store.Store, [][]float64, error) {
+	base := c.Features[string(feature.KindCNN)]
+	dim := len(base[0])
+	// Per-dimension jitter amplitude: 2% of the observed span, so the
+	// replicated clusters stay tight (quantization has to preserve
+	// fine-grained ordering) while every vector is distinct.
+	lo, hi := make([]float64, dim), make([]float64, dim)
+	copy(lo, base[0])
+	copy(hi, base[0])
+	for _, v := range base {
+		for d, x := range v {
+			if x < lo[d] {
+				lo[d] = x
+			}
+			if x > hi[d] {
+				hi[d] = x
+			}
+		}
+	}
+	jitter := make([]float64, dim)
+	for d := range jitter {
+		jitter[d] = 0.02 * (hi[d] - lo[d])
+	}
+	st, err := store.Open(store.DefaultConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	// Tiny raster, as in the serving bench: the timed path is the scan,
+	// not payload encoding.
+	px := imagesim.MustNew(4, 4)
+	px.Fill(imagesim.RGB{R: 90, G: 110, B: 130})
+	replicate := func(out []float64) {
+		src := base[rng.Intn(len(base))]
+		for d, x := range src {
+			out[d] = x + rng.NormFloat64()*jitter[d]
+		}
+	}
+	vec := make([]float64, dim)
+	for i := 0; i < cfg.TimingN; i++ {
+		id, err := st.AddImage(servingImage(rng, px))
+		if err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+		replicate(vec)
+		if err := st.PutFeature(id, string(feature.KindCNN), vec); err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+	}
+	qvecs := make([][]float64, cfg.QueryVecs)
+	for i := range qvecs {
+		qvecs[i] = make([]float64, dim)
+		replicate(qvecs[i])
+	}
+	return st, qvecs, nil
+}
+
+// timeReadpathMode runs TimingQueries sequential queries through eng and
+// measures latency percentiles, throughput, and (via testing.Benchmark)
+// allocations per query.
+func timeReadpathMode(mode string, eng *query.Engine, qvecs [][]float64, cfg ReadpathConfig, clause func([]float64) query.Query) (ReadpathModeResult, error) {
+	ctx := context.Background()
+	lat := make([]float64, 0, cfg.TimingQueries)
+	sw := startStopwatch()
+	for i := 0; i < cfg.TimingQueries; i++ {
+		q := clause(qvecs[i%len(qvecs)])
+		op := startStopwatch()
+		if _, _, err := eng.Run(ctx, q); err != nil {
+			return ReadpathModeResult{}, fmt.Errorf("readpath %s query %d: %w", mode, i, err)
+		}
+		lat = append(lat, op.elapsed().Seconds()*1e3)
+	}
+	elapsed := sw.elapsed().Seconds()
+	sort.Float64s(lat)
+	pct := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		return lat[int(p*float64(len(lat)-1))]
+	}
+	res := ReadpathModeResult{
+		Mode:      mode,
+		OpsPerSec: float64(cfg.TimingQueries) / elapsed,
+		P50Ms:     pct(0.50),
+		P99Ms:     pct(0.99),
+		ElapsedS:  elapsed,
+	}
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Run(ctx, clause(qvecs[i%len(qvecs)])); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res.AllocsPerOp = br.AllocsPerOp()
+	res.BytesPerOp = br.AllocedBytesPerOp()
+	return res, nil
+}
+
+// RunReadpath builds the quality corpus and runs both phases.
+func RunReadpath(cfg ReadpathConfig) (*ReadpathResult, error) {
+	c, err := BuildCorpus(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return RunReadpathCorpus(c, cfg)
+}
+
+// RunReadpathCorpus runs the readpath benchmark over a prebuilt corpus
+// (tests reuse the cached smoke corpus; CNN training dominates).
+func RunReadpathCorpus(c *Corpus, cfg ReadpathConfig) (*ReadpathResult, error) {
+	if cfg.K <= 0 || cfg.Queries <= 0 || cfg.TimingN <= 0 || cfg.TimingQueries <= 0 || cfg.QueryVecs <= 0 {
+		return nil, fmt.Errorf("experiments: readpath config needs positive K, Queries, TimingN, TimingQueries, QueryVecs")
+	}
+	r := &ReadpathResult{
+		Figure:  "readpath",
+		K:       cfg.K,
+		CorpusN: len(c.Records),
+		TimingN: cfg.TimingN,
+	}
+
+	// Phase 1: quantization quality on the real corpus.
+	for _, kind := range []string{string(feature.KindColorHist), string(feature.KindCNN)} {
+		q, err := readpathQuality(c, kind, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.Quality = append(r.Quality, q)
+	}
+	r.MinRecall = r.Quality[0].RecallAtK
+	for _, q := range r.Quality[1:] {
+		if q.RecallAtK < r.MinRecall {
+			r.MinRecall = q.RecallAtK
+		}
+	}
+	colour, cnn := r.Quality[0], r.Quality[1]
+	r.OrderingPreserved = cnn.ExactPurity >= colour.ExactPurity && cnn.QuantPurity >= colour.QuantPurity
+
+	// Phase 2: serving-path timing at scale.
+	st, qvecs, err := buildTimingStore(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	r.Dim = len(qvecs[0])
+	kind := string(feature.KindCNN)
+	exactClause := func(v []float64) query.Query {
+		return query.Query{Visual: &query.VisualClause{Kind: kind, Vec: v, K: cfg.K, Exact: true}}
+	}
+	quantClause := func(v []float64) query.Query {
+		return query.Query{Visual: &query.VisualClause{Kind: kind, Vec: v, K: cfg.K, Quant: true}}
+	}
+	uncached := query.New(st)
+	if r.Exact, err = timeReadpathMode("exact", uncached, qvecs, cfg, exactClause); err != nil {
+		return nil, err
+	}
+	if r.Quant, err = timeReadpathMode("quantized", uncached, qvecs, cfg, quantClause); err != nil {
+		return nil, err
+	}
+	cached := query.NewCached(st, 0)
+	if r.Cached, err = timeReadpathMode("cached", cached, qvecs, cfg, exactClause); err != nil {
+		return nil, err
+	}
+	r.CacheStats = cached.Stats()
+	if r.Exact.OpsPerSec > 0 {
+		r.QuantSpeedupX = r.Quant.OpsPerSec / r.Exact.OpsPerSec
+		r.CachedSpeedupX = r.Cached.OpsPerSec / r.Exact.OpsPerSec
+	}
+	return r, nil
+}
+
+// WriteJSON writes the result as indented JSON (BENCH_readpath.json).
+func (r *ReadpathResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render returns the result as text tables.
+func (r *ReadpathResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Read path — corpus %d (quality), %d vectors x %d dims (timing), top-%d\n",
+		r.CorpusN, r.TimingN, r.Dim, r.K)
+	fmt.Fprintf(&b, "%-12s %10s %14s %14s\n", "kind", "recall@k", "exact purity", "quant purity")
+	for _, q := range r.Quality {
+		fmt.Fprintf(&b, "%-12s %10.3f %14.3f %14.3f\n", q.Kind, q.RecallAtK, q.ExactPurity, q.QuantPurity)
+	}
+	fmt.Fprintf(&b, "fig6 ordering preserved under quantization: %v\n\n", r.OrderingPreserved)
+	fmt.Fprintf(&b, "%-12s %12s %10s %10s %12s %12s\n", "mode", "ops/sec", "p50 ms", "p99 ms", "allocs/op", "bytes/op")
+	for _, m := range []ReadpathModeResult{r.Exact, r.Quant, r.Cached} {
+		fmt.Fprintf(&b, "%-12s %12.0f %10.3f %10.3f %12d %12d\n",
+			m.Mode, m.OpsPerSec, m.P50Ms, m.P99Ms, m.AllocsPerOp, m.BytesPerOp)
+	}
+	fmt.Fprintf(&b, "quantized speedup: %.2fx   cached speedup: %.2fx (hits %d / misses %d / shared %d)\n",
+		r.QuantSpeedupX, r.CachedSpeedupX, r.CacheStats.Hits, r.CacheStats.Misses, r.CacheStats.Shared)
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// TestRunReadpathSmoke runs both phases at reduced timing scale and pins
+// the acceptance shape: quantized recall >= 0.9 against the exact scan,
+// the Fig. 6 CNN-over-colour ordering intact under quantization, and all
+// three serving modes measured.
+func TestRunReadpathSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a corpus and a timing store; skipped in -short")
+	}
+	c := smoke(t)
+	cfg := DefaultReadpathConfig()
+	cfg.TimingN = 1500
+	cfg.TimingQueries = 24
+	cfg.QueryVecs = 8
+	r, err := RunReadpathCorpus(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Quality) != 2 {
+		t.Fatalf("want 2 quality rows (colour, cnn), got %d", len(r.Quality))
+	}
+	if r.MinRecall < 0.9 {
+		t.Errorf("quantized recall@%d = %.3f, want >= 0.9 (quality rows: %+v)", r.K, r.MinRecall, r.Quality)
+	}
+	if !r.OrderingPreserved {
+		t.Errorf("Fig. 6 ordering (CNN >= colour purity) broke under quantization: %+v", r.Quality)
+	}
+	for _, m := range []ReadpathModeResult{r.Exact, r.Quant, r.Cached} {
+		if m.OpsPerSec <= 0 || m.P50Ms < 0 || m.P99Ms < m.P50Ms {
+			t.Errorf("mode %s has degenerate timing: %+v", m.Mode, m)
+		}
+		if m.AllocsPerOp <= 0 {
+			t.Errorf("mode %s did not measure allocations: %+v", m.Mode, m)
+		}
+	}
+	// The cached mode cycles QueryVecs distinct queries with no writes in
+	// between, so everything after the first pass must be a cache hit.
+	if r.CacheStats.Hits == 0 {
+		t.Errorf("cached mode recorded no cache hits: %+v", r.CacheStats)
+	}
+	if got := r.Render(); got == "" {
+		t.Error("Render returned empty output")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/imagesim"
 	"repro/internal/nn"
+	"repro/internal/vecmath"
 )
 
 func solid(c imagesim.RGB) *imagesim.Image {
@@ -98,12 +99,7 @@ func TestColorHistogramErrors(t *testing.T) {
 }
 
 func l2(a, b []float64) float64 {
-	s := 0.0
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(vecmath.SquaredL2(a, b))
 }
 
 func TestDetectKeypointsFindsCorners(t *testing.T) {

@@ -1,0 +1,104 @@
+package index
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// Read-path microbenchmarks at serving scale: the exact float64 scan vs
+// the int8 quantized scan vs the raw kernels, over the same corpus shape
+// as the readpath figure (20K vectors, 64 dims).
+
+const (
+	benchN   = 20000
+	benchDim = 64
+)
+
+func benchLSH(b *testing.B) (*LSH, []float64) {
+	b.Helper()
+	l, err := NewLSH(benchDim, DefaultLSHConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	vec := make([]float64, benchDim)
+	for i := 0; i < benchN; i++ {
+		for d := range vec {
+			vec[d] = rng.NormFloat64()
+		}
+		if err := l.Insert(uint64(i+1), vec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := make([]float64, benchDim)
+	for d := range q {
+		q[d] = rng.NormFloat64()
+	}
+	return l, q
+}
+
+func BenchmarkExactTopK(b *testing.B) {
+	l, q := benchLSH(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.ExactTopK(ctx, q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuantTopK(b *testing.B) {
+	l, q := benchLSH(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.QuantTopK(ctx, q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuantTable(b *testing.B) {
+	l, q := benchLSH(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.quantizer.Table(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelSquaredL2(b *testing.B) {
+	l, q := benchLSH(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s float64
+		for _, v := range l.vectors {
+			s += vecmath.SquaredL2(q, v)
+		}
+		_ = s
+	}
+}
+
+func BenchmarkKernelSquaredL2Int8(b *testing.B) {
+	l, q := benchLSH(b)
+	lut, err := l.quantizer.Table(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s float64
+		for pos := 0; pos < len(l.slabIDs); pos++ {
+			s += vecmath.SquaredL2Int8(l.row(pos), lut)
+		}
+		_ = s
+	}
+}

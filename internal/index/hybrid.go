@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/geo"
+	"repro/internal/vecmath"
 )
 
 // HybridItem is an object indexed by both its spatial extent and its
@@ -342,8 +343,9 @@ func (t *HybridTree) split(n *hnode) (*hnode, *hnode) {
 	return build(bestLeft), build(bestRight)
 }
 
-// minFeatureDist lower-bounds the L2 distance from q to any vector inside
-// the node's feature box.
+// minFeatureDist lower-bounds the *squared* L2 distance from q to any
+// vector inside the node's feature box. The traversal compares it
+// against the squared worst-kept distance, so pruning never pays a root.
 func (n *hnode) minFeatureDist(q []float64) float64 {
 	if hLen(n) == 0 {
 		return math.Inf(1)
@@ -358,7 +360,7 @@ func (n *hnode) minFeatureDist(q []float64) float64 {
 			s += d * d
 		}
 	}
-	return math.Sqrt(s)
+	return s
 }
 
 // SearchSpatialVisual returns up to k items whose rects intersect qRect,
@@ -373,6 +375,7 @@ func (t *HybridTree) SearchSpatialVisual(ctx context.Context, qRect geo.Rect, qV
 		return nil, nil
 	}
 	// Bounded result set as a sorted slice (k is small in practice).
+	// Dist fields hold squared distances until the final conversion.
 	var best []Match
 	worst := func() float64 {
 		if len(best) < k {
@@ -407,8 +410,8 @@ func (t *HybridTree) SearchSpatialVisual(ctx context.Context, qRect geo.Rect, qV
 				if !it.Rect.Intersects(qRect) {
 					continue
 				}
-				if d := l2(qVec, it.Vec); d <= worst() {
-					add(Match{ID: it.ID, Dist: d})
+				if d2 := vecmath.SquaredL2(qVec, it.Vec); d2 <= worst() {
+					add(Match{ID: it.ID, Dist: d2})
 				}
 			}
 			return nil
@@ -430,6 +433,7 @@ func (t *HybridTree) SearchSpatialVisual(ctx context.Context, qRect geo.Rect, qV
 	if err := walk(t.root); err != nil {
 		return nil, err
 	}
+	finalizeMatches(best)
 	return best, nil
 }
 

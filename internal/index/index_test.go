@@ -2,6 +2,7 @@ package index
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/vecmath"
 )
 
 func randRect(rng *rand.Rand) geo.Rect {
@@ -573,7 +575,7 @@ func TestHybridTreeMatchesBruteForce(t *testing.T) {
 		var want []Match
 		for _, r := range recs {
 			if r.it.Rect.Intersects(qr) {
-				want = append(want, Match{ID: r.it.ID, Dist: l2(qv, r.it.Vec)})
+				want = append(want, Match{ID: r.it.ID, Dist: math.Sqrt(vecmath.SquaredL2(qv, r.it.Vec))})
 			}
 		}
 		sortMatches(want)

@@ -6,18 +6,44 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"strings"
+	"sync"
+
+	"repro/internal/quant"
+	"repro/internal/vecmath"
 )
 
-// scanCheckpoint is the cancellation-poll cadence of the exact re-rank
+// scanCheckpoint is the cancellation-poll cadence of the candidate-scan
 // loops: ctx.Err is consulted once per this many candidate distances, so
 // a cancelled search returns within one checkpoint grain of work.
 const scanCheckpoint = 256
 
+// quantHeadroom widens the quantizer's trained range by this fraction of
+// the observed per-dimension spread on both sides, so inserts that drift
+// slightly past the seen data don't force a retrain. Each retrain covers
+// the then-current data plus headroom again, which keeps retrain
+// frequency logarithmic in range growth rather than per-insert.
+const quantHeadroom = 0.25
+
+// rerankAlpha and rerankFloor size the exact re-rank shortlist: the
+// quantized scan keeps the best k·rerankAlpha (at least rerankFloor)
+// candidates by asymmetric distance, and only those are re-scored at
+// full precision. The shortlist margin absorbs quantization error in the
+// ordering near the cut, so the final top-k matches the full-precision
+// top-k in practice (the readpath recall gate pins ≥ 0.9 recall@10).
+const (
+	rerankAlpha = 4
+	rerankFloor = 32
+)
+
 // LSH is a locality-sensitive hash index for Euclidean (L2) similarity
 // over feature vectors, using p-stable (Gaussian) projections (Datar et
 // al., SoCG 2004) — the visual-query index of the paper's §IV-C.
+//
+// Alongside the full-precision vectors the index maintains an int8
+// quantized twin of every vector (internal/quant): candidate scans run
+// over the 8×-smaller codes via asymmetric distance tables, and only the
+// final shortlist is re-ranked against the float64 vectors.
 type LSH struct {
 	cfg LSHConfig
 	dim int
@@ -28,6 +54,24 @@ type LSH struct {
 	offsets [][]float64
 	// vectors retains indexed data for exact re-ranking.
 	vectors map[uint64][]float64
+	// The int8 quantized twins live in one contiguous slab (row i is
+	// slabIDs[i]'s codes, dim bytes each) rather than a map of slices:
+	// the quantized scan is a sequential walk over 1/8th the memory of
+	// the float vectors, with no per-candidate pointer chase — which is
+	// where its speed advantage over the exact scan comes from. slabPos
+	// maps id -> row for the bucketed (non-sequential) lookups; Remove
+	// swap-deletes rows to keep the slab dense. quantizer covers every
+	// indexed vector (retrained with fresh headroom whenever an insert
+	// falls outside the trained range).
+	slab      []int8
+	slabIDs   []uint64
+	slabPos   map[uint64]int
+	quantizer *quant.Scalar
+	// lutPool recycles per-query asymmetric-distance tables (256·dim
+	// float64s — allocating one per query is the read path's largest
+	// per-op allocation and shows up as GC tail latency at serving
+	// rates). Concurrent readers each Get their own buffer.
+	lutPool sync.Pool
 }
 
 // LSHConfig sizes the hash family.
@@ -63,7 +107,9 @@ func NewLSH(dim int, cfg LSHConfig) (*LSH, error) {
 		proj:    make([][][]float64, cfg.Tables),
 		offsets: make([][]float64, cfg.Tables),
 		vectors: make(map[uint64][]float64),
+		slabPos: make(map[uint64]int),
 	}
+	l.lutPool.New = func() any { return make([]float64, 256*dim) }
 	for t := 0; t < cfg.Tables; t++ {
 		l.tables[t] = make(map[string][]uint64)
 		l.proj[t] = make([][]float64, cfg.Hashes)
@@ -89,10 +135,7 @@ func (l *LSH) Dim() int { return l.dim }
 func (l *LSH) key(t int, x []float64) string {
 	var b strings.Builder
 	for h := 0; h < l.cfg.Hashes; h++ {
-		dot := l.offsets[t][h]
-		for j, v := range x {
-			dot += l.proj[t][h][j] * v
-		}
+		dot := l.offsets[t][h] + vecmath.Dot(l.proj[t][h], x)
 		fmt.Fprintf(&b, "%d|", int(math.Floor(dot/l.cfg.W)))
 	}
 	return b.String()
@@ -114,6 +157,72 @@ func (l *LSH) Insert(id uint64, vec []float64) error {
 	for t := range l.tables {
 		k := l.key(t, cp)
 		l.tables[t][k] = append(l.tables[t][k], id)
+	}
+	return l.encode(id, cp)
+}
+
+// encode maintains the quantized twin of one freshly inserted vector,
+// retraining the quantizer over the full data (plus headroom) whenever
+// the vector escapes the trained range.
+func (l *LSH) encode(id uint64, vec []float64) error {
+	if l.quantizer == nil || !l.quantizer.Covers(vec) {
+		return l.retrain()
+	}
+	codes, err := l.quantizer.Encode(vec)
+	if err != nil {
+		return err
+	}
+	l.appendRow(id, codes)
+	return nil
+}
+
+// appendRow adds one code row to the slab. The id must not already have
+// a row (Insert removes first on replacement).
+func (l *LSH) appendRow(id uint64, codes []int8) {
+	l.slabPos[id] = len(l.slabIDs)
+	l.slabIDs = append(l.slabIDs, id)
+	l.slab = append(l.slab, codes...)
+}
+
+// row returns the code row at slab position pos.
+func (l *LSH) row(pos int) []int8 {
+	return l.slab[pos*l.dim : (pos+1)*l.dim]
+}
+
+// retrain refits the quantizer to every indexed vector and re-encodes
+// all codes. O(n·dim), amortised by quantHeadroom: each retrain covers a
+// widened range, so a drifting stream triggers retrains at most
+// logarithmically often in its total range growth. Order-independent —
+// min/max fitting and per-id encoding don't depend on map iteration.
+func (l *LSH) retrain() error {
+	all := make([][]float64, 0, len(l.vectors))
+	for _, v := range l.vectors {
+		all = append(all, v)
+	}
+	qz, err := quant.Train(all, quantHeadroom)
+	if err != nil {
+		return err
+	}
+	l.quantizer = qz
+	// Re-encode existing rows in place (slab order is irrelevant to
+	// results — selection is under a total order), then append rows for
+	// vectors not yet in the slab (the insert that triggered retrain).
+	for i, id := range l.slabIDs {
+		codes, err := qz.Encode(l.vectors[id])
+		if err != nil {
+			return err
+		}
+		copy(l.row(i), codes)
+	}
+	for id, v := range l.vectors {
+		if _, ok := l.slabPos[id]; ok {
+			continue
+		}
+		codes, err := qz.Encode(v)
+		if err != nil {
+			return err
+		}
+		l.appendRow(id, codes)
 	}
 	return nil
 }
@@ -138,12 +247,18 @@ func (l *LSH) Remove(id uint64) {
 		}
 	}
 	delete(l.vectors, id)
-}
-
-// Match is a scored search hit.
-type Match struct {
-	ID   uint64
-	Dist float64
+	if pos, ok := l.slabPos[id]; ok {
+		last := len(l.slabIDs) - 1
+		if pos != last {
+			lastID := l.slabIDs[last]
+			copy(l.row(pos), l.row(last))
+			l.slabIDs[pos] = lastID
+			l.slabPos[lastID] = pos
+		}
+		l.slab = l.slab[:last*l.dim]
+		l.slabIDs = l.slabIDs[:last]
+		delete(l.slabPos, id)
+	}
 }
 
 // candidates gathers the union of bucket contents across tables, checking
@@ -163,10 +278,41 @@ func (l *LSH) candidates(ctx context.Context, q []float64) (map[uint64]bool, err
 	return set, nil
 }
 
-// TopK returns up to k approximate nearest neighbours of q by exact
-// re-ranking of LSH candidates, ordered by ascending L2 distance. The
+// shortlistSize is the exact-re-rank shortlist length for a top-k query.
+func shortlistSize(k int) int {
+	if s := k * rerankAlpha; s > rerankFloor {
+		return s
+	}
+	return rerankFloor
+}
+
+// rerank re-scores the best shortlist entries of approx at full
+// precision and returns the top k by true distance (still squared;
+// callers finalize). approx must already be sorted ascending.
+func (l *LSH) rerank(ctx context.Context, q []float64, approx []Match, k int) ([]Match, error) {
+	if shortlist := shortlistSize(k); len(approx) > shortlist {
+		approx = approx[:shortlist]
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i := range approx {
+		approx[i].Dist = vecmath.SquaredL2(q, l.vectors[approx[i].ID])
+	}
+	sortMatches(approx)
+	if len(approx) > k {
+		approx = approx[:k]
+	}
+	return approx, nil
+}
+
+// TopK returns up to k approximate nearest neighbours of q, ordered by
+// ascending L2 distance: LSH buckets propose candidates, the quantized
+// codes order them cheaply, and the top k·rerankAlpha shortlist is
+// re-ranked at full precision (so the returned ordering is exact over
+// the candidate set up to quantization error at the shortlist cut). The
 // scan honours ctx between hash tables and every scanCheckpoint
-// candidates of the re-rank.
+// candidates.
 func (l *LSH) TopK(ctx context.Context, q []float64, k int) ([]Match, error) {
 	if len(q) != l.dim {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), l.dim)
@@ -178,24 +324,73 @@ func (l *LSH) TopK(ctx context.Context, q []float64, k int) ([]Match, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Match, 0, len(cands))
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	lut := l.lutPool.Get().([]float64)
+	defer l.lutPool.Put(lut)
+	if err := l.quantizer.TableInto(lut, q); err != nil {
+		return nil, err
+	}
+	sel := newTopSelector(shortlistSize(k))
+	scanned := 0
 	for id := range cands {
-		if len(out)%scanCheckpoint == 0 {
+		if scanned%scanCheckpoint == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		out = append(out, Match{ID: id, Dist: l2(q, l.vectors[id])})
+		scanned++
+		sel.offer(Match{ID: id, Dist: vecmath.SquaredL2Int8(l.row(l.slabPos[id]), lut)})
 	}
-	sortMatches(out)
-	if len(out) > k {
-		out = out[:k]
+	out, err := l.rerank(ctx, q, sel.results(), k)
+	if err != nil {
+		return nil, err
 	}
+	finalizeMatches(out)
+	return out, nil
+}
+
+// QuantTopK returns up to k approximate nearest neighbours of q by a
+// full quantized scan over every indexed code (no LSH bucketing), with
+// the usual full-precision shortlist re-rank. It is the cheap linear
+// baseline of the readpath figure: same scan shape as ExactTopK but
+// reading 1 byte per dimension instead of 8.
+func (l *LSH) QuantTopK(ctx context.Context, q []float64, k int) ([]Match, error) {
+	if len(q) != l.dim {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), l.dim)
+	}
+	if k <= 0 || len(l.slabIDs) == 0 {
+		return nil, nil
+	}
+	lut := l.lutPool.Get().([]float64)
+	defer l.lutPool.Put(lut)
+	if err := l.quantizer.TableInto(lut, q); err != nil {
+		return nil, err
+	}
+	sel := newTopSelector(shortlistSize(k))
+	for pos := range l.slabIDs {
+		if pos%scanCheckpoint == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		sel.offer(Match{ID: l.slabIDs[pos], Dist: vecmath.SquaredL2Int8(l.row(pos), lut)})
+	}
+	out, err := l.rerank(ctx, q, sel.results(), k)
+	if err != nil {
+		return nil, err
+	}
+	finalizeMatches(out)
 	return out, nil
 }
 
 // WithinRadius returns all candidates within L2 distance <= r of q,
 // ordered by ascending distance (the threshold visual query of §IV-C).
+// The quantized codes prefilter at radius r+ErrBound — no vector within
+// r of q can have a reconstruction farther than that, so the prefilter
+// admits no false negatives — and only survivors pay a full-precision
+// distance, compared against r².
 func (l *LSH) WithinRadius(ctx context.Context, q []float64, r float64) ([]Match, error) {
 	if len(q) != l.dim {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), l.dim)
@@ -204,6 +399,17 @@ func (l *LSH) WithinRadius(ctx context.Context, q []float64, r float64) ([]Match
 	if err != nil {
 		return nil, err
 	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	lut := l.lutPool.Get().([]float64)
+	defer l.lutPool.Put(lut)
+	if err := l.quantizer.TableInto(lut, q); err != nil {
+		return nil, err
+	}
+	pre := r + l.quantizer.ErrBound()
+	pre2 := pre * pre
+	r2 := r * r
 	var out []Match
 	scanned := 0
 	for id := range cands {
@@ -213,17 +419,22 @@ func (l *LSH) WithinRadius(ctx context.Context, q []float64, r float64) ([]Match
 			}
 		}
 		scanned++
-		if d := l2(q, l.vectors[id]); d <= r {
-			out = append(out, Match{ID: id, Dist: d})
+		if vecmath.SquaredL2Int8(l.row(l.slabPos[id]), lut) > pre2 {
+			continue
+		}
+		if d2 := vecmath.SquaredL2(q, l.vectors[id]); d2 <= r2 {
+			out = append(out, Match{ID: id, Dist: d2})
 		}
 	}
 	sortMatches(out)
+	finalizeMatches(out)
 	return out, nil
 }
 
-// ExactTopK linearly scans every indexed vector — the ground-truth
-// baseline the LSH ablation (bench A2) compares against. The scan honours
-// ctx every scanCheckpoint vectors.
+// ExactTopK linearly scans every indexed vector at full precision — the
+// ground-truth baseline the LSH ablation (bench A2) and the readpath
+// figure compare against. The scan honours ctx every scanCheckpoint
+// vectors.
 func (l *LSH) ExactTopK(ctx context.Context, q []float64, k int) ([]Match, error) {
 	if len(q) != l.dim {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), l.dim)
@@ -231,36 +442,18 @@ func (l *LSH) ExactTopK(ctx context.Context, q []float64, k int) ([]Match, error
 	if k <= 0 {
 		return nil, nil
 	}
-	out := make([]Match, 0, len(l.vectors))
+	sel := newTopSelector(k)
+	scanned := 0
 	for id, v := range l.vectors {
-		if len(out)%scanCheckpoint == 0 {
+		if scanned%scanCheckpoint == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		out = append(out, Match{ID: id, Dist: l2(q, v)})
+		scanned++
+		sel.offer(Match{ID: id, Dist: vecmath.SquaredL2(q, v)})
 	}
-	sortMatches(out)
-	if len(out) > k {
-		out = out[:k]
-	}
+	out := sel.results()
+	finalizeMatches(out)
 	return out, nil
-}
-
-func sortMatches(ms []Match) {
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].Dist != ms[j].Dist {
-			return ms[i].Dist < ms[j].Dist
-		}
-		return ms[i].ID < ms[j].ID
-	})
-}
-
-func l2(a, b []float64) float64 {
-	s := 0.0
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
 }

@@ -1,0 +1,175 @@
+package index
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// clusteredVecs draws vectors around a handful of centroids — the shape
+// visual features actually have, and the regime where quantized
+// shortlist selection has to preserve fine-grained ordering.
+func clusteredVecs(rng *rand.Rand, n, dim, clusters int) [][]float64 {
+	cents := make([][]float64, clusters)
+	for c := range cents {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = rng.NormFloat64() * 10
+		}
+		cents[c] = v
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		c := cents[i%clusters]
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = c[d] + rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestQuantTopKRecall pins the quantized full scan against the exact
+// baseline: recall@10 must stay >= 0.9 and the returned distances must
+// be true (rooted) distances matching the exact scan's on shared ids.
+func TestQuantTopKRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, dim, k = 2000, 32, 10
+	l, err := NewLSH(dim, DefaultLSHConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := clusteredVecs(rng, n, dim, 12)
+	for i, v := range vecs {
+		if err := l.Insert(uint64(i+1), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	totalRecall := 0.0
+	const queries = 40
+	for qi := 0; qi < queries; qi++ {
+		q := vecs[rng.Intn(n)]
+		exact, err := l.ExactTopK(ctx, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		quant, err := l.QuantTopK(ctx, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(quant) != len(exact) {
+			t.Fatalf("query %d: quant returned %d, exact %d", qi, len(quant), len(exact))
+		}
+		want := make(map[uint64]float64, len(exact))
+		for _, m := range exact {
+			want[m.ID] = m.Dist
+		}
+		hits := 0
+		for _, m := range quant {
+			if d, ok := want[m.ID]; ok {
+				hits++
+				if diff := m.Dist - d; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("query %d id %d: quant dist %v != exact dist %v", qi, m.ID, m.Dist, d)
+				}
+			}
+		}
+		totalRecall += float64(hits) / float64(k)
+	}
+	if recall := totalRecall / queries; recall < 0.9 {
+		t.Fatalf("quantized recall@%d = %.3f, want >= 0.9", k, recall)
+	}
+}
+
+// TestWithinRadiusQuantPrefilterExact: the ErrBound-widened prefilter
+// must admit no false negatives — radius results must equal a
+// full-precision brute-force over the candidate set.
+func TestWithinRadiusQuantPrefilterExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n, dim = 1500, 16
+	l, err := NewLSH(dim, DefaultLSHConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := clusteredVecs(rng, n, dim, 8)
+	for i, v := range vecs {
+		if err := l.Insert(uint64(i+1), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	for trial := 0; trial < 20; trial++ {
+		q := vecs[rng.Intn(n)]
+		r := 2 + rng.Float64()*4
+		got, err := l.WithinRadius(ctx, q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force over the same candidate set the index probes.
+		cands, err := l.candidates(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2 := r * r
+		want := 0
+		for id := range cands {
+			if vecSquaredL2(q, l.vectors[id]) <= r2 {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d r=%.2f: got %d matches, brute force %d", trial, r, len(got), want)
+		}
+		for i := 0; i < len(got); i++ {
+			if got[i].Dist > r {
+				t.Fatalf("trial %d: match %d at dist %v beyond radius %v", trial, got[i].ID, got[i].Dist, r)
+			}
+			if i > 0 && (got[i].Dist < got[i-1].Dist ||
+				(got[i].Dist == got[i-1].Dist && got[i].ID < got[i-1].ID)) {
+				t.Fatalf("trial %d: results out of order at %d", trial, i)
+			}
+		}
+	}
+}
+
+// vecSquaredL2 is a scalar reference used only by tests in this package.
+func vecSquaredL2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// TestQuantRetrainOnDrift: inserts far outside the trained range must
+// retrain the quantizer (Covers goes true again) and keep search usable.
+func TestQuantRetrainOnDrift(t *testing.T) {
+	l, err := NewLSH(4, DefaultLSHConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		v := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		if err := l.Insert(uint64(i+1), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A vector three orders of magnitude outside the trained range.
+	far := []float64{1000, -1000, 1000, -1000}
+	if err := l.Insert(9999, far); err != nil {
+		t.Fatal(err)
+	}
+	if !l.quantizer.Covers(far) {
+		t.Fatal("quantizer not retrained to cover drifted insert")
+	}
+	got, err := l.QuantTopK(context.Background(), far, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 9999 || got[0].Dist > 1e-6 {
+		t.Fatalf("drifted vector not its own nearest neighbour: %+v", got)
+	}
+}

@@ -75,6 +75,7 @@ func DefaultAnalyzers() []Analyzer {
 		NewWALPath(),
 		NewErrDiscard(),
 		NewCtxFlow(),
+		NewSqrtScan(),
 	}
 }
 

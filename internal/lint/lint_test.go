@@ -79,6 +79,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 			Methods: []string{"Close", "Sync", "Flush", "Write"},
 		}}},
 		{"ctxflow", []Analyzer{&CtxFlow{BackgroundScope: fixtureScope}}},
+		{"sqrtscan", []Analyzer{&SqrtScan{Scope: fixtureScope, AllowFiles: SqrtScanAllowFiles}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// The sqrtscan analyzer guards the index read path's raw-speed contract:
+// candidate scans compare *squared* distances — squared L2 is monotone in
+// true L2, so ordering, top-k cuts, and r² thresholds are unaffected —
+// and the single math.Sqrt per returned match happens in finalizeMatches
+// just before results leave the package. A Sqrt inside a scan loop costs
+// one libm call per candidate instead of one per result; the PR that
+// removed them must stay removed, and this analyzer is the regression
+// fence: any math.Sqrt in a scoped package outside the allowed files is
+// a finding.
+
+// SqrtScan is the analyzer. Scope lists import-path prefixes the
+// contract applies to; AllowFiles lists base filenames within scope
+// where math.Sqrt is legitimate (the finalize step).
+type SqrtScan struct {
+	Scope      []string
+	AllowFiles []string
+}
+
+// SqrtScanScope is the production scope: the index package, whose scan
+// loops are the hottest distance code in the platform.
+var SqrtScanScope = []string{
+	"repro/internal/index",
+}
+
+// SqrtScanAllowFiles names the one blessed Sqrt site: match.go, where
+// finalizeMatches converts the surviving squared distances.
+var SqrtScanAllowFiles = []string{"match.go"}
+
+// NewSqrtScan returns the production-configured analyzer.
+func NewSqrtScan() *SqrtScan {
+	return &SqrtScan{Scope: SqrtScanScope, AllowFiles: SqrtScanAllowFiles}
+}
+
+func (s *SqrtScan) Name() string { return "sqrtscan" }
+
+// Doc describes the analyzer in one line.
+func (s *SqrtScan) Doc() string {
+	return "index scan code must compare squared distances; math.Sqrt is confined to the finalize step"
+}
+
+func (s *SqrtScan) inScope(path string) bool {
+	for _, p := range s.Scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *SqrtScan) allowed(filename string) bool {
+	base := filepath.Base(filename)
+	for _, f := range s.AllowFiles {
+		if base == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Check runs the analyzer over one package.
+func (s *SqrtScan) Check(pkg *Package) []Finding {
+	if !s.inScope(pkg.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		if s.allowed(pkg.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcObj(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil ||
+					fn.Pkg().Path() != "math" || fn.Name() != "Sqrt" {
+					return true
+				}
+				out = append(out, Finding{
+					Analyzer: s.Name(),
+					Pos:      posOf(pkg, call.Pos()),
+					Message:  fmt.Sprintf("%s: math.Sqrt in index scan code — distances must stay squared until finalizeMatches", fd.Name.Name),
+					Hint:     "compare squared distances (squared L2 is order-preserving); root once per returned match in finalizeMatches",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+// Package sqrtscanfix is the sqrtscan analyzer's golden fixture:
+// per-candidate math.Sqrt calls that must be flagged, next to the
+// squared-comparison idiom that must not be. The blessed finalize site
+// lives in match.go, which the analyzer skips by filename.
+package sqrtscanfix
+
+import "math"
+
+type match struct {
+	id   uint64
+	dist float64
+}
+
+// scanWithSqrt roots every candidate distance — the per-candidate libm
+// call the read path forbids.
+func scanWithSqrt(q []float64, vecs map[uint64][]float64, r float64) []match {
+	var out []match
+	for id, v := range vecs {
+		s := 0.0
+		for i := range q {
+			d := q[i] - v[i]
+			s += d * d
+		}
+		if math.Sqrt(s) <= r { // want "math.Sqrt in index scan code"
+			out = append(out, match{id: id, dist: s})
+		}
+	}
+	return out
+}
+
+// thresholdSqrt hides the Sqrt in a helper expression; still a scan-path
+// root.
+func thresholdSqrt(s2 float64) float64 {
+	return math.Sqrt(s2) // want "math.Sqrt in index scan code"
+}
+
+// scanSquared compares against r*r and keeps distances squared — the
+// sanctioned idiom.
+func scanSquared(q []float64, vecs map[uint64][]float64, r float64) []match {
+	var out []match
+	r2 := r * r
+	for id, v := range vecs {
+		s := 0.0
+		for i := range q {
+			d := q[i] - v[i]
+			s += d * d
+		}
+		if s <= r2 {
+			out = append(out, match{id: id, dist: s})
+		}
+	}
+	return out
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/vecmath"
 )
 
 // KNN is a k-nearest-neighbour classifier with Euclidean distance and
@@ -38,14 +40,11 @@ func (k *KNN) Fit(d Dataset) error {
 }
 
 // SquaredL2 returns the squared Euclidean distance between equal-length
-// vectors; it is the shared distance kernel of kNN, kMeans and LSH.
+// vectors; kNN and kMeans share the blocked kernel in internal/vecmath,
+// which panics on length mismatch (Dataset.Validate rules that out for
+// fitted data).
 func SquaredL2(a, b []float64) float64 {
-	s := 0.0
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return s
+	return vecmath.SquaredL2(a, b)
 }
 
 type neighbour struct {

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/vecmath"
 )
 
 // Shape describes a (channels, height, width) activation volume. Dense
@@ -108,11 +110,7 @@ func (d *Dense) Infer(x []float64) []float64 {
 	y := make([]float64, d.Out)
 	for o := 0; o < d.Out; o++ {
 		row := d.W[o*d.In : (o+1)*d.In]
-		s := d.B[o]
-		for i, xv := range x {
-			s += row[i] * xv
-		}
-		y[o] = s
+		y[o] = d.B[o] + vecmath.Dot(row, x)
 	}
 	return y
 }

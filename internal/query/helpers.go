@@ -2,10 +2,13 @@ package query
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/vecmath"
 )
 
 // Convenience wrappers over Run for the common single- and dual-modal
@@ -81,12 +84,11 @@ func (e *Engine) TwoPhaseSpatialVisual(ctx context.Context, r geo.Rect, kind str
 		if err != nil {
 			continue // images without the feature are not rankable
 		}
-		s := 0.0
-		for j := range f {
-			d := f[j] - vec[j]
-			s += d * d
+		if len(f) != len(vec) {
+			return nil, fmt.Errorf("%w: query vec has %d dims, feature %q has %d",
+				index.ErrDimMismatch, len(vec), kind, len(f))
 		}
-		out = append(out, sc{id: id, d: s})
+		out = append(out, sc{id: id, d: vecmath.SquaredL2(f, vec)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].d != out[j].d {

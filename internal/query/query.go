@@ -16,6 +16,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/index"
 	"repro/internal/store"
+	"repro/internal/vecmath"
 )
 
 // scanCheckpoint is the cancellation-poll cadence of the engine's
@@ -24,13 +25,31 @@ import (
 // work a cancelled query performs past the cancellation instant.
 const scanCheckpoint = 256
 
-// Engine executes queries against one store.
+// Engine executes queries against one store, optionally through a
+// generation-stamped singleflight result cache (see cache.go).
 type Engine struct {
-	st *store.Store
+	st    *store.Store
+	cache *resultCache
 }
 
-// New returns an engine over st.
+// New returns an uncached engine over st: every Run executes.
 func New(st *store.Store) *Engine { return &Engine{st: st} }
+
+// defaultCacheCapacity bounds the cached engine's LRU when the caller
+// passes a non-positive capacity.
+const defaultCacheCapacity = 512
+
+// NewCached returns an engine whose Run memoizes results in a bounded
+// LRU keyed by the canonicalized query, deduplicates concurrent
+// identical executions (singleflight), and invalidates on any store
+// write via the store's mutation generation. capacity <= 0 selects
+// defaultCacheCapacity.
+func NewCached(st *store.Store, capacity int) *Engine {
+	if capacity <= 0 {
+		capacity = defaultCacheCapacity
+	}
+	return &Engine{st: st, cache: newResultCache(capacity)}
+}
 
 // Result is one ranked hit.
 type Result struct {
@@ -60,8 +79,13 @@ type VisualClause struct {
 	// when > 0.
 	K      int
 	Radius float64
-	// Exact forces a linear scan instead of LSH (ground truth).
+	// Exact forces a full-precision linear scan instead of LSH (ground
+	// truth).
 	Exact bool
+	// Quant forces a linear scan over int8 quantized codes with exact
+	// re-rank of the shortlist — the fast approximate baseline. Exact
+	// wins when both are set.
+	Quant bool
 }
 
 // CategoricalClause filters to images annotated with a label.
@@ -127,8 +151,17 @@ var ErrEmptyQuery = errors.New("query: no clauses")
 // Run plans and executes q. The engine checks ctx at every stage boundary
 // and at scanCheckpoint cadence inside candidate loops; a cancelled query
 // returns ctx's error (context.Canceled / DeadlineExceeded) promptly,
-// bounded by one checkpoint grain of work.
+// bounded by one checkpoint grain of work. On a cached engine
+// (NewCached) Run may serve a memoized result or share a concurrent
+// identical execution; the plan then records it as a cache step.
 func (e *Engine) Run(ctx context.Context, q Query) ([]Result, Plan, error) {
+	if e.cache != nil {
+		return e.runCached(ctx, q)
+	}
+	return e.runUncached(ctx, q)
+}
+
+func (e *Engine) runUncached(ctx context.Context, q Query) ([]Result, Plan, error) {
 	if q.Spatial == nil && q.Visual == nil && q.Categorical == nil &&
 		len(q.Categoricals) == 0 && q.Textual == nil && q.Temporal == nil {
 		return nil, Plan{}, ErrEmptyQuery
@@ -141,7 +174,7 @@ func (e *Engine) Run(ctx context.Context, q Query) ([]Result, Plan, error) {
 	// Single-pass hybrid path: spatial rect + visual top-k over a kind
 	// with a maintained hybrid tree.
 	if q.Spatial != nil && q.Spatial.Rect != nil && q.Visual != nil && q.Visual.K > 0 &&
-		q.Visual.Radius == 0 && !q.Visual.Exact &&
+		q.Visual.Radius == 0 && !q.Visual.Exact && !q.Visual.Quant &&
 		len(q.categoricals()) == 0 && q.Textual == nil && q.Temporal == nil {
 		ms, ok, err := e.st.SearchHybrid(ctx, q.Visual.Kind, *q.Spatial.Rect, q.Visual.Vec, q.Visual.K)
 		if err != nil {
@@ -288,6 +321,13 @@ func (e *Engine) visualMatches(ctx context.Context, v VisualClause, plan *Plan) 
 	case v.Exact:
 		plan.Steps = append(plan.Steps, "exact visual scan")
 		ms, err := e.st.SearchVisualExact(ctx, v.Kind, v.Vec, maxInt(v.K, 1))
+		if err != nil {
+			return nil, err
+		}
+		return toScored(ms), nil
+	case v.Quant:
+		plan.Steps = append(plan.Steps, "quantized visual scan")
+		ms, err := e.st.SearchVisualQuant(ctx, v.Kind, v.Vec, maxInt(v.K, 1))
 		if err != nil {
 			return nil, err
 		}
@@ -485,12 +525,11 @@ func (e *Engine) rank(ctx context.Context, q Query, cands []candidate, ordered b
 				cands[i].scored = false
 				continue
 			}
-			s := 0.0
-			for j := range vec {
-				d := vec[j] - q.Visual.Vec[j]
-				s += d * d
+			if len(vec) != len(q.Visual.Vec) {
+				return nil, fmt.Errorf("%w: query vec has %d dims, feature %q has %d",
+					index.ErrDimMismatch, len(q.Visual.Vec), q.Visual.Kind, len(vec))
 			}
-			cands[i].score = s
+			cands[i].score = vecmath.SquaredL2(vec, q.Visual.Vec)
 			cands[i].scored = true
 		}
 		sort.Slice(cands, func(i, j int) bool {

@@ -83,6 +83,12 @@ type Store struct {
 
 	nextID atomic.Uint64
 	closed atomic.Bool
+	// mutGen counts applied data-plane mutations (images, features,
+	// annotations, keywords, classifications, videos, deletes). Readers
+	// use it as a cache-invalidation stamp: a query result computed at
+	// generation g is safe to serve only while Generation() == g. Bumped
+	// under the relevant subsystem locks, read lock-free.
+	mutGen atomic.Uint64
 
 	images map[uint64]*Image
 	// ids mirrors the images map keys in ascending order, maintained
@@ -509,6 +515,7 @@ func (s *Store) applyImage(img *Image) error {
 	if _, dup := s.images[img.ID]; dup {
 		return fmt.Errorf("%w: image %d", ErrDuplicate, img.ID)
 	}
+	s.mutGen.Add(1)
 	s.bumpNextID(img.ID)
 	s.images[img.ID] = img
 	s.idsInsert(img.ID)
@@ -653,6 +660,7 @@ func (s *Store) applyDeleteImage(id uint64) error {
 	if !ok {
 		return fmt.Errorf("%w: image %d", ErrNotFound, id)
 	}
+	s.mutGen.Add(1)
 	_ = s.spatial.Delete(id, img.Scene)
 	s.temporal.Remove(id, img.TimestampCapturing)
 	for _, lsh := range s.visual {
@@ -722,6 +730,7 @@ func (s *Store) PutFeature(imageID uint64, kind string, vec []float64) error {
 // Callers hold featMu plus at least a read lock on imagesMu (the hybrid
 // path reads the image's scene rect).
 func (s *Store) applyFeature(f *Feature) error {
+	s.mutGen.Add(1)
 	kinds := s.features[f.ImageID]
 	if kinds == nil {
 		kinds = make(map[string][]float64)
@@ -833,6 +842,7 @@ func (s *Store) applyClassification(c *Classification) error {
 	if _, dup := s.classifications[c.ID]; dup {
 		return fmt.Errorf("%w: classification %d", ErrDuplicate, c.ID)
 	}
+	s.mutGen.Add(1)
 	s.bumpNextID(c.ID)
 	s.classifications[c.ID] = c
 	s.classByName[c.Name] = c.ID
@@ -920,6 +930,7 @@ func (s *Store) Annotate(a Annotation) error {
 // applyAnnotation appends one annotation row and its label-index entry.
 // Callers hold annMu.
 func (s *Store) applyAnnotation(a *Annotation) error {
+	s.mutGen.Add(1)
 	s.annotations[a.ImageID] = append(s.annotations[a.ImageID], *a)
 	byLabel := s.byLabel[a.ClassificationID]
 	if byLabel == nil {
@@ -984,6 +995,7 @@ func (s *Store) AddKeywords(imageID uint64, words []string) error {
 // applyKeywords stores keywords and their inverted-index postings.
 // Callers hold kwMu.
 func (s *Store) applyKeywords(imageID uint64, words []string) error {
+	s.mutGen.Add(1)
 	s.keywords[imageID] = append(s.keywords[imageID], words...)
 	s.text.Add(imageID, words)
 	return nil
@@ -1153,6 +1165,33 @@ func (s *Store) SearchVisualRadius(ctx context.Context, kind string, vec []float
 		return nil, fmt.Errorf("%w: no index for feature kind %q", ErrNotFound, kind)
 	}
 	return lsh.WithinRadius(ctx, vec, r)
+}
+
+// Generation returns the store's data-plane mutation generation: a
+// counter bumped on every applied image, feature, annotation, keyword,
+// classification, video, or delete. Cache layers stamp results with the
+// generation observed before execution and serve them only while
+// Generation() still matches — any write invalidates, which is
+// conservative but never stale.
+func (s *Store) Generation() uint64 { return s.mutGen.Load() }
+
+// SearchVisualQuant returns up to k approximate visual neighbours via a
+// full linear scan over int8 quantized codes (asymmetric distance: one
+// per-query lookup table, no dequantization) followed by an exact
+// full-precision re-rank of the shortlist. It is the cheap linear
+// baseline of the read-path figure: same contract as SearchVisualExact
+// but roughly dim·8/64 of the memory traffic per candidate.
+func (s *Store) SearchVisualQuant(ctx context.Context, kind string, vec []float64, k int) ([]index.Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.featMu.RLock()
+	defer s.featMu.RUnlock()
+	lsh, ok := s.visual[kind]
+	if !ok {
+		return nil, fmt.Errorf("%w: no index for feature kind %q", ErrNotFound, kind)
+	}
+	return lsh.QuantTopK(ctx, vec, k)
 }
 
 // SearchVisualExact linearly re-ranks all vectors of a kind (baseline).

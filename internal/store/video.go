@@ -157,6 +157,7 @@ func (s *Store) applyVideo(v *Video) error {
 	if _, dup := s.videos[v.ID]; dup {
 		return fmt.Errorf("%w: video %d", ErrDuplicate, v.ID)
 	}
+	s.mutGen.Add(1)
 	s.bumpNextID(v.ID)
 	s.videos[v.ID] = v
 	return nil

@@ -32,7 +32,7 @@ fi
 # The analyzers themselves must still detect violations: each fixture
 # package is a known-bad corpus, so a clean exit on one means the
 # analyzer went blind.
-for fixture in lockorder determinism walpath errdiscard ctxflow nolint; do
+for fixture in lockorder determinism walpath errdiscard ctxflow nolint sqrtscan; do
     if go run ./cmd/tvdp-lint "./internal/lint/testdata/$fixture" >/dev/null 2>&1; then
         echo "tvdp-lint: fixture $fixture produced no findings — analyzer regression" >&2
         exit 1
@@ -49,6 +49,15 @@ echo "== concurrent serving gate (race) =="
 # failure.
 go test -race -run 'TestConcurrentMixedWorkload|TestGroupCommitBatching|TestImageIDsSortedAcrossDeletesAndReplay|TestGetImageMutationIsolation|TestCloseUnblocksAndFailsMutations' ./internal/store
 go test -race -run 'TestConcurrentServingStress' ./internal/api
+
+echo "== read-path cache + admission gate (race) =="
+# The result cache's singleflight and generation-stamped invalidation,
+# and the token-bucket admission filter, are shared mutable state on the
+# hottest path: their tests must stay race-clean, and a failure here
+# should read as "read-path caching broke", not as a generic suite
+# failure.
+go test -race -run 'TestCache|TestCanonicalKey' ./internal/query
+go test -race -run 'TestAdmission|TestSearchDimMismatchIs400' ./internal/api
 
 echo "== crash-recovery property tests (race) =="
 # Torn-write recovery is its own gate: the kill-at-every-offset sweep, the
@@ -142,6 +151,20 @@ go run ./cmd/tvdp-bench -figure serving -duration 300ms -clients 4 -preload 16 -
 for key in '"figure": "serving"' '"baseline_global_mutex"' '"concurrent"' '"ops_per_sec"' '"speedup_x"' '"p99_ms"' '"fsyncs_per_write"'; do
     if ! grep -q "$key" "$bench_out/BENCH_serving.json"; then
         echo "BENCH_serving.json missing $key" >&2
+        exit 1
+    fi
+done
+
+echo "== readpath bench smoke =="
+# A reduced tvdp-bench -figure readpath run must produce a well-formed
+# BENCH_readpath.json. Throughput from a tiny timing store is noise, so
+# only the report shape is checked — but the quality numbers are real:
+# the run itself fails the recall/ordering fields only via the committed
+# test suite (TestRunReadpathSmoke), not here.
+go run ./cmd/tvdp-bench -figure readpath -scale smoke -timing-n 1500 -timing-queries 24 -out "$bench_out/BENCH_readpath.json"
+for key in '"figure": "readpath"' '"quantized"' '"cached"' '"recall_at_k"' '"fig6_ordering_preserved"' '"ops_per_sec"' '"allocs_per_op"' '"quant_speedup_x"'; do
+    if ! grep -q "$key" "$bench_out/BENCH_readpath.json"; then
+        echo "BENCH_readpath.json missing $key" >&2
         exit 1
     fi
 done
