@@ -11,6 +11,8 @@
 //	                                    # baseline mutex vs concurrent path
 //	tvdp-bench -figure readpath         # exact vs quantized vs cached
 //	                                    # visual search + quantized recall
+//	tvdp-bench -figure sharding         # scatter-gather scaling: mixed
+//	                                    # workload at 1, 2, 4, 8 shards
 package main
 
 import (
@@ -35,18 +37,18 @@ func main() {
 		seed      = flag.Int64("seed", 2, "experiment seed")
 		workers   = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = all CPUs); results are identical for any value")
 
-		clients  = flag.Int("clients", 8, "serving: concurrent workload clients")
-		readfrac = flag.Float64("readfrac", 0.5, "serving: fraction of ops that are reads")
-		duration = flag.Duration("duration", 2*time.Second, "serving: measured window per mode")
-		preload  = flag.Int("preload", 64, "serving: images preloaded before timing")
-		sync     = flag.Bool("sync", true, "serving: fsync every write (SyncEveryWrite)")
-		out      = flag.String("out", "", "serving/readpath: output JSON path (default BENCH_<figure>.json)")
+		clients  = flag.Int("clients", 8, "serving/sharding: concurrent workload clients")
+		readfrac = flag.Float64("readfrac", 0.5, "serving/sharding: fraction of ops that are reads")
+		duration = flag.Duration("duration", 2*time.Second, "serving/sharding: measured window per mode")
+		preload  = flag.Int("preload", 64, "serving/sharding: images preloaded before timing")
+		sync     = flag.Bool("sync", true, "serving/sharding: fsync every write (SyncEveryWrite)")
+		out      = flag.String("out", "", "serving/readpath/sharding: output JSON path (default BENCH_<figure>.json)")
 
 		timingN       = flag.Int("timing-n", 0, "readpath: timing-store vector count (0 = default 20000)")
 		timingQueries = flag.Int("timing-queries", 0, "readpath: timed queries per mode (0 = default 240)")
 	)
 	flag.Parse()
-	special := *figure == "serving" || *figure == "readpath"
+	special := *figure == "serving" || *figure == "readpath" || *figure == "sharding"
 	if *fig == "" && *figure != "" && !special {
 		*fig = *figure
 	}
@@ -70,6 +72,33 @@ func main() {
 			path = "BENCH_readpath.json"
 		}
 		runReadpath(*scaleName, *seed, *timingN, *timingQueries, path)
+		return
+	}
+	if *figure == "sharding" {
+		path := *out
+		if path == "" {
+			path = "BENCH_sharding.json"
+		}
+		// Sharding has its own workload defaults (big preload, no
+		// per-write fsync); a shared flag only overrides the config when
+		// the user set it explicitly.
+		cfg := experiments.DefaultShardingConfig()
+		cfg.Seed = *seed
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "clients":
+				cfg.Clients = *clients
+			case "readfrac":
+				cfg.ReadFrac = *readfrac
+			case "duration":
+				cfg.Duration = *duration
+			case "preload":
+				cfg.Preload = *preload
+			case "sync":
+				cfg.Sync = *sync
+			}
+		})
+		runSharding(cfg, path)
 		return
 	}
 
@@ -158,6 +187,22 @@ func runServing(clients int, readfrac float64, duration time.Duration, preload i
 	if out != "" {
 		if err := r.WriteJSON(out); err != nil {
 			log.Fatalf("serving: writing %s: %v", out, err)
+		}
+		log.Printf("wrote %s", out)
+	}
+}
+
+func runSharding(cfg experiments.ShardingConfig, out string) {
+	log.Printf("sharding bench: counts %v, %d clients, %.0f%% reads, %s per count, preload %d, sync=%v, snapshot every %d",
+		cfg.Counts, cfg.Clients, cfg.ReadFrac*100, cfg.Duration, cfg.Preload, cfg.Sync, cfg.SnapshotEvery)
+	r, err := experiments.RunSharding(cfg)
+	if err != nil {
+		log.Fatalf("sharding: %v", err)
+	}
+	fmt.Println(r.Render())
+	if out != "" {
+		if err := r.WriteJSON(out); err != nil {
+			log.Fatalf("sharding: writing %s: %v", out, err)
 		}
 		log.Printf("wrote %s", out)
 	}

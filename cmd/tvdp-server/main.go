@@ -56,6 +56,7 @@ func run(logger *log.Logger) error {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		dir        = flag.String("dir", "", "durability directory (empty = in-memory)")
+		shards     = flag.Int("shards", 1, "partition the corpus across N store shards (1 = single store)")
 		demo       = flag.Int("demo", 0, "seed N labelled synthetic images and train a demo model")
 		seed       = flag.Int64("seed", 1, "demo corpus seed")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. :6060); empty disables")
@@ -91,7 +92,7 @@ func run(logger *log.Logger) error {
 		defer side.Close()
 	}
 
-	p, err := tvdp.Open(tvdp.Config{Dir: *dir})
+	p, err := tvdp.Open(tvdp.Config{Dir: *dir, ShardCount: *shards})
 	if err != nil {
 		return err
 	}

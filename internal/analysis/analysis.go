@@ -160,7 +160,7 @@ func (r *Registry) Predict(name string, vec []float64) (Prediction, error) {
 
 // Service wires the registry to a store and a set of feature extractors.
 type Service struct {
-	Store    *store.Store
+	Store    store.Backend
 	Registry *Registry
 
 	mu         sync.RWMutex
@@ -168,7 +168,7 @@ type Service struct {
 }
 
 // NewService returns a service over st with an empty extractor set.
-func NewService(st *store.Store) *Service {
+func NewService(st store.Backend) *Service {
 	return &Service{
 		Store:      st,
 		Registry:   NewRegistry(),

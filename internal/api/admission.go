@@ -3,6 +3,7 @@ package api
 import (
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -83,13 +84,27 @@ func (a *admission) sweepLocked(now time.Time) {
 // clientKey identifies the admission principal: the API key when the
 // request carries one, else the remote host (ignoring the ephemeral
 // port, so reconnecting does not refresh the budget).
+//
+// Two past aliasing bugs are pinned here (and in the tests):
+//
+//   - A present-but-blank X-API-Key header (empty or whitespace-only)
+//     used to mint a "k:" principal shared by every such client — one
+//     misconfigured fleet drained a single bucket for all of them. Blank
+//     keys now fall back to remote-host keying.
+//   - When RemoteAddr carries no port, a bracketed IPv6 literal
+//     ("[::1]") and the raw form ("::1") keyed to different buckets, so
+//     one client could double its budget by varying the form. The
+//     brackets are stripped before keying.
 func clientKey(r *http.Request) string {
-	if key := r.Header.Get("X-API-Key"); key != "" {
+	if key := strings.TrimSpace(r.Header.Get("X-API-Key")); key != "" {
 		return "k:" + key
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
 		host = r.RemoteAddr
+		if strings.HasPrefix(host, "[") && strings.HasSuffix(host, "]") {
+			host = host[1 : len(host)-1]
+		}
 	}
 	return "h:" + host
 }

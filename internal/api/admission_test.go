@@ -155,3 +155,72 @@ func TestSearchDimMismatchIs400(t *testing.T) {
 		t.Fatalf("dim-mismatched search got %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestClientKey pins the admission-principal derivation, including two
+// regression cases: blank (present-but-empty or whitespace-only)
+// X-API-Key headers must fall back to host keying instead of pooling
+// every such client into one "k:" bucket, and IPv6 literals must key
+// identically whether RemoteAddr carries brackets or not.
+func TestClientKey(t *testing.T) {
+	cases := []struct {
+		name       string
+		apiKey     *string // nil = header absent
+		remoteAddr string
+		want       string
+	}{
+		{"api key wins over host", strptr("secret-1"), "10.0.0.1:4444", "k:secret-1"},
+		{"api key trimmed", strptr("  secret-1\t"), "10.0.0.1:4444", "k:secret-1"},
+		{"absent key falls back to host", nil, "10.0.0.1:4444", "h:10.0.0.1"},
+		{"empty key falls back to host", strptr(""), "10.0.0.2:4444", "h:10.0.0.2"},
+		{"whitespace key falls back to host", strptr("   "), "10.0.0.3:4444", "h:10.0.0.3"},
+		{"port stripped", nil, "10.0.0.4:50000", "h:10.0.0.4"},
+		{"host without port kept", nil, "10.0.0.5", "h:10.0.0.5"},
+		{"ipv6 with port", nil, "[::1]:8080", "h:::1"},
+		{"ipv6 bracketed no port", nil, "[::1]", "h:::1"},
+		{"ipv6 raw no port", nil, "::1", "h:::1"},
+		{"ipv6 full bracketed", nil, "[2001:db8::7]", "h:2001:db8::7"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := http.NewRequest(http.MethodGet, "/api/v1/images", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.RemoteAddr = tc.remoteAddr
+			if tc.apiKey != nil {
+				r.Header.Set("X-API-Key", *tc.apiKey)
+			}
+			if got := clientKey(r); got != tc.want {
+				t.Fatalf("clientKey(%q key=%v) = %q, want %q", tc.remoteAddr, tc.apiKey, got, tc.want)
+			}
+		})
+	}
+}
+
+func strptr(s string) *string { return &s }
+
+// TestClientKeyIPv6FormsShareBucket drives the regression end to end:
+// the same client presenting bracketed and raw IPv6 forms must drain one
+// admission bucket, not two.
+func TestClientKeyIPv6FormsShareBucket(t *testing.T) {
+	a := newAdmission()
+	now := time.Unix(1000, 0)
+	// burst 1: the first form takes the only token; the second form must
+	// be rejected (same bucket), not admitted from a fresh one.
+	if ok, _ := a.admit(keyFor(t, "[::1]"), now, 1, 1); !ok {
+		t.Fatal("first request should be admitted")
+	}
+	if ok, _ := a.admit(keyFor(t, "::1"), now, 1, 1); ok {
+		t.Fatal("raw IPv6 form minted a second bucket: budget doubled")
+	}
+}
+
+func keyFor(t *testing.T, remoteAddr string) string {
+	t.Helper()
+	r, err := http.NewRequest(http.MethodGet, "/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RemoteAddr = remoteAddr
+	return clientKey(r)
+}

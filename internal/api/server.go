@@ -32,7 +32,7 @@ const StatusClientClosedRequest = 499
 
 // Server wires the platform services behind HTTP.
 type Server struct {
-	Store   *store.Store
+	Store   store.Backend
 	Service *analysis.Service
 	Query   *query.Engine
 	Logger  *log.Logger
@@ -57,7 +57,7 @@ type Server struct {
 // one: repeated identical searches hit the generation-stamped result
 // cache, and concurrent identical searches collapse onto one execution.
 // Any store write invalidates, so cached answers are never stale.
-func NewServer(st *store.Store, svc *analysis.Service, logger *log.Logger) *Server {
+func NewServer(st store.Backend, svc *analysis.Service, logger *log.Logger) *Server {
 	s := &Server{
 		Store:          st,
 		Service:        svc,

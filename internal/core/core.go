@@ -43,6 +43,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/nn"
 	"repro/internal/query"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/synth"
 )
@@ -51,6 +52,11 @@ import (
 type Config struct {
 	// Dir is the durability directory; empty runs in memory.
 	Dir string
+	// ShardCount partitions the corpus across this many store shards
+	// (internal/shard). 0 and 1 both mean a single unsharded store with
+	// the exact on-disk layout earlier releases wrote; N > 1 places each
+	// shard under Dir/shard-XXX and scatter-gathers queries.
+	ShardCount int
 	// SyncEveryWrite fsyncs the WAL per mutation.
 	SyncEveryWrite bool
 	// HybridKinds lists feature kinds that maintain a single-pass
@@ -64,20 +70,35 @@ type Config struct {
 
 // Platform is one running TVDP instance.
 type Platform struct {
-	Store    *store.Store
+	Store    store.Backend
 	Analysis *analysis.Service
 	Query    *query.Engine
 }
 
 // Open creates or recovers a platform.
 func Open(cfg Config) (*Platform, error) {
-	sc := store.DefaultConfig()
-	sc.Dir = cfg.Dir
-	sc.SyncEveryWrite = cfg.SyncEveryWrite
-	sc.HybridKinds = cfg.HybridKinds
-	st, err := store.Open(sc)
-	if err != nil {
-		return nil, err
+	var st store.Backend
+	if cfg.ShardCount > 1 {
+		co, err := shard.Open(shard.Config{
+			Dir:            cfg.Dir,
+			ShardCount:     cfg.ShardCount,
+			SyncEveryWrite: cfg.SyncEveryWrite,
+			HybridKinds:    cfg.HybridKinds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st = co
+	} else {
+		sc := store.DefaultConfig()
+		sc.Dir = cfg.Dir
+		sc.SyncEveryWrite = cfg.SyncEveryWrite
+		sc.HybridKinds = cfg.HybridKinds
+		s, err := store.Open(sc)
+		if err != nil {
+			return nil, err
+		}
+		st = s
 	}
 	svc := analysis.NewService(st)
 	if cfg.Extractors == nil {

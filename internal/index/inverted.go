@@ -73,24 +73,50 @@ func (ix *Inverted) Docs() int { return len(ix.docLens) }
 // Terms returns the vocabulary size.
 func (ix *Inverted) Terms() int { return len(ix.postings) }
 
+// DocFreqs returns the corpus statistics the TF-IDF scorer consumes: the
+// number of indexed documents and, aligned with terms, each term's
+// document frequency in this index. A sharded deployment sums these
+// across shards and feeds the totals back through SearchAnyStats /
+// SearchAllStats, so per-shard scoring uses global IDF and matches a
+// single-index build bit for bit.
+func (ix *Inverted) DocFreqs(terms []string) (docs int, df []int) {
+	df = make([]int, len(terms))
+	for i, t := range terms {
+		df[i] = len(ix.postings[strings.ToLower(t)])
+	}
+	return len(ix.docLens), df
+}
+
 // SearchAny returns documents matching at least one query term, ranked by
 // TF-IDF score descending (ties by ascending ID).
 func (ix *Inverted) SearchAny(terms []string) []Match {
+	docs, df := ix.DocFreqs(terms)
+	return ix.SearchAnyStats(terms, docs, df)
+}
+
+// SearchAnyStats is SearchAny scored with caller-supplied corpus
+// statistics (docs and per-term document frequencies, as from DocFreqs —
+// possibly summed over several indexes). Posting lists still come from
+// this index; only the IDF weights use the supplied stats.
+func (ix *Inverted) SearchAnyStats(terms []string, docs int, df []int) []Match {
 	scores := make(map[uint64]float64)
-	n := float64(len(ix.docLens))
+	n := float64(docs)
 	if n == 0 {
 		return nil
 	}
-	for _, t := range terms {
+	for i, t := range terms {
 		t = strings.ToLower(t)
 		m := ix.postings[t]
-		if len(m) == 0 {
+		if len(m) == 0 || df[i] == 0 {
 			continue
 		}
-		idf := math.Log2(n/float64(len(m))) + 1
+		idf := math.Log2(n/float64(df[i])) + 1
 		for id, tf := range m {
 			scores[id] += float64(tf) * idf
 		}
+	}
+	if len(scores) == 0 {
+		return nil
 	}
 	out := make([]Match, 0, len(scores))
 	for id, s := range scores {
@@ -110,10 +136,20 @@ func (ix *Inverted) SearchAny(terms []string) []Match {
 // SearchAll returns documents containing every query term (conjunctive),
 // ranked by TF-IDF.
 func (ix *Inverted) SearchAll(terms []string) []Match {
+	docs, df := ix.DocFreqs(terms)
+	return ix.SearchAllStats(terms, docs, df)
+}
+
+// SearchAllStats is SearchAll scored with caller-supplied corpus
+// statistics (see SearchAnyStats). The conjunctive filter still tests
+// this index's own postings: a document must carry every term locally,
+// which holds in a sharded deployment because all keywords of one image
+// live on its shard.
+func (ix *Inverted) SearchAllStats(terms []string, docs int, df []int) []Match {
 	if len(terms) == 0 {
 		return nil
 	}
-	any := ix.SearchAny(terms)
+	any := ix.SearchAnyStats(terms, docs, df)
 	out := any[:0]
 	for _, m := range any {
 		hasAll := true
@@ -126,6 +162,9 @@ func (ix *Inverted) SearchAll(terms []string) []Match {
 		if hasAll {
 			out = append(out, m)
 		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

@@ -173,3 +173,74 @@ func TestQuantRetrainOnDrift(t *testing.T) {
 		t.Fatalf("drifted vector not its own nearest neighbour: %+v", got)
 	}
 }
+
+// TestQuantSlabSwapDelete pins the code-slab swap-delete bookkeeping:
+// removing a row moves the last row into its slot, and every map/slab
+// structure must agree afterwards. A stale slabPos entry (or a missed
+// row copy) makes the quantized scan attribute the swapped-in vector's
+// distance to the wrong ID — exactly the corruption this test would
+// catch.
+func TestQuantSlabSwapDelete(t *testing.T) {
+	const dim = 8
+	rng := rand.New(rand.NewSource(11))
+	l, err := NewLSH(dim, DefaultLSHConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := clusteredVecs(rng, 32, dim, 4)
+	for i, v := range vecs {
+		if err := l.Insert(uint64(i+1), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+
+	check := func(deletedID, swappedID uint64) {
+		t.Helper()
+		// The swapped-in row's own vector must still find its ID at ~zero
+		// distance via the quantized scan (it reads the slab row the
+		// delete rewrote).
+		got, err := l.QuantTopK(ctx, vecs[swappedID-1], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 || got[0].ID != swappedID {
+			t.Fatalf("after deleting %d, quant scan lost swapped-in row %d: %v", deletedID, swappedID, got)
+		}
+		if got[0].Dist > 1 {
+			t.Fatalf("swapped-in row %d scored distance %v against its own vector; slab row corrupt", swappedID, got[0].Dist)
+		}
+		// The deleted ID must be gone from every quantized result.
+		all, err := l.QuantTopK(ctx, vecs[deletedID-1], len(vecs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range all {
+			if m.ID == deletedID {
+				t.Fatalf("deleted ID %d still surfaces in the quantized scan", deletedID)
+			}
+		}
+	}
+
+	// Delete the first slab row: the last row (ID 32) swaps into slot 0.
+	l.Remove(1)
+	check(1, 32)
+	// Delete the row that was just swapped into the middle of the slab.
+	l.Remove(32)
+	check(32, 31)
+	// Delete the current last row (no swap happens; pure truncation).
+	l.Remove(30)
+	check(30, 29)
+	// Drain everything; the slab must empty cleanly.
+	for id := uint64(2); id <= 29; id++ {
+		l.Remove(id)
+	}
+	l.Remove(31)
+	if got, err := l.QuantTopK(ctx, vecs[0], 5); err != nil || len(got) != 0 {
+		t.Fatalf("drained index returned %v (err %v)", got, err)
+	}
+	if len(l.slab) != 0 || len(l.slabIDs) != 0 || len(l.slabPos) != 0 {
+		t.Fatalf("slab not empty after drain: %d codes, %d ids, %d positions",
+			len(l.slab), len(l.slabIDs), len(l.slabPos))
+	}
+}

@@ -273,6 +273,24 @@ func (t *RTree) SearchPoint(p geo.Point) []uint64 {
 // NearestK returns up to k item IDs ordered by ascending distance from p
 // to the item rect (best-first branch and bound).
 func (t *RTree) NearestK(p geo.Point, k int) []uint64 {
+	ms := t.NearestKMatches(p, k)
+	if len(ms) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(ms))
+	for i, m := range ms {
+		out[i] = m.ID
+	}
+	return out
+}
+
+// NearestKMatches is NearestK with each hit's point-to-rect distance
+// attached, selected under the (Dist, ID) total order: the best-first
+// walk pops past the k-th hit while equal-distance items remain, then the
+// tie is broken by ID. The total order is what makes a sharded merge of
+// per-shard top-k lists reproduce the single-tree result for any
+// partitioning.
+func (t *RTree) NearestKMatches(p geo.Point, k int) []Match {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
@@ -319,12 +337,20 @@ func (t *RTree) NearestK(p geo.Point, k int) []uint64 {
 		return top
 	}
 	push(cand{dist: 0, node: t.root})
-	var out []uint64
-	for len(heap) > 0 && len(out) < k {
+	var out []Match
+	// kthDist is the distance of the k-th collected hit; once k hits are
+	// in, only equal-distance items still compete (on ID), so the walk
+	// continues until the heap's best exceeds it.
+	kthDist := 0.0
+	for len(heap) > 0 {
+		if len(out) >= k && heap[0].dist > kthDist {
+			break
+		}
 		c := pop()
 		switch {
 		case c.item != nil:
-			out = append(out, c.item.ID)
+			out = append(out, Match{ID: c.item.ID, Dist: c.dist})
+			kthDist = c.dist
 		case c.node.leaf:
 			for i := range c.node.items {
 				it := &c.node.items[i]
@@ -335,6 +361,10 @@ func (t *RTree) NearestK(p geo.Point, k int) []uint64 {
 				push(cand{dist: geo.DistancePointRect(p, child.rect), node: child})
 			}
 		}
+	}
+	sortMatches(out)
+	if len(out) > k {
+		out = out[:k]
 	}
 	return out
 }

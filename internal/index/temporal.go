@@ -78,6 +78,31 @@ func (t *Temporal) Range(from, to time.Time) []uint64 {
 	return out
 }
 
+// TimeEntry is one (id, timestamp) hit from a range scan, exposed with
+// its timestamp so a sharded merge can interleave per-shard ranges under
+// the (At, ID) total order.
+type TimeEntry struct {
+	ID uint64
+	At time.Time
+}
+
+// RangeEntries is Range with each hit's timestamp attached, in the same
+// ascending time order.
+func (t *Temporal) RangeEntries(from, to time.Time) []TimeEntry {
+	if to.Before(from) {
+		return nil
+	}
+	t.ensureSorted()
+	lo := sort.Search(len(t.entries), func(i int) bool {
+		return !t.entries[i].at.Before(from)
+	})
+	var out []TimeEntry
+	for i := lo; i < len(t.entries) && !t.entries[i].at.After(to); i++ {
+		out = append(out, TimeEntry{ID: t.entries[i].id, At: t.entries[i].at})
+	}
+	return out
+}
+
 // Latest returns up to k IDs with the most recent timestamps, newest
 // first.
 func (t *Temporal) Latest(k int) []uint64 {

@@ -43,6 +43,7 @@ type CtxFlow struct {
 var CtxFlowBackgroundScope = []string{
 	"repro/internal/api",
 	"repro/internal/query",
+	"repro/internal/shard",
 	"repro/internal/store",
 	"repro/internal/analysis",
 	"repro/internal/par",

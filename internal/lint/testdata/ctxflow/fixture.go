@@ -78,3 +78,40 @@ func derive(ctx context.Context) (context.Context, context.CancelFunc) {
 }
 
 func use(h holder) string { return h.name }
+
+// fanOutMint is the coordinator-shaped violation: a scatter-gather
+// helper minting a fresh root for its per-shard probes instead of
+// deriving from the caller's — the probes would outlive a cancelled
+// request.
+func fanOutMint(shards []int, probe func(context.Context, int) error) error {
+	for i := range shards {
+		ctx := context.Background() // want "originates a root context in a request path"
+		if err := probe(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanOutDerive is the conforming coordinator shape: per-shard probe
+// contexts derive from the caller's (deadline slicing), so cancellation
+// propagates into every shard: must stay clean.
+func fanOutDerive(ctx context.Context, shards []int, probe func(context.Context, int) error) error {
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for i := range shards {
+		if err := probe(pctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gather buries the context in a coordinator-shaped merge callback type;
+// the rule reaches function-typed parameters' own signatures via the
+// interface/field checks only when declared, so the explicit bad probe
+// shape is spelled out here.
+func gather(results []int, ctx context.Context) error { // want "context.Context is not the first parameter"
+	_ = results
+	return ctx.Err()
+}

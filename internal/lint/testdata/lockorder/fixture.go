@@ -97,3 +97,48 @@ func (s *Store) okIOUnlocked() error {
 	s.geoMu.Unlock()
 	return renameHelper("a", "b")
 }
+
+// Coordinator is the shard-coordinator shape: it owns several Stores and
+// fans work out across them. The analyzer is name-based, so coordinator
+// code touching shard mutexes answers to the same table order as the
+// store itself.
+type Coordinator struct {
+	shards []*Store
+}
+
+// okFanOut probes each shard's text index in table order and must stay
+// clean — the per-shard scatter loop is the conforming coordinator shape.
+func (c *Coordinator) okFanOut() {
+	for _, s := range c.shards {
+		s.kwMu.RLock()
+		s.geoMu.RLock()
+		s.geoMu.RUnlock()
+		s.kwMu.RUnlock()
+	}
+}
+
+// mergeInverted holds a shard's geoMu (spatial merge) while reaching back
+// into its catalog — the exact inversion a scatter-gather merge is
+// tempted into.
+func (c *Coordinator) mergeInverted() {
+	for _, s := range c.shards {
+		s.geoMu.RLock()
+		s.catalogMu.RLock() // want "acquires catalogMu while holding geoMu"
+		s.catalogMu.RUnlock()
+		s.geoMu.RUnlock()
+	}
+}
+
+// syncShardsUnderLock fsyncs a marker file while holding a shard's
+// subsystem lock — every reader of that shard stalls behind the disk.
+func (c *Coordinator) syncShardsUnderLock(f *os.File) error {
+	for _, s := range c.shards {
+		s.kwMu.Lock()
+		err := f.Sync() // want "blocking file I/O"
+		s.kwMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

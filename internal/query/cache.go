@@ -184,7 +184,14 @@ func (e *Engine) runCached(ctx context.Context, q Query) ([]Result, Plan, error)
 	c.mu.Unlock()
 
 	out, plan, err := e.runUncached(ctx, q)
-	f.out, f.plan, f.err = out, plan, err
+	// The flight must hold its own copies: out is returned to the leader's
+	// caller below, and callers may mutate their results in place. Storing
+	// the slice itself would alias the leader's return value with every
+	// follower's copyResults source — a caller-visible data race.
+	if err == nil {
+		f.out, f.plan = copyResults(out), copyPlan(plan)
+	}
+	f.err = err
 	c.mu.Lock()
 	delete(c.inflight, key)
 	c.mu.Unlock()

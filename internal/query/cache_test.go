@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"repro/internal/feature"
+	"repro/internal/index"
+	"repro/internal/store"
 )
 
 // cachedFixture mirrors setup but routes the engine through NewCached.
@@ -257,5 +259,92 @@ func TestCanonicalKeyDistinguishesQueries(t *testing.T) {
 	}
 	if canonicalKey(base) != canonicalKey(base) {
 		t.Fatal("key not deterministic")
+	}
+}
+
+// gatedBackend wraps the fixture store but parks SearchText until the
+// gate opens, so a test can hold a leader mid-flight while followers
+// queue behind its singleflight entry.
+type gatedBackend struct {
+	store.Backend
+	gate chan struct{}
+}
+
+func (g *gatedBackend) SearchText(ctx context.Context, terms []string) ([]index.Match, error) {
+	<-g.gate
+	return g.Backend.SearchText(ctx, terms)
+}
+
+// TestCacheFlightMutationIsolation pins the singleflight aliasing fix:
+// the leader's returned slice must not share a backing array with what
+// followers copy out of the flight. Before the fix, the flight stored
+// the leader's own result slice, so a leader's caller mutating its
+// results raced with — and corrupted — every follower's copy. The gate
+// makes the overlap deterministic: the follower is provably parked on
+// the flight before the leader completes, then the leader's caller
+// scribbles over its result while the follower reads its share.
+func TestCacheFlightMutationIsolation(t *testing.T) {
+	f := setup(t, false)
+	gb := &gatedBackend{Backend: f.st, gate: make(chan struct{})}
+	eng := NewCached(gb, 0)
+	ctx := context.Background()
+	q := kwQuery("trash")
+
+	want, _, err := New(f.st).Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture query returned nothing; the test needs results to mutate")
+	}
+
+	leaderOut := make(chan []Result, 1)
+	go func() {
+		out, _, err := eng.Run(ctx, q)
+		if err != nil {
+			t.Error(err)
+		}
+		leaderOut <- out
+	}()
+	// Wait until the leader has installed its flight (it is now parked on
+	// the gate inside SearchText).
+	key := canonicalKey(q)
+	c := eng.cache
+	for {
+		c.mu.Lock()
+		_, inflight := c.inflight[key]
+		c.mu.Unlock()
+		if inflight {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	followerOut := make(chan []Result, 1)
+	go func() {
+		out, _, err := eng.Run(ctx, q)
+		if err != nil {
+			t.Error(err)
+		}
+		followerOut <- out
+	}()
+	// Give the follower time to park on the flight's done channel, then
+	// release the leader.
+	time.Sleep(10 * time.Millisecond)
+	close(gb.gate)
+
+	out := <-leaderOut
+	for j := range out {
+		// Mutate in place, as an API handler post-processing its response
+		// may; with aliasing this scribbles over the follower's source.
+		out[j] = Result{ID: ^uint64(0), Score: -1}
+	}
+	got := <-followerOut
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("follower result corrupted by leader-caller mutation at %d: %+v", j, got[j])
+		}
+	}
+	if st := eng.Stats(); st.Shared != 1 {
+		t.Fatalf("stats = %+v; the follower did not take the share path, test proved nothing", st)
 	}
 }

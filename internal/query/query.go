@@ -28,12 +28,12 @@ const scanCheckpoint = 256
 // Engine executes queries against one store, optionally through a
 // generation-stamped singleflight result cache (see cache.go).
 type Engine struct {
-	st    *store.Store
+	st    store.Backend
 	cache *resultCache
 }
 
 // New returns an uncached engine over st: every Run executes.
-func New(st *store.Store) *Engine { return &Engine{st: st} }
+func New(st store.Backend) *Engine { return &Engine{st: st} }
 
 // defaultCacheCapacity bounds the cached engine's LRU when the caller
 // passes a non-positive capacity.
@@ -44,7 +44,7 @@ const defaultCacheCapacity = 512
 // identical executions (singleflight), and invalidates on any store
 // write via the store's mutation generation. capacity <= 0 selects
 // defaultCacheCapacity.
-func NewCached(st *store.Store, capacity int) *Engine {
+func NewCached(st store.Backend, capacity int) *Engine {
 	if capacity <= 0 {
 		capacity = defaultCacheCapacity
 	}

@@ -1,0 +1,462 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/imagesim"
+	"repro/internal/store"
+)
+
+var la = geo.Point{Lat: 34.0522, Lon: -118.2437}
+
+func memCoord(t *testing.T, n int) *Coordinator {
+	t.Helper()
+	c, err := Open(Config{ShardCount: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func testImage(brg float64) store.Image {
+	px := imagesim.MustNew(8, 8)
+	px.Fill(imagesim.RGB{R: uint8(100 + int(brg)%100), G: 120, B: 140})
+	cam := geo.Destination(la, brg, 500)
+	return store.Image{
+		FOV:                geo.FOV{Camera: cam, Direction: brg, Angle: 60, Radius: 100},
+		Pixels:             px,
+		TimestampCapturing: time.Date(2019, 2, 1, 8, 0, 0, 0, time.UTC).Add(time.Duration(brg) * time.Minute),
+		WorkerID:           "w-1",
+	}
+}
+
+var vocab = []string{"street", "garbage", "clean", "truck", "overflow", "bin"}
+
+// seedCorpus ingests n images with keywords and a feature vector through
+// any backend; identical calls produce identical IDs on a bare store and
+// on a coordinator of any shard count (both allocate sequentially from
+// zero).
+func seedCorpus(t *testing.T, b store.Backend, n int) []uint64 {
+	t.Helper()
+	ids := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := b.AddImage(testImage(float64(i * 3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kw := []string{vocab[i%len(vocab)], vocab[(i*2+1)%len(vocab)]}
+		if err := b.AddKeywords(id, kw); err != nil {
+			t.Fatal(err)
+		}
+		vec := []float64{float64(i % 7), float64((i * 5) % 11), float64((i * 3) % 13)}
+		if err := b.PutFeature(id, "hist", vec); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// TestShardCountInvariance is the core determinism contract: every
+// Search* built on partition-invariant primitives returns bit-identical
+// results for a bare store and for 1, 2, 4, and 8 shards.
+func TestShardCountInvariance(t *testing.T) {
+	bare, err := store.Open(store.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	backends := map[string]store.Backend{"bare": bare}
+	for _, n := range []int{1, 2, 4, 8} {
+		backends[fmt.Sprintf("shards=%d", n)] = memCoord(t, n)
+	}
+	const corpus = 60
+	for _, b := range backends {
+		seedCorpus(t, b, corpus)
+	}
+	ctx := context.Background()
+	qvec := []float64{2, 4, 6}
+	queries := map[string]func(store.Backend) (any, error){
+		"visual-exact": func(b store.Backend) (any, error) { return b.SearchVisualExact(ctx, "hist", qvec, 10) },
+		"text-any": func(b store.Backend) (any, error) {
+			return b.SearchText(ctx, []string{"garbage", "truck"})
+		},
+		"text-all": func(b store.Backend) (any, error) {
+			return b.SearchTextAll(ctx, []string{"garbage", "clean"})
+		},
+		"time": func(b store.Backend) (any, error) {
+			from := time.Date(2019, 2, 1, 8, 30, 0, 0, time.UTC)
+			return b.SearchTime(ctx, from, from.Add(time.Hour))
+		},
+		"scene": func(b store.Backend) (any, error) {
+			return b.SearchScene(ctx, geo.Rect{MinLat: la.Lat - 0.01, MinLon: la.Lon - 0.01, MaxLat: la.Lat + 0.01, MaxLon: la.Lon + 0.01})
+		},
+		"nearest": func(b store.Backend) (any, error) { return b.SearchNearest(ctx, la, 15) },
+		"radius":  func(b store.Backend) (any, error) { return b.SearchVisualRadius(ctx, "hist", qvec, 6) },
+		"ids":     func(b store.Backend) (any, error) { return b.ImageIDs(), nil },
+	}
+	for qname, run := range queries {
+		want, err := run(backends["bare"])
+		if err != nil {
+			t.Fatalf("%s on bare store: %v", qname, err)
+		}
+		for bname, b := range backends {
+			got, err := run(b)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", qname, bname, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s diverges on %s:\n got  %v\n want %v", qname, bname, got, want)
+			}
+		}
+	}
+}
+
+// TestFanOutShardError pins the whole-query-fails semantics: one shard
+// failing (e.g. its deadline slice expiring) surfaces as the query's
+// error with no partial results, and the root cause wins over the
+// context.Canceled noise that cancelling the sibling probes induces.
+func TestFanOutShardError(t *testing.T) {
+	c := memCoord(t, 4)
+	ctx := context.Background()
+	var canceledSiblings atomic.Int32
+	out, err := fanOut(ctx, c.shards, func(ctx context.Context, s *store.Store) (int, error) {
+		if s == c.shards[2] {
+			return 0, context.DeadlineExceeded
+		}
+		<-ctx.Done() // siblings park until the failing probe cancels them
+		canceledSiblings.Add(1)
+		return 0, ctx.Err()
+	})
+	if out != nil {
+		t.Fatalf("partial results %v leaked through a shard error", out)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the root-cause DeadlineExceeded", err)
+	}
+	if got := canceledSiblings.Load(); got != 3 {
+		t.Fatalf("%d siblings observed cancellation, want 3", got)
+	}
+}
+
+// TestFanOutCancelNoLeak cancels the caller's context mid-fan-out and
+// checks both that the error propagates and that every probe goroutine
+// is joined (no leaks for the race detector to chase).
+func TestFanOutCancelNoLeak(t *testing.T) {
+	c := memCoord(t, 8)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		started := make(chan struct{}, len(c.shards))
+		go func() {
+			for range c.shards {
+				<-started
+			}
+			cancel()
+		}()
+		_, err := fanOut(ctx, c.shards, func(ctx context.Context, s *store.Store) (int, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+		cancel()
+	}
+	// All probe goroutines are joined before fanOut returns, so the count
+	// settles back to the baseline (allow slack for runtime helpers).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSliceDeadline checks the merge reserve: the per-shard deadline is
+// strictly earlier than the caller's, by at most the 50ms cap.
+func TestSliceDeadline(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	child, ccancel := sliceDeadline(parent)
+	defer ccancel()
+	pd, _ := parent.Deadline()
+	cd, ok := child.Deadline()
+	if !ok {
+		t.Fatal("child lost the deadline")
+	}
+	if !cd.Before(pd) {
+		t.Fatal("child deadline not earlier than parent")
+	}
+	if pd.Sub(cd) > reserveCap {
+		t.Fatalf("reserve %v exceeds cap %v", pd.Sub(cd), reserveCap)
+	}
+	// No parent deadline → none imposed on the probes.
+	child2, ccancel2 := sliceDeadline(context.Background())
+	defer ccancel2()
+	if _, ok := child2.Deadline(); ok {
+		t.Fatal("sliceDeadline invented a deadline")
+	}
+}
+
+// TestSingleShardByteCompat: a ShardCount=1 coordinator writes the exact
+// bytes a bare store writes, and a bare store can reopen the directory.
+func TestSingleShardByteCompat(t *testing.T) {
+	dirBare, dirCoord := t.TempDir(), t.TempDir()
+	writeAll := func(b store.Backend) {
+		t.Helper()
+		seedCorpus(t, b, 12)
+		if _, err := b.CreateClassification("clean", []string{"yes", "no"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bare, err := store.Open(store.Config{Dir: dirBare})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(bare)
+	if err := bare.Close(); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := Open(Config{Dir: dirCoord, ShardCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(coord)
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"wal.gob"} {
+		a, err := os.ReadFile(filepath.Join(dirBare, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirCoord, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between bare store and 1-shard coordinator (%d vs %d bytes)", f, len(a), len(b))
+		}
+	}
+	// No shard marker or subdirectories in the single-shard layout.
+	if _, err := os.Stat(filepath.Join(dirCoord, markerFile)); !os.IsNotExist(err) {
+		t.Fatal("single-shard layout must not write a marker file")
+	}
+	// Interop: a bare store opens the coordinator's directory.
+	reopened, err := store.Open(store.Config{Dir: dirCoord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if n := reopened.NumImages(); n != 12 {
+		t.Fatalf("bare reopen sees %d images, want 12", n)
+	}
+}
+
+// TestReopenRecoversState: a multi-shard deployment recovers rows, the
+// global ID allocator, and keeps allocating without collisions.
+func TestReopenRecoversState(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(Config{Dir: dir, ShardCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := seedCorpus(t, c, 20)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(Config{Dir: dir, ShardCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if n := c2.NumImages(); n != 20 {
+		t.Fatalf("recovered %d images, want 20", n)
+	}
+	seen := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		if _, err := c2.GetImage(id); err != nil {
+			t.Fatalf("image %d lost across reopen: %v", id, err)
+		}
+		seen[id] = true
+	}
+	newID, err := c2.AddImage(testImage(359))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen[newID] {
+		t.Fatalf("post-reopen allocation reused ID %d", newID)
+	}
+}
+
+// TestShardCountMismatch: reopening with a different count, or pointing
+// N>1 at a single-store directory, fails loudly.
+func TestShardCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(Config{Dir: dir, ShardCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCorpus(t, c, 4)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir, ShardCount: 2}); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("reopen with wrong count: err = %v, want ErrShardMismatch", err)
+	}
+	if _, err := Open(Config{Dir: dir, ShardCount: 1}); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("reopen as single store: err = %v, want ErrShardMismatch", err)
+	}
+
+	single := t.TempDir()
+	s, err := store.Open(store.Config{Dir: single})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddImage(testImage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: single, ShardCount: 2}); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("sharding a single-store dir: err = %v, want ErrShardMismatch", err)
+	}
+}
+
+// TestClassificationReplication: schemes land on every shard, so
+// annotations validate locally wherever the image hashes.
+func TestClassificationReplication(t *testing.T) {
+	c := memCoord(t, 4)
+	ids := seedCorpus(t, c, 16)
+	clsID, err := c.CreateClassification("cleanliness", []string{"clean", "dirty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.shards {
+		if _, err := s.GetClassification(clsID); err != nil {
+			t.Fatalf("scheme missing on a shard: %v", err)
+		}
+	}
+	at := time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i, id := range ids {
+		err := c.Annotate(store.Annotation{
+			ImageID: id, ClassificationID: clsID, Label: i % 2,
+			Confidence: 1, Source: store.SourceHuman, AnnotatedAt: at,
+		})
+		if err != nil {
+			t.Fatalf("annotate %d: %v", id, err)
+		}
+	}
+	got := c.ImagesByLabel(clsID, 0)
+	if len(got) != len(ids)/2 {
+		t.Fatalf("ImagesByLabel returned %d, want %d", len(got), len(ids)/2)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("ImagesByLabel not ascending")
+		}
+	}
+}
+
+// TestVideoDecomposed: the N>1 video ingest spreads frames across shards
+// but keeps the video row, frame order, and keywords intact.
+func TestVideoDecomposed(t *testing.T) {
+	c := memCoord(t, 4)
+	base := time.Date(2019, 4, 1, 12, 0, 0, 0, time.UTC)
+	frames := make([]store.Frame, 6)
+	for i := range frames {
+		px := imagesim.MustNew(8, 8)
+		px.Fill(imagesim.RGB{R: uint8(10 * i), G: 50, B: 50})
+		frames[i] = store.Frame{
+			Pixels:     px,
+			FOV:        geo.FOV{Camera: geo.Destination(la, float64(i*10), 200), Direction: float64(i * 10), Angle: 60, Radius: 100},
+			CapturedAt: base.Add(time.Duration(i) * time.Second),
+			Keywords:   []string{"drone", vocab[i%len(vocab)]},
+		}
+	}
+	vid, frameIDs, err := c.AddVideo("flight", "w-7", frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.GetVideo(vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v.FrameIDs, frameIDs) {
+		t.Fatalf("FrameIDs %v != returned %v", v.FrameIDs, frameIDs)
+	}
+	if !v.Start.Equal(base) || !v.End.Equal(base.Add(5*time.Second)) {
+		t.Fatalf("span [%v, %v] wrong", v.Start, v.End)
+	}
+	perShard := make(map[*store.Store]int)
+	for i, id := range frameIDs {
+		img, err := c.GetImage(id)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if img.VideoID != vid || img.FrameIndex != i {
+			t.Fatalf("frame %d links (video=%d idx=%d)", i, img.VideoID, img.FrameIndex)
+		}
+		if kw := c.KeywordsFor(id); len(kw) != 2 {
+			t.Fatalf("frame %d keywords %v", i, kw)
+		}
+		perShard[c.shardOf(id)]++
+	}
+	if len(perShard) < 2 {
+		t.Fatalf("6 frames all hashed to %d shard(s); placement not spreading", len(perShard))
+	}
+}
+
+// TestGenerationComposes: any data-plane write on any shard changes the
+// coordinator generation (the cache-coherence stamp).
+func TestGenerationComposes(t *testing.T) {
+	c := memCoord(t, 4)
+	ids := seedCorpus(t, c, 8)
+	g0 := c.Generation()
+	if err := c.AddKeywords(ids[3], []string{"extra"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() == g0 {
+		t.Fatal("generation unchanged after a routed write")
+	}
+	g1 := c.Generation()
+	if err := c.DeleteImage(ids[5]); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() == g1 {
+		t.Fatal("generation unchanged after a routed delete")
+	}
+}
+
+// TestHybridUnavailable: a kind with no hybrid index reports ok=false
+// with no error, same as a bare store.
+func TestHybridUnavailable(t *testing.T) {
+	c := memCoord(t, 2)
+	seedCorpus(t, c, 4)
+	_, ok, err := c.SearchHybrid(context.Background(), "hist", geo.Rect{MinLat: 0, MinLon: 0, MaxLat: 1, MaxLon: 1}, []float64{1, 2, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("hybrid reported available without configuration")
+	}
+}

@@ -26,7 +26,9 @@ type CampaignRec struct {
 	CreatedAt time.Time
 }
 
-// CreateCampaign registers a campaign and returns its ID.
+// CreateCampaign registers a campaign and returns its ID. A zero c.ID is
+// allocated here; a preset ID (from the shard coordinator's global
+// allocator) is honored as-is.
 func (s *Store) CreateCampaign(c CampaignRec) (uint64, error) {
 	if c.Name == "" {
 		return 0, fmt.Errorf("%w: campaign needs a name", ErrInvalid)
@@ -40,7 +42,9 @@ func (s *Store) CreateCampaign(c CampaignRec) (uint64, error) {
 	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	c.ID = s.nextID.Add(1)
+	if c.ID == 0 {
+		c.ID = s.nextID.Add(1)
+	}
 	frame, err := s.encode(walOp{Kind: opAddCampaign, Campaign: &c})
 	if err != nil {
 		return 0, err

@@ -466,7 +466,9 @@ func (s *Store) snapshotLocked() error {
 // ---- Images ----
 
 // AddImage validates, assigns an ID, derives the scene location, indexes,
-// logs, and returns the stored image's ID.
+// logs, and returns the stored image's ID. A caller that pre-assigned
+// img.ID (the shard coordinator, which owns a global allocator) keeps it;
+// img.ID == 0 allocates locally.
 func (s *Store) AddImage(img Image) (uint64, error) {
 	if err := img.FOV.Validate(); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrInvalid, err)
@@ -483,7 +485,9 @@ func (s *Store) AddImage(img Image) (uint64, error) {
 	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	img.ID = s.nextID.Add(1)
+	if img.ID == 0 {
+		img.ID = s.nextID.Add(1)
+	}
 	img.Scene = img.FOV.SceneLocation()
 	frame, err := s.encode(walOp{Kind: opAddImage, Image: &img})
 	if err != nil {
@@ -801,7 +805,16 @@ func (s *Store) FeatureKinds(imageID uint64) []string {
 
 // CreateClassification registers a labelling scheme; names are unique.
 func (s *Store) CreateClassification(name string, labels []string) (uint64, error) {
-	if name == "" || len(labels) == 0 {
+	return s.PutClassification(Classification{Name: name, Labels: labels})
+}
+
+// PutClassification registers a labelling scheme row whose ID the caller
+// may have pre-assigned (c.ID == 0 allocates locally, exactly as
+// CreateClassification always has). The shard coordinator uses the
+// pre-assigned form to replicate the catalog to every shard under one
+// globally-allocated ID; the logged WAL op is identical either way.
+func (s *Store) PutClassification(c Classification) (uint64, error) {
+	if c.Name == "" || len(c.Labels) == 0 {
 		return 0, fmt.Errorf("%w: classification needs a name and labels", ErrInvalid)
 	}
 	if s.closed.Load() {
@@ -814,17 +827,20 @@ func (s *Store) CreateClassification(name string, labels []string) (uint64, erro
 		unlock()
 		return 0, ErrClosed
 	}
-	if _, dup := s.classByName[name]; dup {
+	if _, dup := s.classByName[c.Name]; dup {
 		unlock()
-		return 0, fmt.Errorf("%w: classification %q", ErrDuplicate, name)
+		return 0, fmt.Errorf("%w: classification %q", ErrDuplicate, c.Name)
 	}
-	c := &Classification{ID: s.nextID.Add(1), Name: name, Labels: append([]string(nil), labels...)}
-	frame, err := s.encode(walOp{Kind: opAddClass, Classification: c})
+	if c.ID == 0 {
+		c.ID = s.nextID.Add(1)
+	}
+	c.Labels = append([]string(nil), c.Labels...)
+	frame, err := s.encode(walOp{Kind: opAddClass, Classification: &c})
 	if err != nil {
 		unlock()
 		return 0, err
 	}
-	if err := s.applyClassification(c); err != nil {
+	if err := s.applyClassification(&c); err != nil {
 		unlock()
 		return 0, err
 	}
@@ -1012,14 +1028,24 @@ func (s *Store) KeywordsFor(imageID uint64) []string {
 
 // CreateUser registers a participant.
 func (s *Store) CreateUser(name, role string) (uint64, error) {
-	if name == "" {
+	return s.PutUser(User{Name: name, Role: role})
+}
+
+// PutUser registers a user row, keeping a caller-pre-assigned u.ID
+// (u.ID == 0 allocates locally, exactly as CreateUser always has). The
+// shard coordinator pre-assigns so user IDs come from the one global
+// allocator even though user rows live on shard 0 only.
+func (s *Store) PutUser(u User) (uint64, error) {
+	if u.Name == "" {
 		return 0, fmt.Errorf("%w: user needs a name", ErrInvalid)
 	}
 	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	u := &User{ID: s.nextID.Add(1), Name: name, Role: role}
-	frame, err := s.encode(walOp{Kind: opAddUser, User: u})
+	if u.ID == 0 {
+		u.ID = s.nextID.Add(1)
+	}
+	frame, err := s.encode(walOp{Kind: opAddUser, User: &u})
 	if err != nil {
 		return 0, err
 	}
@@ -1028,7 +1054,7 @@ func (s *Store) CreateUser(name, role string) (uint64, error) {
 		s.catalogMu.Unlock()
 		return 0, ErrClosed
 	}
-	if err := s.applyUser(u); err != nil {
+	if err := s.applyUser(&u); err != nil {
 		s.catalogMu.Unlock()
 		return 0, err
 	}
@@ -1117,14 +1143,19 @@ func (s *Store) Authenticate(key string) (User, error) {
 // cancelled caller cannot stall Snapshot/Close behind a lock it parked
 // on.
 
-// SearchScene returns image IDs whose scene MBR intersects r.
+// SearchScene returns image IDs whose scene MBR intersects r, ascending.
+// The sort pins the unranked-list order of the Backend contract: results
+// are identical however the corpus is partitioned, instead of leaking
+// R-tree traversal order.
 func (s *Store) SearchScene(ctx context.Context, r geo.Rect) ([]uint64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	s.geoMu.RLock()
-	defer s.geoMu.RUnlock()
-	return s.spatial.SearchRect(r), nil
+	ids := s.spatial.SearchRect(r)
+	s.geoMu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
 }
 
 // SearchNearest returns up to k image IDs whose scenes are closest to p.
@@ -1209,8 +1240,13 @@ func (s *Store) SearchVisualExact(ctx context.Context, kind string, vec []float6
 }
 
 // SearchHybrid runs a single-pass spatial-visual query when a hybrid tree
-// is maintained for the kind; ok=false means the caller must fall back to
-// the two-phase plan. The tree walk checks ctx at every node descent.
+// is configured for the kind; ok=false means the caller must fall back to
+// the two-phase plan. Availability is decided by configuration
+// (Config.HybridKinds), not by whether any vector has arrived yet: a
+// configured kind with an empty tree answers (nil, true, nil). That keeps
+// ok a pure function of config, which is what lets a sharded deployment
+// answer identically for any shard count. The tree walk checks ctx at
+// every node descent.
 func (s *Store) SearchHybrid(ctx context.Context, kind string, r geo.Rect, vec []float64, k int) ([]index.Match, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
@@ -1219,10 +1255,23 @@ func (s *Store) SearchHybrid(ctx context.Context, kind string, r geo.Rect, vec [
 	defer s.featMu.RUnlock()
 	ht, ok := s.hybrid[kind]
 	if !ok {
+		if s.hybridConfigured(kind) {
+			return nil, true, nil
+		}
 		return nil, false, nil
 	}
 	ms, err := ht.SearchSpatialVisual(ctx, r, vec, k)
 	return ms, true, err
+}
+
+// hybridConfigured reports whether kind is listed in Config.HybridKinds.
+func (s *Store) hybridConfigured(kind string) bool {
+	for _, hk := range s.cfg.HybridKinds {
+		if hk == kind {
+			return true
+		}
+	}
+	return false
 }
 
 // SearchText returns keyword matches (disjunctive, TF-IDF ranked).
@@ -1253,4 +1302,76 @@ func (s *Store) SearchTime(ctx context.Context, from, to time.Time) ([]uint64, e
 	s.geoMu.RLock()
 	defer s.geoMu.RUnlock()
 	return s.temporal.Range(from, to), nil
+}
+
+// ---- Scatter-gather support (consumed by internal/shard) ----
+//
+// These primitives expose what a deterministic cross-store merge needs:
+// scores alongside IDs, timestamps alongside range hits, and corpus
+// statistics separated from scoring so TF-IDF can be computed under
+// global document frequencies. A single-store deployment never calls
+// them; the coordinator composes them into the plain Search* contract.
+
+// LastID returns the highest ID this store has allocated or observed.
+// The shard coordinator recovers its global allocator at open as the max
+// across shards.
+func (s *Store) LastID() uint64 { return s.nextID.Load() }
+
+// SearchNearestScored is SearchNearest with each hit's point-to-rect
+// distance attached, selected under the (Dist, ID) total order (see
+// RTree.NearestKMatches).
+func (s *Store) SearchNearestScored(ctx context.Context, p geo.Point, k int) ([]index.Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.geoMu.RLock()
+	defer s.geoMu.RUnlock()
+	return s.spatial.NearestKMatches(p, k), nil
+}
+
+// SearchTimeEntries is SearchTime with each hit's capture timestamp
+// attached, ascending in time.
+func (s *Store) SearchTimeEntries(ctx context.Context, from, to time.Time) ([]index.TimeEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.geoMu.RLock()
+	defer s.geoMu.RUnlock()
+	return s.temporal.RangeEntries(from, to), nil
+}
+
+// TextStats returns this store's text-corpus statistics for terms: the
+// indexed document count and per-term document frequencies. Summed
+// element-wise across shards they form the global statistics
+// SearchTextStats/SearchTextAllStats score under.
+func (s *Store) TextStats(ctx context.Context, terms []string) (docs int, df []int, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	s.kwMu.RLock()
+	defer s.kwMu.RUnlock()
+	docs, df = s.text.DocFreqs(terms)
+	return docs, df, nil
+}
+
+// SearchTextStats is SearchText scored under caller-supplied corpus
+// statistics (from TextStats, possibly summed over shards).
+func (s *Store) SearchTextStats(ctx context.Context, terms []string, docs int, df []int) ([]index.Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.kwMu.RLock()
+	defer s.kwMu.RUnlock()
+	return s.text.SearchAnyStats(terms, docs, df), nil
+}
+
+// SearchTextAllStats is SearchTextAll scored under caller-supplied corpus
+// statistics (from TextStats, possibly summed over shards).
+func (s *Store) SearchTextAllStats(ctx context.Context, terms []string, docs int, df []int) ([]index.Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.kwMu.RLock()
+	defer s.kwMu.RUnlock()
+	return s.text.SearchAllStats(terms, docs, df), nil
 }

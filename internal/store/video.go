@@ -152,6 +152,43 @@ func (s *Store) AddVideo(description, workerID string, frames []Frame) (uint64, 
 	return videoID, frameIDs, nil
 }
 
+// PutVideo stores a fully-formed video row (metadata and frame ID list;
+// the frames themselves are separate Image rows). A zero v.ID is
+// allocated here; a preset ID is honored. The shard coordinator uses this
+// for the decomposed N>1 video-ingest path, where frames land on their
+// hash shards and the video row lands on the catalog shard.
+func (s *Store) PutVideo(v Video) (uint64, error) {
+	if len(v.FrameIDs) == 0 {
+		return 0, fmt.Errorf("%w: video needs frames", ErrInvalid)
+	}
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	if v.ID == 0 {
+		v.ID = s.nextID.Add(1)
+	}
+	v.FrameIDs = append([]uint64(nil), v.FrameIDs...)
+	frame, err := s.encode(walOp{Kind: opAddVideo, Video: &v})
+	if err != nil {
+		return 0, err
+	}
+	s.catalogMu.Lock()
+	if s.closed.Load() {
+		s.catalogMu.Unlock()
+		return 0, ErrClosed
+	}
+	if err := s.applyVideo(&v); err != nil {
+		s.catalogMu.Unlock()
+		return 0, err
+	}
+	wait := s.enqueue(frame)
+	s.catalogMu.Unlock()
+	if err := s.awaitCommit(wait, 1); err != nil {
+		return 0, err
+	}
+	return v.ID, nil
+}
+
 // applyVideo registers a video row. Callers hold catalogMu.
 func (s *Store) applyVideo(v *Video) error {
 	if _, dup := s.videos[v.ID]; dup {

@@ -59,6 +59,14 @@ echo "== read-path cache + admission gate (race) =="
 go test -race -run 'TestCache|TestCanonicalKey' ./internal/query
 go test -race -run 'TestAdmission|TestSearchDimMismatchIs400' ./internal/api
 
+echo "== shard fan-out gate (race) =="
+# The scatter-gather coordinator is shared mutable state on every search:
+# per-shard context slicing, cancel-on-error, deterministic top-k merge,
+# and the global ID allocator must stay race-clean and shard-count
+# invariant. A failure here should read as "sharding broke", not as a
+# generic suite failure.
+go test -race -run 'TestShardCountInvariance|TestFanOutShardError|TestFanOutCancelNoLeak|TestShardCountMismatch|TestClassificationReplication|TestGenerationComposes' ./internal/shard
+
 echo "== crash-recovery property tests (race) =="
 # Torn-write recovery is its own gate: the kill-at-every-offset sweep, the
 # snapshot-crash interleaving, and the reopen-cycle regression must pass
@@ -165,6 +173,20 @@ go run ./cmd/tvdp-bench -figure readpath -scale smoke -timing-n 1500 -timing-que
 for key in '"figure": "readpath"' '"quantized"' '"cached"' '"recall_at_k"' '"fig6_ordering_preserved"' '"ops_per_sec"' '"allocs_per_op"' '"quant_speedup_x"'; do
     if ! grep -q "$key" "$bench_out/BENCH_readpath.json"; then
         echo "BENCH_readpath.json missing $key" >&2
+        exit 1
+    fi
+done
+
+echo "== sharding bench smoke =="
+# A reduced tvdp-bench -figure sharding run must produce a well-formed
+# BENCH_sharding.json. Scaling numbers from a 200ms window are noise, so
+# only the report shape is checked — except topk_invariant, which is a
+# correctness bit (bit-identical merged results at every shard count)
+# and must be true at any scale.
+go run ./cmd/tvdp-bench -figure sharding -duration 200ms -clients 4 -preload 64 -out "$bench_out/BENCH_sharding.json"
+for key in '"figure": "sharding"' '"shards": 1' '"shards": 8' '"ops_per_sec"' '"speedup_x"' '"p99_ms"' '"snapshot_every"' '"topk_invariant": true'; do
+    if ! grep -q "$key" "$bench_out/BENCH_sharding.json"; then
+        echo "BENCH_sharding.json missing $key" >&2
         exit 1
     fi
 done
