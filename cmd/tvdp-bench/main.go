@@ -13,6 +13,8 @@
 //	                                    # visual search + quantized recall
 //	tvdp-bench -figure sharding         # scatter-gather scaling: mixed
 //	                                    # workload at 1, 2, 4, 8 shards
+//	tvdp-bench -figure persistence      # snapshot vs segment engine:
+//	                                    # p99 and max single-op stall
 package main
 
 import (
@@ -46,9 +48,11 @@ func main() {
 
 		timingN       = flag.Int("timing-n", 0, "readpath: timing-store vector count (0 = default 20000)")
 		timingQueries = flag.Int("timing-queries", 0, "readpath: timed queries per mode (0 = default 240)")
+
+		rate = flag.Int("rate", 0, "persistence: paced total ops/sec across clients (0 = figure default; negative = unpaced saturating)")
 	)
 	flag.Parse()
-	special := *figure == "serving" || *figure == "readpath" || *figure == "sharding"
+	special := *figure == "serving" || *figure == "readpath" || *figure == "sharding" || *figure == "persistence"
 	if *fig == "" && *figure != "" && !special {
 		*fig = *figure
 	}
@@ -99,6 +103,36 @@ func main() {
 			}
 		})
 		runSharding(cfg, path)
+		return
+	}
+	if *figure == "persistence" {
+		path := *out
+		if path == "" {
+			path = "BENCH_persistence.json"
+		}
+		// Like sharding, the persistence figure has its own defaults (big
+		// preload so snapshot rewrites visibly stall); shared flags only
+		// override when set explicitly.
+		cfg := experiments.DefaultPersistenceConfig()
+		cfg.Seed = *seed
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "clients":
+				cfg.Clients = *clients
+			case "readfrac":
+				cfg.ReadFrac = *readfrac
+			case "duration":
+				cfg.Duration = *duration
+			case "preload":
+				cfg.Preload = *preload
+			case "rate":
+				cfg.TargetOps = *rate
+				if *rate < 0 {
+					cfg.TargetOps = 0 // unpaced: clients saturate
+				}
+			}
+		})
+		runPersistence(cfg, path)
 		return
 	}
 
@@ -203,6 +237,26 @@ func runSharding(cfg experiments.ShardingConfig, out string) {
 	if out != "" {
 		if err := r.WriteJSON(out); err != nil {
 			log.Fatalf("sharding: writing %s: %v", out, err)
+		}
+		log.Printf("wrote %s", out)
+	}
+}
+
+func runPersistence(cfg experiments.PersistenceConfig, out string) {
+	pace := "unpaced"
+	if cfg.TargetOps > 0 {
+		pace = fmt.Sprintf("%d ops/sec", cfg.TargetOps)
+	}
+	log.Printf("persistence bench: %d clients, %.0f%% reads, %s per engine at %s, preload %d, snapshot every %d vs flush at %d KiB",
+		cfg.Clients, cfg.ReadFrac*100, cfg.Duration, pace, cfg.Preload, cfg.SnapshotEvery, cfg.FlushThreshold>>10)
+	r, err := experiments.RunPersistence(cfg)
+	if err != nil {
+		log.Fatalf("persistence: %v", err)
+	}
+	fmt.Println(r.Render())
+	if out != "" {
+		if err := r.WriteJSON(out); err != nil {
+			log.Fatalf("persistence: writing %s: %v", out, err)
 		}
 		log.Printf("wrote %s", out)
 	}

@@ -36,6 +36,7 @@ import (
 	tvdp "repro"
 	"repro/internal/analysis"
 	"repro/internal/feature"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
@@ -57,6 +58,10 @@ func run(logger *log.Logger) error {
 		addr       = flag.String("addr", ":8080", "listen address")
 		dir        = flag.String("dir", "", "durability directory (empty = in-memory)")
 		shards     = flag.Int("shards", 1, "partition the corpus across N store shards (1 = single store)")
+		engine     = flag.String("engine", "segment", "persistence engine: segment (incremental, default) or snapshot (legacy full-snapshot)")
+		walSync    = flag.String("wal-sync", "batch", "WAL durability: batch (one write per group-commit), immediate (fsync per batch), none (in-memory buffer)")
+		flushThr   = flag.Int64("flush-threshold", 0, "segment engine: flush the memtable after this many WAL bytes (0 = default 8 MiB)")
+		snapEvery  = flag.Int("snapshot-every", 0, "snapshot engine: auto-compact the WAL after N mutations (0 disables)")
 		demo       = flag.Int("demo", 0, "seed N labelled synthetic images and train a demo model")
 		seed       = flag.Int64("seed", 1, "demo corpus seed")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. :6060); empty disables")
@@ -92,7 +97,22 @@ func run(logger *log.Logger) error {
 		defer side.Close()
 	}
 
-	p, err := tvdp.Open(tvdp.Config{Dir: *dir, ShardCount: *shards})
+	eng, err := store.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	syncMode, err := store.ParseWALSyncMode(*walSync)
+	if err != nil {
+		return err
+	}
+	p, err := tvdp.Open(tvdp.Config{
+		Dir:            *dir,
+		ShardCount:     *shards,
+		Engine:         eng,
+		WALSync:        syncMode,
+		FlushThreshold: *flushThr,
+		SnapshotEvery:  *snapEvery,
+	})
 	if err != nil {
 		return err
 	}

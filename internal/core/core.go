@@ -57,8 +57,24 @@ type Config struct {
 	// the exact on-disk layout earlier releases wrote; N > 1 places each
 	// shard under Dir/shard-XXX and scatter-gathers queries.
 	ShardCount int
-	// SyncEveryWrite fsyncs the WAL per mutation.
+	// Engine selects the persistence engine: store.EngineSegment (the
+	// default) or store.EngineSnapshot (the legacy full-snapshot engine).
+	Engine store.Engine
+	// WALSync selects WAL batch durability: store.SyncBatch (default),
+	// store.SyncImmediate, or store.SyncNone.
+	WALSync store.WALSyncMode
+	// SyncEveryWrite fsyncs the WAL per mutation (same as WALSync =
+	// store.SyncImmediate).
 	SyncEveryWrite bool
+	// SnapshotEvery auto-compacts the WAL after this many mutations
+	// (snapshot engine only; 0 disables).
+	SnapshotEvery int
+	// FlushThreshold is the segment engine's memtable flush trigger in
+	// WAL bytes (0 means store.DefaultFlushThreshold).
+	FlushThreshold int64
+	// CompactSegments is the segment count that triggers background
+	// compaction (0 means store.DefaultCompactSegments).
+	CompactSegments int
 	// HybridKinds lists feature kinds that maintain a single-pass
 	// spatial-visual hybrid index.
 	HybridKinds []string
@@ -80,10 +96,15 @@ func Open(cfg Config) (*Platform, error) {
 	var st store.Backend
 	if cfg.ShardCount > 1 {
 		co, err := shard.Open(shard.Config{
-			Dir:            cfg.Dir,
-			ShardCount:     cfg.ShardCount,
-			SyncEveryWrite: cfg.SyncEveryWrite,
-			HybridKinds:    cfg.HybridKinds,
+			Dir:             cfg.Dir,
+			ShardCount:      cfg.ShardCount,
+			Engine:          cfg.Engine,
+			WALSync:         cfg.WALSync,
+			SyncEveryWrite:  cfg.SyncEveryWrite,
+			HybridKinds:     cfg.HybridKinds,
+			SnapshotEvery:   cfg.SnapshotEvery,
+			FlushThreshold:  cfg.FlushThreshold,
+			CompactSegments: cfg.CompactSegments,
 		})
 		if err != nil {
 			return nil, err
@@ -92,8 +113,13 @@ func Open(cfg Config) (*Platform, error) {
 	} else {
 		sc := store.DefaultConfig()
 		sc.Dir = cfg.Dir
+		sc.Engine = cfg.Engine
+		sc.WALSync = cfg.WALSync
 		sc.SyncEveryWrite = cfg.SyncEveryWrite
 		sc.HybridKinds = cfg.HybridKinds
+		sc.SnapshotEvery = cfg.SnapshotEvery
+		sc.FlushThreshold = cfg.FlushThreshold
+		sc.CompactSegments = cfg.CompactSegments
 		s, err := store.Open(sc)
 		if err != nil {
 			return nil, err

@@ -57,12 +57,16 @@ type Config struct {
 	// shard owns Dir/shard-XXX.
 	Dir string
 	// ShardCount is the number of partitions; 0 and 1 both mean one.
-	ShardCount     int
-	SyncEveryWrite bool
-	RTree          index.RTreeConfig
-	LSH            index.LSHConfig
-	HybridKinds    []string
-	SnapshotEvery  int
+	ShardCount      int
+	Engine          store.Engine
+	WALSync         store.WALSyncMode
+	SyncEveryWrite  bool
+	RTree           index.RTreeConfig
+	LSH             index.LSHConfig
+	HybridKinds     []string
+	SnapshotEvery   int
+	FlushThreshold  int64
+	CompactSegments int
 }
 
 // Coordinator implements store.Backend over N shards.
@@ -88,11 +92,15 @@ func Open(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{cfg: cfg}
 	for i := 0; i < n; i++ {
 		scfg := store.Config{
-			SyncEveryWrite: cfg.SyncEveryWrite,
-			RTree:          cfg.RTree,
-			LSH:            cfg.LSH,
-			HybridKinds:    cfg.HybridKinds,
-			SnapshotEvery:  cfg.SnapshotEvery,
+			Engine:          cfg.Engine,
+			WALSync:         cfg.WALSync,
+			SyncEveryWrite:  cfg.SyncEveryWrite,
+			RTree:           cfg.RTree,
+			LSH:             cfg.LSH,
+			HybridKinds:     cfg.HybridKinds,
+			SnapshotEvery:   cfg.SnapshotEvery,
+			FlushThreshold:  cfg.FlushThreshold,
+			CompactSegments: cfg.CompactSegments,
 		}
 		if cfg.Dir != "" {
 			scfg.Dir = shardDir(cfg.Dir, n, i)
@@ -144,10 +152,11 @@ func checkLayout(root string, n int) error {
 	case !os.IsNotExist(err):
 		return fmt.Errorf("shard: %w", err)
 	}
-	// No marker. A single-store layout has WAL/snapshot files directly in
-	// root; opening that with N>1 would strand the existing corpus.
+	// No marker. A single-store layout has its durability files directly
+	// in root — legacy snapshot.gob/wal.gob or a segment-engine MANIFEST;
+	// opening that with N>1 would strand the existing corpus.
 	if n > 1 {
-		for _, f := range []string{"snapshot.gob", "wal.gob"} {
+		for _, f := range []string{"snapshot.gob", "wal.gob", "MANIFEST"} {
 			if _, serr := os.Stat(filepath.Join(root, f)); serr == nil {
 				return fmt.Errorf("%w: dir holds a single-store layout (%s present), config wants %d shards", ErrShardMismatch, f, n)
 			}

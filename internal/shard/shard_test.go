@@ -243,7 +243,7 @@ func TestSingleShardByteCompat(t *testing.T) {
 	if err := coord.Close(); err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range []string{"wal.gob"} {
+	for _, f := range []string{"MANIFEST", "wal-000001.log"} {
 		a, err := os.ReadFile(filepath.Join(dirBare, f))
 		if err != nil {
 			t.Fatal(err)

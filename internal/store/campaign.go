@@ -73,6 +73,9 @@ func (s *Store) applyCampaign(c *CampaignRec) error {
 	}
 	s.bumpNextID(c.ID)
 	s.campaigns[c.ID] = c
+	if s.mem != nil {
+		s.mem.addCampaign(c)
+	}
 	return nil
 }
 

@@ -31,6 +31,12 @@ type commitWait struct {
 	errc chan error
 }
 
+// noneFlushBytes is the SyncNone buffer high-water mark: batches
+// accumulate in memory and hit the file only when the buffer crosses it
+// (or on rotation/close), trading a bounded window of acknowledged but
+// unwritten ops for the fewest possible write syscalls.
+const noneFlushBytes = 256 << 10
+
 // walCommitter serialises WAL appends through one goroutine.
 type walCommitter struct {
 	// wmu serialises every writer interaction (batch writes, flushes,
@@ -39,8 +45,12 @@ type walCommitter struct {
 	// w is the current log writer; nil after a failed rotation or close,
 	// which fails subsequent batches instead of panicking.
 	w *walWriter
-	// syncEvery fsyncs each batch before waking its waiters.
-	syncEvery bool
+	// mode selects the batch durability level: SyncImmediate fsyncs each
+	// batch before waking its waiters, SyncBatch issues one write per
+	// batch and leaves the fsync to the OS, SyncNone buffers batches in
+	// memory (buf, guarded by wmu) until noneFlushBytes accumulate.
+	mode WALSyncMode
+	buf  []byte
 
 	// mu guards the queue and the stopped flag.
 	mu      sync.Mutex
@@ -57,13 +67,13 @@ type walCommitter struct {
 	fsyncs  atomic.Uint64
 }
 
-func newWALCommitter(w *walWriter, syncEvery bool) *walCommitter {
+func newWALCommitter(w *walWriter, mode WALSyncMode) *walCommitter {
 	c := &walCommitter{
-		w:         w,
-		syncEvery: syncEvery,
-		wake:      make(chan struct{}, 1),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		w:    w,
+		mode: mode,
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
 	go c.run()
 	return c
@@ -135,6 +145,18 @@ func (c *walCommitter) writeBatch(batch []commitWait) error {
 	if c.w == nil || c.w.b == nil {
 		return fmt.Errorf("store: appending WAL batch: %w", ErrClosed)
 	}
+	if c.mode == SyncNone {
+		// Buffer in memory; the file sees one big write per high-water
+		// crossing. Waiters are acked on buffering — that is the stated
+		// SyncNone contract (a crash can lose the buffered window).
+		for _, m := range batch {
+			c.buf = append(c.buf, m.buf...)
+		}
+		if len(c.buf) < noneFlushBytes {
+			return nil
+		}
+		return c.flushBufLocked()
+	}
 	n := 0
 	for _, m := range batch {
 		n += len(m.buf)
@@ -146,11 +168,28 @@ func (c *walCommitter) writeBatch(batch []commitWait) error {
 	if _, err := c.w.b.Write(buf); err != nil {
 		return fmt.Errorf("store: appending WAL batch of %d op(s): %w", len(batch), err)
 	}
-	if c.syncEvery {
+	if c.mode == SyncImmediate {
 		if err := c.w.b.Sync(); err != nil {
 			return fmt.Errorf("store: syncing WAL: %w", err)
 		}
 		c.fsyncs.Add(1)
+	}
+	return nil
+}
+
+// flushBufLocked writes the SyncNone buffer through to the current log.
+// Callers hold wmu.
+func (c *walCommitter) flushBufLocked() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	if c.w == nil || c.w.b == nil {
+		return fmt.Errorf("store: flushing buffered WAL bytes: %w", ErrClosed)
+	}
+	buf := c.buf
+	c.buf = c.buf[:0]
+	if _, err := c.w.b.Write(buf); err != nil {
+		return fmt.Errorf("store: flushing %d buffered WAL byte(s): %w", len(buf), err)
 	}
 	return nil
 }
@@ -163,6 +202,10 @@ func (c *walCommitter) rotate(makeNew func() (*walWriter, error)) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.commitLocked()
+	if err := c.flushBufLocked(); err != nil {
+		c.w = nil
+		return err
+	}
 	if err := c.w.close(); err != nil {
 		c.w = nil
 		return err
@@ -174,6 +217,34 @@ func (c *walCommitter) rotate(makeNew func() (*walWriter, error)) error {
 	}
 	c.w = w
 	return nil
+}
+
+// rotateTo is rotate with the replacement writer already created — the
+// segment engine builds the next generation's log (two fsyncs) before
+// taking any subsystem lock, so the freeze-swap under all six locks only
+// drains the pending batch into the retiring log and swaps the pointer:
+// O(queued frames), never O(corpus), and crucially never an fsync. The
+// retiring writer is returned still open for the caller to close once
+// the locks are released — its final Sync adds nothing to acked
+// durability (SyncImmediate batches were fsynced as they committed; the
+// other modes never promised the tail), so there is no reason to stall
+// every mutation behind it. Callers hold every subsystem write lock. On
+// failure the replacement is closed and the committer goes write-dead
+// (w = nil), exactly like a failed rotate.
+func (c *walCommitter) rotateTo(w *walWriter) (*walWriter, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.commitLocked()
+	if err := c.flushBufLocked(); err != nil {
+		c.w = nil
+		if cerr := w.close(); cerr != nil {
+			return nil, fmt.Errorf("%w (and closing replacement log: %v)", err, cerr)
+		}
+		return nil, err
+	}
+	old := c.w
+	c.w = w
+	return old, nil
 }
 
 // close drains the queue, stops the goroutine, and closes the log file.
@@ -191,7 +262,10 @@ func (c *walCommitter) close() error {
 	<-c.done
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	err := c.w.close()
+	err := c.flushBufLocked()
+	if cerr := c.w.close(); err == nil {
+		err = cerr
+	}
 	c.w = nil
 	return err
 }

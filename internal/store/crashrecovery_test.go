@@ -99,6 +99,7 @@ func recordedWorkload(t *testing.T) (cps []walState, wal []byte, probeImg, probe
 	dir := t.TempDir()
 	cfg := DefaultConfig()
 	cfg.Dir = dir
+	cfg.Engine = EngineSnapshot
 	cfg.SyncEveryWrite = true
 	s, err := Open(cfg)
 	if err != nil {
@@ -184,6 +185,7 @@ func TestKillAtEveryOffset(t *testing.T) {
 			walPath := filepath.Join(dir, walFile)
 			cfg := DefaultConfig()
 			cfg.Dir = dir
+			cfg.Engine = EngineSnapshot
 			for k := w; k <= len(wal); k += workers {
 				if err := os.WriteFile(walPath, wal[:k], 0o644); err != nil {
 					t.Error(err)
@@ -277,7 +279,7 @@ func TestBitFlipSurfacesCorruption(t *testing.T) {
 			restore := installFault(faultBitFlip, flipOffset)
 			defer restore()
 		}
-		s := diskStore(t, dir)
+		s := snapStore(t, dir)
 		for i := 0; i < 4; i++ {
 			if _, err := s.AddImage(tinyImage(t, float64(i*30))); err != nil {
 				t.Fatal(err)
@@ -294,6 +296,7 @@ func TestBitFlipSurfacesCorruption(t *testing.T) {
 		dir := build(t, walHeaderSize+walFrameHeaderSize+40)
 		cfg := DefaultConfig()
 		cfg.Dir = dir
+		cfg.Engine = EngineSnapshot
 		_, err := Open(cfg)
 		if !errors.Is(err, ErrWALCorrupt) {
 			t.Fatalf("Open = %v, want ErrWALCorrupt", err)
@@ -311,7 +314,7 @@ func TestBitFlipSurfacesCorruption(t *testing.T) {
 		if err := os.WriteFile(walPath, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		r := diskStore(t, dir)
+		r := snapStore(t, dir)
 		defer r.Close()
 		if got := r.NumImages(); got != 3 {
 			t.Fatalf("recovered %d images after final-frame damage, want 3", got)
@@ -326,7 +329,7 @@ func TestBitFlipSurfacesCorruption(t *testing.T) {
 // would re-apply ops the snapshot already contains.
 func TestSnapshotCrashDiscardsStaleWAL(t *testing.T) {
 	dir := t.TempDir()
-	s := diskStore(t, dir)
+	s := snapStore(t, dir)
 	id1, err := s.AddImage(tinyImage(t, 10))
 	if err != nil {
 		t.Fatal(err)
@@ -359,7 +362,7 @@ func TestSnapshotCrashDiscardsStaleWAL(t *testing.T) {
 		t.Fatalf("crash image wrong: wal gen %d size %d, want stale gen-1 log with ops", gen, len(walData))
 	}
 
-	r := diskStore(t, dir)
+	r := snapStore(t, dir)
 	defer r.Close()
 	if got := r.NumImages(); got != 2 {
 		t.Fatalf("recovered %d images, want 2", got)
@@ -380,7 +383,7 @@ func TestSnapshotCrashDiscardsStaleWAL(t *testing.T) {
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r2 := diskStore(t, dir)
+	r2 := snapStore(t, dir)
 	defer r2.Close()
 	if got := r2.NumImages(); got != 3 {
 		t.Fatalf("post-recovery write lost: %d images, want 3", got)
@@ -427,7 +430,7 @@ func TestLegacyWALMigration(t *testing.T) {
 	t.Run("clean", func(t *testing.T) {
 		dir := t.TempDir()
 		forgeLegacy(t, dir, 0)
-		s := diskStore(t, dir)
+		s := snapStore(t, dir)
 		if got := s.NumImages(); got != 3 {
 			t.Fatalf("migrated %d images, want 3", got)
 		}
@@ -449,7 +452,7 @@ func TestLegacyWALMigration(t *testing.T) {
 		if err := s.Close(); err != nil {
 			t.Fatal(err)
 		}
-		r := diskStore(t, dir)
+		r := snapStore(t, dir)
 		defer r.Close()
 		if got := r.NumImages(); got != 4 {
 			t.Fatalf("post-migration reopen: %d images, want 4", got)
@@ -459,7 +462,7 @@ func TestLegacyWALMigration(t *testing.T) {
 	t.Run("torn-tail", func(t *testing.T) {
 		dir := t.TempDir()
 		forgeLegacy(t, dir, 10) // cuts into the final (keywords) record
-		s := diskStore(t, dir)
+		s := snapStore(t, dir)
 		defer s.Close()
 		if got := s.NumImages(); got != 3 {
 			t.Fatalf("migrated %d images from torn legacy log, want 3", got)
@@ -477,6 +480,7 @@ func TestSnapshotPlusWALOffsetSweep(t *testing.T) {
 	src := t.TempDir()
 	cfg := DefaultConfig()
 	cfg.Dir = src
+	cfg.Engine = EngineSnapshot
 	cfg.SyncEveryWrite = true
 	s, err := Open(cfg)
 	if err != nil {
@@ -527,6 +531,7 @@ func TestSnapshotPlusWALOffsetSweep(t *testing.T) {
 			}
 			rcfg := DefaultConfig()
 			rcfg.Dir = dir
+			rcfg.Engine = EngineSnapshot
 			for k := w; k <= len(wal); k += workers {
 				if err := os.WriteFile(filepath.Join(dir, walFile), wal[:k], 0o644); err != nil {
 					t.Error(err)

@@ -17,7 +17,7 @@ import (
 // error.
 func TestTornWALTailIsTolerated(t *testing.T) {
 	dir := t.TempDir()
-	s := diskStore(t, dir)
+	s := snapStore(t, dir)
 	var ids []uint64
 	for i := 0; i < 20; i++ {
 		id, err := s.AddImage(testImage(t, float64(i*17%360)))
@@ -38,7 +38,7 @@ func TestTornWALTailIsTolerated(t *testing.T) {
 	if err := os.Truncate(walPath, info.Size()-25); err != nil {
 		t.Fatal(err)
 	}
-	r := diskStore(t, dir)
+	r := snapStore(t, dir)
 	defer r.Close()
 	// At most the final record is lost; everything before must be intact.
 	if n := r.NumImages(); n < 19 || n > 20 {
@@ -57,7 +57,7 @@ func TestTornWALTailIsTolerated(t *testing.T) {
 // silently produce an empty store.
 func TestCorruptSnapshotSurfacesError(t *testing.T) {
 	dir := t.TempDir()
-	s := diskStore(t, dir)
+	s := snapStore(t, dir)
 	if _, err := s.AddImage(testImage(t, 1)); err != nil {
 		t.Fatal(err)
 	}
@@ -70,6 +70,7 @@ func TestCorruptSnapshotSurfacesError(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.Dir = dir
+	cfg.Engine = EngineSnapshot
 	if _, err := Open(cfg); err == nil {
 		t.Fatal("corrupt snapshot accepted")
 	}
@@ -226,6 +227,7 @@ func TestAutoCompaction(t *testing.T) {
 	dir := t.TempDir()
 	cfg := DefaultConfig()
 	cfg.Dir = dir
+	cfg.Engine = EngineSnapshot
 	cfg.SnapshotEvery = 10
 	s, err := Open(cfg)
 	if err != nil {
@@ -252,7 +254,7 @@ func TestAutoCompaction(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r := diskStore(t, dir)
+	r := snapStore(t, dir)
 	defer r.Close()
 	if r.NumImages() != 35 {
 		t.Fatalf("recovered %d/35 after auto-compaction", r.NumImages())

@@ -3,6 +3,8 @@ package store
 import (
 	"errors"
 	"os"
+	"path/filepath"
+	"strings"
 )
 
 // Fault-injection harness for crash-recovery tests. A faultFile sits
@@ -86,8 +88,27 @@ func (ff *faultFile) Close() error { return ff.f.Close() }
 // Offsets count bytes written through that backend, not absolute file
 // positions (they coincide for a log opened from scratch).
 func installFault(mode faultMode, offset int64) (restore func()) {
+	return installFaultFunc(mode, offset, func(string) bool { return true })
+}
+
+// installFaultMatch is installFault restricted to files whose base name
+// has the given prefix — segment-engine crash sweeps use it to tear
+// exactly one write site (the segment blob, the manifest, one WAL
+// generation) while every other file behaves. The blob writers create
+// "<name>.tmp" files, so the prefix matches both the temp file and its
+// final name.
+func installFaultMatch(mode faultMode, offset int64, prefix string) (restore func()) {
+	return installFaultFunc(mode, offset, func(base string) bool {
+		return strings.HasPrefix(base, prefix)
+	})
+}
+
+func installFaultFunc(mode faultMode, offset int64, match func(base string) bool) (restore func()) {
 	prev := newWALBackend
 	newWALBackend = func(f *os.File) walBackend {
+		if !match(filepath.Base(f.Name())) {
+			return f
+		}
 		return &faultFile{f: f, mode: mode, offset: offset}
 	}
 	return func() { newWALBackend = prev }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,14 +15,114 @@ import (
 	"repro/internal/index"
 )
 
+// Engine selects the persistence engine for directory-backed stores.
+type Engine string
+
+const (
+	// EngineSegment (the default) persists incrementally: memtable +
+	// per-generation WAL + sorted immutable segments + background
+	// compaction. See engine.go.
+	EngineSegment Engine = "segment"
+	// EngineSnapshot is the legacy full-snapshot engine: one snapshot.gob
+	// rewritten under all six locks at every compaction.
+	EngineSnapshot Engine = "snapshot"
+)
+
+// ParseEngine parses a -engine flag value ("" means the default).
+func ParseEngine(v string) (Engine, error) {
+	switch Engine(v) {
+	case "", EngineSegment:
+		return EngineSegment, nil
+	case EngineSnapshot:
+		return EngineSnapshot, nil
+	default:
+		return "", fmt.Errorf("%w: unknown storage engine %q (want segment or snapshot)", ErrInvalid, v)
+	}
+}
+
+// WALSyncMode selects how aggressively the WAL committer makes batches
+// durable. The zero value is SyncBatch.
+type WALSyncMode int
+
+const (
+	// SyncBatch issues one write(2) per group-commit batch and leaves the
+	// fsync to the OS — a crash can lose the OS write-back window, a
+	// process panic loses nothing.
+	SyncBatch WALSyncMode = iota
+	// SyncImmediate fsyncs every batch before acknowledging its
+	// mutations (the SyncEveryWrite contract).
+	SyncImmediate
+	// SyncNone buffers acknowledged batches in memory and writes them
+	// out only when 256 KiB accumulate (or on rotation/close) — a crash
+	// can lose the buffered window.
+	SyncNone
+)
+
+func (m WALSyncMode) String() string {
+	switch m {
+	case SyncImmediate:
+		return "immediate"
+	case SyncNone:
+		return "none"
+	default:
+		return "batch"
+	}
+}
+
+// ParseWALSyncMode parses a -wal-sync flag value ("" means the default).
+func ParseWALSyncMode(v string) (WALSyncMode, error) {
+	switch v {
+	case "", "batch":
+		return SyncBatch, nil
+	case "immediate":
+		return SyncImmediate, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown WAL sync mode %q (want batch, immediate, or none)", ErrInvalid, v)
+	}
+}
+
+// Defaults for the segment engine's tuning knobs.
+const (
+	// DefaultFlushThreshold is the memtable size (in WAL bytes) that
+	// triggers a background flush.
+	DefaultFlushThreshold = 8 << 20
+	// DefaultCompactSegments is the live segment count that triggers a
+	// background compaction.
+	DefaultCompactSegments = 6
+	// memHardMult and memHardFloor cap the memtable at
+	// max(memHardMult × FlushThreshold, memHardFloor) bytes. When
+	// sustained ingest outruns flush bandwidth the memtable would grow
+	// without bound — each flush then serialises a bigger window, which
+	// takes longer, which grows the next window (and its replay-on-crash
+	// cost) further. At the cap, writers block after their commit until
+	// the next freeze-swap empties the memtable: ingest degrades to flush
+	// bandwidth instead of collapsing, and replay work stays bounded.
+	// The floor keeps the cap several flush cycles wide under a small
+	// FlushThreshold — a cap only one cycle deep would park writers for
+	// the remainder of every in-flight flush, turning the throttle itself
+	// into the stall it exists to prevent.
+	memHardMult  = 8
+	memHardFloor = 4 << 20
+)
+
 // Config controls the engine.
 type Config struct {
 	// Dir is the durability directory; empty means memory-only (no WAL,
 	// no snapshots — used by tests and ephemeral pipelines).
 	Dir string
+	// Engine selects the persistence engine ("" means EngineSegment).
+	// EngineSnapshot refuses to open a segment-layout directory; the
+	// segment engine migrates a legacy snapshot layout in place.
+	Engine Engine
+	// WALSync selects batch durability (default SyncBatch). Setting
+	// SyncEveryWrite upgrades SyncBatch to SyncImmediate for
+	// compatibility.
+	WALSync WALSyncMode
 	// SyncEveryWrite makes every mutation block until its WAL batch is
 	// fsynced (the committer coalesces concurrent mutations into one
-	// fsync per batch).
+	// fsync per batch). Equivalent to WALSync = SyncImmediate.
 	SyncEveryWrite bool
 	// RTree sizes the spatial index nodes.
 	RTree index.RTreeConfig
@@ -31,8 +132,16 @@ type Config struct {
 	// spatial-visual hybrid tree for single-pass hybrid queries.
 	HybridKinds []string
 	// SnapshotEvery auto-compacts the WAL after this many logged
-	// mutations (0 disables auto-compaction).
+	// mutations (0 disables auto-compaction). Snapshot engine only; the
+	// segment engine flushes by bytes, not op count.
 	SnapshotEvery int
+	// FlushThreshold is the memtable size in WAL bytes that triggers a
+	// background segment flush (0 means DefaultFlushThreshold). Segment
+	// engine only.
+	FlushThreshold int64
+	// CompactSegments is the live segment count that triggers background
+	// compaction (0 means DefaultCompactSegments). Segment engine only.
+	CompactSegments int
 }
 
 // DefaultConfig returns a memory-only configuration with standard index
@@ -116,14 +225,31 @@ type Store struct {
 	com *walCommitter
 	// walOps counts committed mutations since the last snapshot
 	// (auto-compaction trigger); compactMu ensures one compaction runs at
-	// a time.
+	// a time. Snapshot engine only.
 	walOps    atomic.Int64
 	compactMu sync.Mutex
-	// gen is the current snapshot generation; the live WAL carries the
-	// same number, which is how recovery tells a current log from a stale
-	// one left by a crash mid-compaction. Written only at Open (single
-	// threaded) and under all six locks in snapshotLocked.
+	// gen is the current WAL generation. Snapshot engine: the snapshot
+	// generation, with the live WAL carrying the same number (written only
+	// at Open and under all six locks in snapshotLocked). Segment engine:
+	// the live wal-%06d.log number (written at Open and under flushMu +
+	// all six locks in flushOnce).
 	gen uint64
+
+	// Segment engine state (nil/zero under the snapshot engine): mem is
+	// the current memtable window (fields written under their subsystem
+	// locks — see memtable.go), memBytes its WAL-byte footprint (the
+	// flush trigger), eng the background flush/compaction worker.
+	mem      *memtable
+	memBytes atomic.Int64
+	eng      *segEngine
+	// memFreed (on memThrottleMu) wakes writers blocked at the memtable
+	// hard cap (memHardMult × FlushThreshold); the freeze-swap broadcasts
+	// it after zeroing memBytes, as does Close.
+	memThrottleMu sync.Mutex
+	memFreed      *sync.Cond
+	// snaps counts completed full snapshots (snapshot engine
+	// observability).
+	snaps atomic.Uint64
 }
 
 // Open creates or recovers a store.
@@ -134,27 +260,58 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.LSH.Tables == 0 {
 		cfg.LSH = index.DefaultLSHConfig(1)
 	}
+	if cfg.Engine == "" {
+		cfg.Engine = EngineSegment
+	}
+	if cfg.Engine != EngineSegment && cfg.Engine != EngineSnapshot {
+		return nil, fmt.Errorf("%w: unknown storage engine %q", ErrInvalid, cfg.Engine)
+	}
+	if cfg.SyncEveryWrite && cfg.WALSync == SyncBatch {
+		cfg.WALSync = SyncImmediate
+	}
+	if cfg.FlushThreshold <= 0 {
+		cfg.FlushThreshold = DefaultFlushThreshold
+	}
+	if cfg.CompactSegments < 2 {
+		cfg.CompactSegments = DefaultCompactSegments
+	}
 	s := &Store{cfg: cfg}
+	s.memFreed = sync.NewCond(&s.memThrottleMu)
 	if err := s.resetState(); err != nil {
 		return nil, err
 	}
-	if cfg.Dir != "" {
-		snap, err := readSnapshot(cfg.Dir)
-		if err != nil {
-			return nil, err
-		}
-		if snap != nil {
-			if err := s.loadSnapshot(snap); err != nil {
-				return nil, err
-			}
-			s.gen = snap.Generation
-		}
-		w, err := recoverWAL(cfg.Dir, s.gen, cfg.SyncEveryWrite, s.applyOp)
-		if err != nil {
-			return nil, err
-		}
-		s.com = newWALCommitter(w, cfg.SyncEveryWrite)
+	if cfg.Dir == "" {
+		return s, nil
 	}
+	if cfg.Engine == EngineSegment {
+		if err := s.openSegment(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	// Legacy snapshot engine. Refuse a segment-layout directory outright:
+	// quietly ignoring the MANIFEST would serve a stale prefix of the
+	// data and then corrupt the layout on the first snapshot.
+	if man, err := readManifest(cfg.Dir); err != nil {
+		return nil, err
+	} else if man != nil {
+		return nil, fmt.Errorf("store: %s holds a segment-engine layout (MANIFEST present); open it with Engine=segment", cfg.Dir)
+	}
+	snap, err := readSnapshot(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		if err := s.loadSnapshot(snap); err != nil {
+			return nil, err
+		}
+		s.gen = snap.Generation
+	}
+	w, err := recoverWAL(cfg.Dir, s.gen, cfg.WALSync, s.applyOp)
+	if err != nil {
+		return nil, err
+	}
+	s.com = newWALCommitter(w, cfg.WALSync)
 	return s, nil
 }
 
@@ -215,19 +372,34 @@ func (s *Store) bumpNextID(id uint64) {
 }
 
 // Close flushes and closes the WAL. Further mutations fail with
-// ErrClosed; reads keep working against the in-memory state.
+// ErrClosed; reads keep working against the in-memory state. Any
+// background flush/compaction failure recorded since Open is surfaced
+// here.
 func (s *Store) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
-	// Quiesce: in-flight mutations finish applying and enqueueing before
-	// the committer drains and closes the log.
+	// Release writers parked at the memtable hard cap, then quiesce:
+	// in-flight mutations finish applying and enqueueing before the
+	// committer drains and closes the log.
+	s.wakeThrottled()
 	s.lockAll()
 	s.unlockAll()
-	if s.com == nil {
-		return nil
+	var errs []error
+	if s.eng != nil {
+		// Stop the flush/compaction worker before closing the committer:
+		// a mid-flight flush must not race the final log close.
+		s.eng.stopWorker()
+		if err := s.eng.takeErr(); err != nil {
+			errs = append(errs, err)
+		}
 	}
-	return s.com.close()
+	if s.com != nil {
+		if err := s.com.close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // encode pre-serialises an op into a WAL frame outside any lock; nil
@@ -251,12 +423,19 @@ func (s *Store) enqueueN(frame []byte, ops uint64) <-chan error {
 	if s.com == nil || frame == nil {
 		return nil
 	}
+	if s.eng != nil {
+		// Callers hold their subsystem write lock here, the same lock
+		// their memtable record was made under, so the byte count can
+		// never run ahead of the records it measures.
+		s.memBytes.Add(int64(len(frame)))
+	}
 	return s.com.enqueue(frame, ops)
 }
 
 // awaitCommit blocks until the batch containing the caller's frame is
-// durable, then drives auto-compaction if the threshold was crossed.
-// Called with no locks held.
+// durable, then nudges the persistence engine: a background flush kick
+// for the segment engine, inline auto-compaction for the snapshot
+// engine. Called with no locks held.
 func (s *Store) awaitCommit(wait <-chan error, ops int) error {
 	if wait == nil {
 		return nil
@@ -264,10 +443,50 @@ func (s *Store) awaitCommit(wait <-chan error, ops int) error {
 	if err := <-wait; err != nil {
 		return err
 	}
+	if s.eng != nil {
+		if s.memBytes.Load() >= s.cfg.FlushThreshold {
+			s.eng.kick()
+		}
+		s.throttleMem()
+		return nil
+	}
 	if s.cfg.SnapshotEvery > 0 && int(s.walOps.Add(int64(ops))) >= s.cfg.SnapshotEvery {
 		return s.maybeCompact()
 	}
 	return nil
+}
+
+// throttleMem blocks the calling writer while the memtable sits at or
+// above the hard cap (memHardMult × FlushThreshold). Called with no
+// locks held, after the caller's own commit — the mutation is applied
+// and durable; only the *return* is delayed, so acked durability and
+// apply order are untouched. The wait ends at the next freeze-swap
+// (memBytes drops to 0), on Close, or if the background engine has
+// recorded an error (no future flush is guaranteed then — better to let
+// writers run uncapped than to strand them on a condvar).
+func (s *Store) throttleMem() {
+	hard := s.cfg.FlushThreshold * memHardMult
+	if hard < memHardFloor {
+		hard = memHardFloor
+	}
+	if s.memBytes.Load() < hard {
+		return
+	}
+	s.memThrottleMu.Lock()
+	for s.memBytes.Load() >= hard && !s.closed.Load() && !s.eng.sick() {
+		s.eng.kick()
+		s.memFreed.Wait()
+	}
+	s.memThrottleMu.Unlock()
+}
+
+// wakeThrottled releases every writer blocked in throttleMem. The
+// lock/unlock pair orders the wakeup against a waiter between its cap
+// check and its Wait.
+func (s *Store) wakeThrottled() {
+	s.memThrottleMu.Lock()
+	s.memFreed.Broadcast()
+	s.memThrottleMu.Unlock()
 }
 
 // maybeCompact runs at most one auto-compaction at a time; concurrent
@@ -303,7 +522,7 @@ func (s *Store) applyOp(op walOp) error {
 	case opAddUser:
 		return s.applyUser(op.User)
 	case opAddAPIKey:
-		s.apiKeys[op.APIKey.Key] = op.APIKey
+		s.applyAPIKey(op.APIKey)
 		return nil
 	case opAddVideo:
 		return s.applyVideo(op.Video)
@@ -351,7 +570,7 @@ func (s *Store) loadSnapshot(st *snapshotState) error {
 		}
 	}
 	for _, k := range st.APIKeys {
-		s.apiKeys[k.Key] = k
+		s.applyAPIKey(k)
 	}
 	for _, v := range st.Videos {
 		if err := s.applyVideo(v); err != nil {
@@ -367,11 +586,17 @@ func (s *Store) loadSnapshot(st *snapshotState) error {
 	return nil
 }
 
-// Snapshot compacts durability state: writes a full snapshot and
-// truncates the WAL. No-op for memory-only stores.
+// Snapshot compacts durability state. Snapshot engine: writes a full
+// snapshot and truncates the WAL under all six locks. Segment engine:
+// forces a memtable flush (the freeze-swap holds the locks only
+// briefly; segment and manifest writes happen off-lock). No-op for
+// memory-only stores.
 func (s *Store) Snapshot() error {
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if s.eng != nil {
+		return s.eng.flushOnce()
 	}
 	s.lockAll()
 	defer s.unlockAll()
@@ -454,12 +679,13 @@ func (s *Store) snapshotLocked() error {
 	// leaves a stale-generation WAL that recovery discards instead of
 	// replaying onto the already-complete snapshot.
 	if err := s.com.rotate(func() (*walWriter, error) {
-		return createWAL(s.cfg.Dir, st.Generation, nil, s.cfg.SyncEveryWrite)
+		return createWAL(s.cfg.Dir, walFile, st.Generation, nil, s.cfg.WALSync)
 	}); err != nil {
 		return err
 	}
 	s.gen = st.Generation
 	s.walOps.Store(0)
+	s.snaps.Add(1)
 	return nil
 }
 
@@ -527,6 +753,9 @@ func (s *Store) applyImage(img *Image) error {
 		return err
 	}
 	s.temporal.Insert(img.ID, img.TimestampCapturing)
+	if s.mem != nil {
+		s.mem.addImage(img)
+	}
 	return nil
 }
 
@@ -681,6 +910,9 @@ func (s *Store) applyDeleteImage(id uint64) error {
 	delete(s.keywords, id)
 	delete(s.images, id)
 	s.idsDelete(id)
+	if s.mem != nil {
+		s.mem.deleteImage(id)
+	}
 	return nil
 }
 
@@ -775,6 +1007,9 @@ func (s *Store) applyFeature(f *Feature) error {
 			return err
 		}
 	}
+	if s.mem != nil {
+		s.mem.putFeature(f)
+	}
 	return nil
 }
 
@@ -863,6 +1098,9 @@ func (s *Store) applyClassification(c *Classification) error {
 	s.classifications[c.ID] = c
 	s.classByName[c.Name] = c.ID
 	s.byLabel[c.ID] = make(map[int][]uint64)
+	if s.mem != nil {
+		s.mem.addClass(c)
+	}
 	return nil
 }
 
@@ -954,6 +1192,9 @@ func (s *Store) applyAnnotation(a *Annotation) error {
 		s.byLabel[a.ClassificationID] = byLabel
 	}
 	byLabel[a.Label] = append(byLabel[a.Label], a.ImageID)
+	if s.mem != nil {
+		s.mem.addAnnotation(a)
+	}
 	return nil
 }
 
@@ -1014,6 +1255,9 @@ func (s *Store) applyKeywords(imageID uint64, words []string) error {
 	s.mutGen.Add(1)
 	s.keywords[imageID] = append(s.keywords[imageID], words...)
 	s.text.Add(imageID, words)
+	if s.mem != nil {
+		s.mem.addKeywords(imageID, words)
+	}
 	return nil
 }
 
@@ -1073,7 +1317,18 @@ func (s *Store) applyUser(u *User) error {
 	}
 	s.bumpNextID(u.ID)
 	s.users[u.ID] = u
+	if s.mem != nil {
+		s.mem.addUser(u)
+	}
 	return nil
+}
+
+// applyAPIKey registers an issued key. Callers hold catalogMu.
+func (s *Store) applyAPIKey(k *APIKey) {
+	s.apiKeys[k.Key] = k
+	if s.mem != nil {
+		s.mem.addAPIKey(k)
+	}
 }
 
 // GetUser returns a user by ID.
@@ -1110,7 +1365,7 @@ func (s *Store) IssueAPIKey(userID uint64, now time.Time) (string, error) {
 		s.catalogMu.Unlock()
 		return "", fmt.Errorf("%w: user %d", ErrNotFound, userID)
 	}
-	s.apiKeys[k.Key] = k
+	s.applyAPIKey(k)
 	wait := s.enqueue(frame)
 	s.catalogMu.Unlock()
 	if err := s.awaitCommit(wait, 1); err != nil {

@@ -197,6 +197,9 @@ func (s *Store) applyVideo(v *Video) error {
 	s.mutGen.Add(1)
 	s.bumpNextID(v.ID)
 	s.videos[v.ID] = v
+	if s.mem != nil {
+		s.mem.addVideo(v)
+	}
 	return nil
 }
 

@@ -13,11 +13,13 @@ import (
 	"sync"
 )
 
-// Durability layout: <dir>/snapshot.gob holds a full state image tagged
-// with a generation number; <dir>/wal.gob holds operations applied since
-// the snapshot of the same generation. Open loads the snapshot (if any),
-// replays a generation-matching WAL, and discards a stale one; Snapshot()
-// compacts by installing a fresh snapshot and starting a new log.
+// Durability layout (snapshot engine): <dir>/snapshot.gob holds a full
+// state image tagged with a generation number; <dir>/wal.gob holds
+// operations applied since the snapshot of the same generation. Open
+// loads the snapshot (if any), replays a generation-matching WAL, and
+// discards a stale one; Snapshot() compacts by installing a fresh
+// snapshot and starting a new log. The segment engine (engine.go) reuses
+// the same frame format over per-generation log files (wal-%06d.log).
 //
 // WAL v2 record format. The file starts with a 16-byte header:
 //
@@ -110,9 +112,14 @@ var newWALBackend = func(f *os.File) walBackend { return f }
 // walWriter appends CRC-framed ops to the log file.
 type walWriter struct {
 	b walBackend
-	// syncEvery forces an fsync per append (slower, stronger durability).
-	syncEvery bool
+	// sync is the durability mode; SyncImmediate forces an fsync per
+	// append (slower, stronger durability).
+	sync WALSyncMode
 }
+
+// walName returns the per-generation log filename the segment engine
+// uses; the snapshot engine keeps the single fixed walFile name.
+func walName(gen uint64) string { return fmt.Sprintf("wal-%06d.log", gen) }
 
 func walHeader(gen uint64) []byte {
 	h := make([]byte, walHeaderSize)
@@ -204,7 +211,7 @@ func (w *walWriter) append(op walOp) error {
 	if _, err := w.b.Write(frame); err != nil {
 		return fmt.Errorf("store: appending WAL op %s: %w", op.Kind, err)
 	}
-	if w.syncEvery {
+	if w.sync == SyncImmediate {
 		if err := w.b.Sync(); err != nil {
 			return fmt.Errorf("store: syncing WAL: %w", err)
 		}
@@ -224,13 +231,13 @@ func (w *walWriter) close() error {
 	return err
 }
 
-// createWAL atomically installs a fresh generation-gen log containing ops
-// (nil for an empty log) and returns a writer positioned for append. The
-// temp-file + rename + directory-fsync sequence guarantees a crash leaves
-// either the previous log or the complete new one, never a half-written
-// header.
-func createWAL(dir string, gen uint64, ops []walOp, syncEvery bool) (*walWriter, error) {
-	path := filepath.Join(dir, walFile)
+// createWAL atomically installs a fresh generation-gen log named name
+// containing ops (nil for an empty log) and returns a writer positioned
+// for append. The temp-file + rename + directory-fsync sequence
+// guarantees a crash leaves either the previous log or the complete new
+// one, never a half-written header.
+func createWAL(dir, name string, gen uint64, ops []walOp, sync WALSyncMode) (*walWriter, error) {
+	path := filepath.Join(dir, name)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -265,16 +272,16 @@ func createWAL(dir string, gen uint64, ops []walOp, syncEvery bool) (*walWriter,
 	if err := fsyncDir(dir); err != nil {
 		return fail(err)
 	}
-	return &walWriter{b: b, syncEvery: syncEvery}, nil
+	return &walWriter{b: b, sync: sync}, nil
 }
 
 // openWALAppend opens an existing, already-validated log for appending.
-func openWALAppend(dir string, syncEvery bool) (*walWriter, error) {
-	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
+func openWALAppend(dir, name string, sync WALSyncMode) (*walWriter, error) {
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening WAL: %w", err)
 	}
-	return &walWriter{b: newWALBackend(f), syncEvery: syncEvery}, nil
+	return &walWriter{b: newWALBackend(f), sync: sync}, nil
 }
 
 // recoverWAL replays the log through apply, repairing crash damage as it
@@ -284,7 +291,7 @@ func openWALAppend(dir string, syncEvery bool) (*walWriter, error) {
 // snapshot install and WAL reset, and is discarded instead of replayed —
 // its ops are already inside the snapshot, and replaying them would
 // double-apply. Legacy v1 logs are replayed and migrated to v2 in place.
-func recoverWAL(dir string, snapGen uint64, syncEvery bool, apply func(walOp) error) (*walWriter, error) {
+func recoverWAL(dir string, snapGen uint64, sync WALSyncMode, apply func(walOp) error) (*walWriter, error) {
 	path := filepath.Join(dir, walFile)
 	// A crash can strand the temp file of an in-progress reset or
 	// migration; it never became durable state, so drop it.
@@ -292,7 +299,7 @@ func recoverWAL(dir string, snapGen uint64, syncEvery bool, apply func(walOp) er
 
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return createWAL(dir, snapGen, nil, syncEvery)
+		return createWAL(dir, walFile, snapGen, nil, sync)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("store: reading WAL: %w", err)
@@ -309,7 +316,7 @@ func recoverWAL(dir string, snapGen uint64, syncEvery bool, apply func(walOp) er
 				return nil, fmt.Errorf("store: applying WAL op %s: %w", op.Kind, err)
 			}
 		}
-		return createWAL(dir, snapGen, ops, syncEvery)
+		return createWAL(dir, walFile, snapGen, ops, sync)
 	}
 
 	if len(data) < walHeaderSize {
@@ -321,7 +328,7 @@ func recoverWAL(dir string, snapGen uint64, syncEvery bool, apply func(walOp) er
 		if err := fsyncDir(dir); err != nil {
 			return nil, err
 		}
-		return createWAL(dir, snapGen, nil, syncEvery)
+		return createWAL(dir, walFile, snapGen, nil, sync)
 	}
 	if !bytes.Equal(data[:8], walMagic[:]) {
 		return nil, fmt.Errorf("%w: bad magic in WAL header", ErrWALCorrupt)
@@ -337,58 +344,69 @@ func recoverWAL(dir string, snapGen uint64, syncEvery bool, apply func(walOp) er
 		if err := fsyncDir(dir); err != nil {
 			return nil, err
 		}
-		return createWAL(dir, snapGen, nil, syncEvery)
+		return createWAL(dir, walFile, snapGen, nil, sync)
 	}
 	if gen > snapGen {
 		return nil, fmt.Errorf("%w: WAL generation %d ahead of snapshot generation %d (snapshot missing?)", ErrWALCorrupt, gen, snapGen)
 	}
 
-	off := walHeaderSize
-	torn := false
+	n, torn, err := walkWALFrames(data[walHeaderSize:], apply)
+	if err != nil {
+		return nil, err
+	}
+	if torn {
+		// Repair on open: cut the torn tail so the log ends on a frame
+		// boundary and stays appendable.
+		if err := repairTornTail(path, int64(walHeaderSize+n)); err != nil {
+			return nil, err
+		}
+	}
+	return openWALAppend(dir, walFile, sync)
+}
+
+// walkWALFrames walks the frame region of a v2 log (everything after the
+// 16-byte header), feeding each decoded op to apply. It returns the
+// number of bytes consumed by complete, valid frames and whether the tail
+// past that point is torn (incomplete, or a checksum failure confined to
+// the final frame). Mid-log damage — an impossible length or a checksum
+// mismatch with further data behind it — is ErrWALCorrupt, never silently
+// skipped.
+func walkWALFrames(data []byte, apply func(walOp) error) (consumed int, torn bool, err error) {
+	off := 0
 	for off < len(data) {
 		if len(data)-off < walFrameHeaderSize {
-			torn = true
-			break
+			return off, true, nil
 		}
 		length := int(binary.LittleEndian.Uint32(data[off:]))
 		sum := binary.LittleEndian.Uint32(data[off+4:])
 		if length == 0 || length > maxWALRecord {
 			// A torn write is always a strict prefix of valid bytes, so a
 			// fully-present-but-impossible length means corruption.
-			return nil, fmt.Errorf("%w: frame at offset %d claims %d-byte payload", ErrWALCorrupt, off, length)
+			return off, false, fmt.Errorf("%w: frame at offset %d claims %d-byte payload", ErrWALCorrupt, off, length)
 		}
 		end := off + walFrameHeaderSize + length
 		if end > len(data) {
-			torn = true
-			break
+			return off, true, nil
 		}
 		payload := data[off+walFrameHeaderSize : end]
 		if crc32.Checksum(payload, walCRCTable) != sum {
 			if end == len(data) {
 				// Damage confined to the final frame is indistinguishable
 				// from a torn append; drop that frame and keep the prefix.
-				torn = true
-				break
+				return off, true, nil
 			}
-			return nil, fmt.Errorf("%w: checksum mismatch in frame at offset %d", ErrWALCorrupt, off)
+			return off, false, fmt.Errorf("%w: checksum mismatch in frame at offset %d", ErrWALCorrupt, off)
 		}
 		var op walOp
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&op); err != nil {
-			return nil, fmt.Errorf("%w: undecodable frame at offset %d: %v", ErrWALCorrupt, off, err)
+			return off, false, fmt.Errorf("%w: undecodable frame at offset %d: %v", ErrWALCorrupt, off, err)
 		}
 		if err := apply(op); err != nil {
-			return nil, fmt.Errorf("store: applying WAL op %s: %w", op.Kind, err)
+			return off, false, fmt.Errorf("store: applying WAL op %s: %w", op.Kind, err)
 		}
 		off = end
 	}
-	if torn {
-		// Repair on open: cut the torn tail so the log ends on a frame
-		// boundary and stays appendable.
-		if err := repairTornTail(path, int64(off)); err != nil {
-			return nil, err
-		}
-	}
-	return openWALAppend(dir, syncEvery)
+	return off, false, nil
 }
 
 func repairTornTail(path string, keep int64) error {

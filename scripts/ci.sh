@@ -67,6 +67,15 @@ echo "== shard fan-out gate (race) =="
 # generic suite failure.
 go test -race -run 'TestShardCountInvariance|TestFanOutShardError|TestFanOutCancelNoLeak|TestShardCountMismatch|TestClassificationReplication|TestGenerationComposes' ./internal/shard
 
+echo "== segment engine gate (race) =="
+# The segmented storage engine's moving parts — freeze-swap flush,
+# background compaction, WAL-tail recovery, legacy-snapshot migration,
+# and the two-engine query-surface equivalence — must stay race-clean.
+# The exhaustive kill-at-every-byte sweeps run in the full race suite
+# below; this gate is the fast, named subset so a failure here reads as
+# "segment engine broke", not as a generic suite failure.
+go test -race -run 'TestSegmentFlushRecoverRoundtrip|TestSegmentCompaction|TestSegmentTombstones|TestSegmentWALTailRecovery|TestSegmentBackgroundFlush|TestLegacySnapshotMigration|TestSnapshotEngineRefusesSegmentDir|TestEngineEquivalence|TestGenerationMovesOnEveryWrite|TestWALSyncModesRoundTrip' ./internal/store
+
 echo "== crash-recovery property tests (race) =="
 # Torn-write recovery is its own gate: the kill-at-every-offset sweep, the
 # snapshot-crash interleaving, and the reopen-cycle regression must pass
@@ -187,6 +196,19 @@ go run ./cmd/tvdp-bench -figure sharding -duration 200ms -clients 4 -preload 64 
 for key in '"figure": "sharding"' '"shards": 1' '"shards": 8' '"ops_per_sec"' '"speedup_x"' '"p99_ms"' '"snapshot_every"' '"topk_invariant": true'; do
     if ! grep -q "$key" "$bench_out/BENCH_sharding.json"; then
         echo "BENCH_sharding.json missing $key" >&2
+        exit 1
+    fi
+done
+
+echo "== persistence bench smoke =="
+# A reduced tvdp-bench -figure persistence run must produce a well-formed
+# BENCH_persistence.json. Stall numbers from a 300ms window on a small
+# corpus are noise, so only the report shape is checked — the committed
+# artifact is regenerated at full scale when the engines change.
+go run ./cmd/tvdp-bench -figure persistence -duration 300ms -clients 4 -preload 64 -out "$bench_out/BENCH_persistence.json"
+for key in '"figure": "persistence"' '"snapshot"' '"segment"' '"max_stall_ms"' '"flushes"' '"p99_improvement_x"' '"stall_improvement_x"'; do
+    if ! grep -q "$key" "$bench_out/BENCH_persistence.json"; then
+        echo "BENCH_persistence.json missing $key" >&2
         exit 1
     fi
 done
