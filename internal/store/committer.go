@@ -219,28 +219,70 @@ func (c *walCommitter) rotate(makeNew func() (*walWriter, error)) error {
 	return nil
 }
 
-// rotateTo is rotate with the replacement writer already created — the
-// segment engine builds the next generation's log (two fsyncs) before
-// taking any subsystem lock, so the freeze-swap under all six locks only
-// drains the pending batch into the retiring log and swaps the pointer:
-// O(queued frames), never O(corpus), and crucially never an fsync. The
-// retiring writer is returned still open for the caller to close once
-// the locks are released — its final Sync adds nothing to acked
-// durability (SyncImmediate batches were fsynced as they committed; the
-// other modes never promised the tail), so there is no reason to stall
-// every mutation behind it. Callers hold every subsystem write lock. On
-// failure the replacement is closed and the committer goes write-dead
-// (w = nil), exactly like a failed rotate.
-func (c *walCommitter) rotateTo(w *walWriter) (*walWriter, error) {
+// presync makes every byte so far written to the current log durable —
+// the out-of-lock half of the rotation chain invariant (see rotateTo).
+// The segment engine calls it just before taking the subsystem locks so
+// that rotateTo's own fsync, which does run under them, covers only the
+// handful of frames that arrive in between. Any failure leaves the
+// committer write-dead, as in rotate: after a failed buffer flush the
+// log may hold a partial batch mid-file, and after a failed fsync the
+// kernel may have dropped the dirty pages — either way appending further
+// frames could persist a log with a hole in it.
+func (c *walCommitter) presync() error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.commitLocked()
 	if err := c.flushBufLocked(); err != nil {
 		c.w = nil
+		return err
+	}
+	if c.w == nil || c.w.b == nil {
+		return fmt.Errorf("store: syncing WAL before rotation: %w", ErrClosed)
+	}
+	if err := c.w.b.Sync(); err != nil {
+		c.w = nil
+		return fmt.Errorf("store: syncing WAL before rotation: %w", err)
+	}
+	return nil
+}
+
+// rotateTo is rotate with the replacement writer already created — the
+// segment engine builds the next generation's log (two fsyncs) and syncs
+// the retiring log's backlog (presync) before taking any subsystem lock,
+// so the freeze-swap under all six locks drains the pending batch into
+// the retiring log, fsyncs that small residue, and swaps the pointer:
+// O(queued frames), never O(corpus). The retiring writer is returned
+// still open for the caller to close once the locks are released.
+// Callers hold every subsystem write lock. On failure the replacement is
+// closed and the committer goes write-dead (w = nil), exactly like a
+// failed rotate.
+func (c *walCommitter) rotateTo(w *walWriter) (*walWriter, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.commitLocked()
+	fail := func(err error) (*walWriter, error) {
+		c.w = nil
 		if cerr := w.close(); cerr != nil {
 			return nil, fmt.Errorf("%w (and closing replacement log: %v)", err, cerr)
 		}
 		return nil, err
+	}
+	if err := c.flushBufLocked(); err != nil {
+		return fail(err)
+	}
+	if c.w == nil || c.w.b == nil {
+		return fail(fmt.Errorf("store: rotating WAL: %w", ErrClosed))
+	}
+	// Chain invariant: every byte of the retiring log must be durable
+	// before the swap makes its successor reachable for frames. Without
+	// this sync, a power loss could leave the retiring log with a torn
+	// unsynced tail underneath frames already fsynced into the successor
+	// — a non-prefix hole recovery must refuse (startSegment treats a
+	// torn tail under later frames as ErrWALCorrupt). The fsync here is
+	// cheap: presync ran moments ago, so only the frames drained just
+	// above are still dirty.
+	if err := c.w.b.Sync(); err != nil {
+		return fail(fmt.Errorf("store: syncing retiring WAL: %w", err))
 	}
 	old := c.w
 	c.w = w

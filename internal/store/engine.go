@@ -29,10 +29,13 @@ import (
 //
 // Flush protocol (flushOnce):
 //
-//  1. create wal-(G+1) — two fsyncs, no locks held;
+//  1. create wal-(G+1) — two fsyncs — and sync wal-G's backlog
+//     (presync), no locks held;
 //  2. under all six locks: swap in a fresh memtable, rotate the
-//     committer onto the new log (drains pending frames into wal-G,
-//     closes it), bump the live generation to G+1;
+//     committer onto the new log (drain pending frames into wal-G and
+//     fsync that residue — the chain invariant: a log is fully durable
+//     before any frame can land in its successor), bump the live
+//     generation to G+1;
 //  3. no locks held: serialise the frozen window to seg-N (temp +
 //     rename + dir fsync), install a manifest with FlushedGen=G and
 //     seg-N appended, delete wal files with gen <= G.
@@ -48,10 +51,14 @@ import (
 // files, replay the wal generations above FlushedGen in order — they
 // rebuild the memtable as they apply, so the next flush carries them —
 // and append to the newest log. Replay work is bounded by the flush
-// threshold, not the corpus. A directory holding the legacy
-// snapshot.gob/wal.gob layout (and no MANIFEST) is migrated in place:
-// state loads through the legacy path once, is written out as segment 1,
-// and the legacy files are removed.
+// threshold, not the corpus. A torn tail on any log in the chain is the
+// usual bounded crash loss and is truncated away — unless a *later*
+// generation holds frames, which the chain invariant above makes proof
+// that fully-synced bytes went missing: that is media corruption and
+// refuses to open. A directory holding the legacy snapshot.gob/wal.gob
+// layout (and no MANIFEST) is migrated in place: state loads through the
+// legacy path once, is written out as segment 1, and the legacy files
+// are removed.
 //
 // Compaction (compactOnce) runs on its own goroutine, concurrent with
 // flushing, with no subsystem lock ever held: when the live segment
@@ -95,10 +102,14 @@ type segEngine struct {
 	flushes     atomic.Uint64
 	compactions atomic.Uint64
 
-	// errMu guards lastErr, the first background flush/compaction
-	// failure; surfaced by Close. A failed background rotation also
-	// leaves the committer write-dead, so mutations start failing
-	// immediately rather than silently outliving their durability.
+	// errMu guards lastErr, the first flush/compaction failure; surfaced
+	// by Snapshot and Close. Once set the engine fail-stops: flushOnce
+	// and compactOnce refuse to run, because a flush that died after its
+	// freeze-swap left the frozen window's only durable copy in retired
+	// WAL generations — a later flush advancing FlushedGen past them
+	// would delete acked data. Mutations keep landing in generations
+	// recovery still replays (a failed rotation additionally leaves the
+	// committer write-dead, failing them outright).
 	errMu   sync.Mutex
 	lastErr error
 }
@@ -167,11 +178,13 @@ func (e *segEngine) run() {
 		case <-e.stopC:
 			return
 		case <-e.flushC:
+			// flushOnce/compactOnce record their own failures (they are
+			// also reachable via Snapshot, which must fail-stop the same
+			// way); here only wake parked writers — the error may have
+			// left the memtable over the hard cap with no flush coming,
+			// and they should see the sick engine instead of sleeping
+			// forever.
 			if err := e.flushOnce(); err != nil {
-				e.recordErr(err)
-				// The error may have left the memtable over the hard cap
-				// with no flush coming; wake parked writers so they see
-				// the sick engine instead of sleeping forever.
 				e.s.wakeThrottled()
 				continue
 			}
@@ -184,7 +197,6 @@ func (e *segEngine) run() {
 					defer e.bg.Done()
 					defer e.compacting.Store(false)
 					if err := e.compactOnce(); err != nil {
-						e.recordErr(err)
 						e.s.wakeThrottled()
 					}
 				}()
@@ -195,10 +207,25 @@ func (e *segEngine) run() {
 
 // flushOnce freezes the current memtable window and flushes it to a new
 // segment. Steps and crash-safety are documented on the type; the only
-// section under subsystem locks is the swap itself.
+// section under subsystem locks is the swap itself. Failures are
+// recorded and the engine fail-stops (see errMu): once any flush has
+// died the frozen-window data may survive only in retired WAL
+// generations, and the one safe response is to never install a later
+// manifest — refuse here, let WAL generations accumulate, and surface
+// the error on Snapshot and Close.
 func (e *segEngine) flushOnce() error {
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
+	if err := e.takeErr(); err != nil {
+		return fmt.Errorf("store: flush disabled by earlier engine failure: %w", err)
+	}
+	err := e.flushLocked()
+	e.recordErr(err)
+	return err
+}
+
+// flushLocked is the flush body; callers hold flushMu.
+func (e *segEngine) flushLocked() error {
 	s := e.s
 	if s.closed.Load() {
 		return ErrClosed
@@ -211,6 +238,15 @@ func (e *segEngine) flushOnce() error {
 	newGen := s.gen + 1
 	w, err := createWAL(s.cfg.Dir, walName(newGen), newGen, nil, s.cfg.WALSync)
 	if err != nil {
+		return err
+	}
+	// Sync the retiring log's backlog now, still outside every lock, so
+	// the chain-invariant fsync inside rotateTo covers only the frames
+	// that arrive between here and the swap.
+	if err := s.com.presync(); err != nil {
+		if cerr := w.close(); cerr != nil {
+			return errors.Join(err, cerr)
+		}
 		return err
 	}
 	s.lockAll()
@@ -226,7 +262,7 @@ func (e *segEngine) flushOnce() error {
 	s.mem = newMemtable()
 	s.memBytes.Store(0)
 	frozenGen := s.gen
-	//tvdp:nolint lockorder freeze-swap: rotateTo only drains the already-queued frames into the retiring log and swaps the writer — O(pending batch), no fsync; the new log's fsyncs happened above and the retiring log is closed below, both outside every lock
+	//tvdp:nolint lockorder freeze-swap: rotateTo drains the already-queued frames into the retiring log, fsyncs that residue (bounded by the frames that arrived since presync above — not the window, never the corpus), and swaps the writer; the new log's fsyncs and the retiring log's backlog sync happened above, outside every lock
 	old, rerr := s.com.rotateTo(w)
 	if rerr == nil {
 		s.gen = newGen
@@ -244,9 +280,8 @@ func (e *segEngine) flushOnce() error {
 	// frozen rows already left the memtable, so the segment below is the
 	// only path that ever makes them durable again — skipping it would let
 	// a later flush advance FlushedGen past their log and delete it. The
-	// segment install supersedes the retiring log entirely (SyncImmediate
-	// batches were fsynced as they committed; the other modes never
-	// promised the tail), so finish the flush and surface the error after.
+	// retiring log is already fully synced (rotateTo), so the close adds
+	// nothing to durability; finish the flush and surface the error after.
 	closeErr := old.close()
 	seg := frozen.toSegment(false)
 	man := e.manifestCopy()
@@ -292,8 +327,16 @@ func (e *segEngine) flushOnce() error {
 // manifest; the install splices the merged output over exactly that
 // prefix. Dropping the prefix's tombstones remains correct because the
 // output becomes the oldest segment — there is nothing underneath for
-// them to kill.
+// them to kill. Like flushOnce it records its failures and fail-stops
+// once the engine is sick: a sick disk should get no more write traffic,
+// and the recorded error must keep surfacing on Snapshot and Close.
 func (e *segEngine) compactOnce() error {
+	err := e.compact()
+	e.recordErr(err)
+	return err
+}
+
+func (e *segEngine) compact() error {
 	s := e.s
 	// Reserve: snapshot the input set and claim the output number so a
 	// concurrent flush allocates behind it. The bump is in-memory only —
@@ -303,6 +346,10 @@ func (e *segEngine) compactOnce() error {
 	if s.closed.Load() {
 		e.flushMu.Unlock()
 		return ErrClosed
+	}
+	if err := e.takeErr(); err != nil {
+		e.flushMu.Unlock()
+		return fmt.Errorf("store: compaction disabled by earlier engine failure: %w", err)
 	}
 	man := e.manifestCopy()
 	if len(man.Segments) < 2 {
@@ -456,8 +503,8 @@ func (s *Store) startSegment(man manifest, entries []os.DirEntry) error {
 	}
 	var gens []uint64
 	for _, ent := range entries {
-		var g uint64
-		if n, _ := fmt.Sscanf(ent.Name(), "wal-%06d.log", &g); n != 1 {
+		g, ok := parseWALName(ent.Name())
+		if !ok {
 			continue
 		}
 		if g <= man.FlushedGen {
@@ -482,24 +529,46 @@ func (s *Store) startSegment(man manifest, entries []os.DirEntry) error {
 	// The memtable must exist before replay: replayed ops rebuild it so
 	// the next flush carries them.
 	s.mem = newMemtable()
-	var w *walWriter
-	for i, g := range gens {
-		last := i == len(gens)-1
-		ww, frames, err := s.replaySegmentWAL(g, last)
+	// A torn tail anywhere in the chain is the usual bounded crash loss
+	// — legal only while every later generation is frameless. Rotation
+	// fsyncs a retiring log before the first frame can land in its
+	// successor (committer.rotateTo), so frames above a torn predecessor
+	// prove fully-synced bytes went missing: media corruption, refuse to
+	// open. Tail repairs are deferred until the whole chain has been
+	// validated — truncating eagerly would make a refused chain open
+	// cleanly (with its mid-history hole) on the *next* attempt.
+	type tailRepair struct {
+		name string
+		keep int64
+	}
+	var repairs []tailRepair
+	torn := false
+	for _, g := range gens {
+		frames, keep, t, err := s.replaySegmentWAL(g)
 		if err != nil {
 			return err
 		}
-		if frames > 0 && i > 0 {
-			// A non-final log can only end torn if the crash hit the
-			// rotation drain, in which case nothing was ever written to a
-			// later generation. replaySegmentWAL repaired earlier tails, so
-			// frames in this log after a repaired predecessor are fine —
-			// what cannot happen is handled there.
-			_ = frames
+		if torn && frames > 0 {
+			return fmt.Errorf("%w: %s holds %d frame(s) above an earlier generation's torn tail", ErrWALCorrupt, walName(g), frames)
 		}
-		w = ww
+		if t {
+			torn = true
+			repairs = append(repairs, tailRepair{name: walName(g), keep: keep})
+		}
 	}
-	if w == nil {
+	for _, r := range repairs {
+		if err := repairTornTail(filepath.Join(dir, r.name), r.keep); err != nil {
+			return err
+		}
+	}
+	var w *walWriter
+	if len(gens) > 0 {
+		var err error
+		w, err = openWALAppend(dir, walName(gens[len(gens)-1]), s.cfg.WALSync)
+		if err != nil {
+			return err
+		}
+	} else {
 		var err error
 		s.gen = man.FlushedGen + 1
 		w, err = createWAL(dir, walName(s.gen), s.gen, nil, s.cfg.WALSync)
@@ -521,37 +590,31 @@ func (s *Store) startSegment(man manifest, entries []os.DirEntry) error {
 }
 
 // replaySegmentWAL replays one live generation's log into state and the
-// memtable, repairing a torn tail. Only the final (newest) log is opened
-// for append; earlier logs in the chain are replayed read-only — they
-// were fully synced before their successor was created, so a torn tail
-// there with a non-empty successor means lost synced bytes, i.e. media
-// corruption, and surfaces as ErrWALCorrupt via the chain check in the
-// caller's next iteration (the successor starts with a generation header
-// that no longer lines up with applied state only when frames were
-// dropped mid-chain — the cheap proxy used here is: a torn non-final log
-// is an error, because its successor's existence proves the rotation
-// drain completed and synced it).
-func (s *Store) replaySegmentWAL(gen uint64, last bool) (*walWriter, int, error) {
+// memtable. It returns how many complete frames it applied, the byte
+// length of the valid prefix (header included — the truncation point a
+// torn tail should be repaired to), and whether the tail past that
+// prefix is torn. It performs no repair and opens nothing for append:
+// the caller (startSegment) validates the whole chain first — a torn
+// tail is only legal while every later generation is frameless — and
+// repairs the surviving logs afterwards.
+func (s *Store) replaySegmentWAL(gen uint64) (int, int64, bool, error) {
 	dir := s.cfg.Dir
 	name := walName(gen)
 	data, err := os.ReadFile(filepath.Join(dir, name))
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: reading %s: %w", name, err)
+		return 0, 0, false, fmt.Errorf("store: reading %s: %w", name, err)
 	}
 	if len(data) < walHeaderSize {
-		if !last {
-			return nil, 0, fmt.Errorf("%w: %s torn mid-header with a later generation present", ErrWALCorrupt, name)
-		}
-		// The newest log's header tear means its createWAL rename raced
-		// the crash in a way rename atomicity should prevent; treat as
-		// corruption rather than inventing state.
-		return nil, 0, fmt.Errorf("%w: %s shorter than its header", ErrWALCorrupt, name)
+		// createWAL installs a log via temp + rename, so a file shorter
+		// than its header cannot be a crash artifact; treat as corruption
+		// rather than inventing state.
+		return 0, 0, false, fmt.Errorf("%w: %s shorter than its header", ErrWALCorrupt, name)
 	}
 	if [8]byte(data[:8]) != walMagic {
-		return nil, 0, fmt.Errorf("%w: bad magic in %s", ErrWALCorrupt, name)
+		return 0, 0, false, fmt.Errorf("%w: bad magic in %s", ErrWALCorrupt, name)
 	}
 	if g := binary.LittleEndian.Uint64(data[8:walHeaderSize]); g != gen {
-		return nil, 0, fmt.Errorf("%w: %s carries generation %d", ErrWALCorrupt, name, g)
+		return 0, 0, false, fmt.Errorf("%w: %s carries generation %d", ErrWALCorrupt, name, g)
 	}
 	frames := 0
 	n, torn, err := walkWALFrames(data[walHeaderSize:], func(op walOp) error {
@@ -559,26 +622,11 @@ func (s *Store) replaySegmentWAL(gen uint64, last bool) (*walWriter, int, error)
 		return s.applyOp(op)
 	})
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: replaying %s: %w", name, err)
-	}
-	if torn && !last {
-		return nil, 0, fmt.Errorf("%w: %s has a torn tail but a later generation exists", ErrWALCorrupt, name)
-	}
-	if torn {
-		if err := repairTornTail(filepath.Join(dir, name), int64(walHeaderSize+n)); err != nil {
-			return nil, 0, err
-		}
+		return 0, 0, false, fmt.Errorf("store: replaying %s: %w", name, err)
 	}
 	s.memBytes.Add(int64(n))
 	s.gen = gen
-	if !last {
-		return nil, frames, nil
-	}
-	w, err := openWALAppend(dir, name, s.cfg.WALSync)
-	if err != nil {
-		return nil, 0, err
-	}
-	return w, frames, nil
+	return frames, int64(walHeaderSize + n), torn, nil
 }
 
 // loadSegment applies one segment's rows into in-memory state.

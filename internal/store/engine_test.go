@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -415,6 +416,198 @@ func TestParseEngineAndSyncMode(t *testing.T) {
 		}
 		if !tc.ok && err == nil {
 			t.Fatalf("ParseWALSyncMode(%q) accepted", tc.in)
+		}
+	}
+}
+
+// TestParseWALName: walName's %06d is a minimum print width, so names
+// grow past six digits after ~1M flushes; the parse must take every
+// digit and reject non-log names.
+func TestParseWALName(t *testing.T) {
+	for _, tc := range []struct {
+		in  string
+		gen uint64
+		ok  bool
+	}{
+		{"wal-000001.log", 1, true},
+		{"wal-999999.log", 999999, true},
+		{"wal-1000000.log", 1000000, true},
+		{"wal-18446744073709551615.log", 18446744073709551615, true},
+		{"wal-.log", 0, false},
+		{"wal-12x.log", 0, false},
+		{"wal-000001.log.tmp", 0, false},
+		{"seg-000001.seg", 0, false},
+		{"MANIFEST", 0, false},
+	} {
+		g, ok := parseWALName(tc.in)
+		if ok != tc.ok || g != tc.gen {
+			t.Errorf("parseWALName(%q) = %d, %v; want %d, %v", tc.in, g, ok, tc.gen, tc.ok)
+		}
+	}
+	if name := walName(1000000); name != "wal-1000000.log" {
+		t.Fatalf("walName(1000000) = %q", name)
+	}
+}
+
+// TestSegmentWALChainMillionGenerations: a chain past generation 999999
+// (seven-digit filenames) must open, flush, and reopen — a width-limited
+// parse would misread the generation and fail the chain-contiguity
+// check.
+func TestSegmentWALChainMillionGenerations(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeManifest(dir, manifest{Version: manifestVersion, FlushedGen: 999999, NextSeg: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, gen := range []uint64{1000000, 1000001} {
+		w, err := createWAL(dir, walName(gen), gen, nil, SyncBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := diskStore(t, dir)
+	if _, err := s.AddImage(tinyImage(t, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := diskStore(t, dir)
+	defer r.Close()
+	if got := r.NumImages(); got != 1 {
+		t.Fatalf("recovered %d images, want 1", got)
+	}
+}
+
+// TestFlushFailureFailStop: a flush that dies after the freeze-swap
+// leaves the frozen window's only durable copy in its retired WAL
+// generations. The engine must fail-stop — refuse later flushes rather
+// than advance FlushedGen past those generations and delete them — so a
+// restart recovers every acked row.
+func TestFlushFailureFailStop(t *testing.T) {
+	dir := t.TempDir()
+	s := diskStore(t, dir)
+	for i := 0; i < 2; i++ {
+		if _, err := s.AddImage(tinyImage(t, float64(i*20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restore := installFaultMatch(faultCut, 0, "seg-")
+	err := s.Snapshot()
+	restore()
+	if err == nil {
+		t.Fatal("flush with torn segment write reported success")
+	}
+	// The first window now lives only in wal-1; this lands in wal-2.
+	if _, err := s.AddImage(tinyImage(t, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err == nil {
+		t.Fatal("flush after a failed flush must fail-stop, not advance FlushedGen")
+	}
+	if !segFiles(t, dir)[walName(1)] {
+		t.Fatalf("failed window's log %s deleted; its rows have no durable copy", walName(1))
+	}
+	s.Close() // surfaces the recorded error; the data is already on disk
+	r := diskStore(t, dir)
+	defer r.Close()
+	if got := r.NumImages(); got != 3 {
+		t.Fatalf("recovered %d images after failed flush, want 3", got)
+	}
+}
+
+// tearWALTail appends a partial frame to a closed log, modelling a tail
+// whose last batch never fully hit the disk before a power loss.
+func tearWALTail(t *testing.T, dir string, gen uint64) {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(dir, walName(gen)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xDE, 0xAD, 0xBE}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRotationCrashTornRetiringTail models a power loss inside the
+// rotation window: the pre-created next generation is already durable
+// but the retiring log's unsynced tail never hit the disk. Because the
+// successor holds no frames, recovery must treat the torn tail as the
+// usual bounded crash loss — repair it and continue — not refuse the
+// chain.
+func TestRotationCrashTornRetiringTail(t *testing.T) {
+	dir := t.TempDir()
+	s := diskStore(t, dir)
+	for i := 0; i < 2; i++ {
+		if _, err := s.AddImage(tinyImage(t, float64(i*20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tearWALTail(t, dir, 1)
+	w, err := createWAL(dir, walName(2), 2, nil, SyncBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := diskStore(t, dir)
+	defer r.Close()
+	if got := r.NumImages(); got != 2 {
+		t.Fatalf("recovered %d images, want 2 (torn tail repaired)", got)
+	}
+	// The repaired chain must stay appendable and flushable.
+	if _, err := r.AddImage(tinyImage(t, 70)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornTailUnderLaterFramesRefused: rotation fsyncs a retiring log
+// before any frame can land in its successor, so frames in a later
+// generation above a torn tail prove fully-synced bytes went missing.
+// The store must refuse to open — and must not repair anything on the
+// failed attempt, or the refusal would vanish on the next open and serve
+// a corpus with a mid-history hole.
+func TestTornTailUnderLaterFramesRefused(t *testing.T) {
+	dir := t.TempDir()
+	s := diskStore(t, dir)
+	for i := 0; i < 2; i++ {
+		if _, err := s.AddImage(tinyImage(t, float64(i*20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tearWALTail(t, dir, 1)
+	w, err := createWAL(dir, walName(2), 2,
+		[]walOp{{Kind: opAddUser, User: &User{ID: 7, Name: "u", Role: "worker"}}}, SyncBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Dir = dir
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := Open(cfg); !errors.Is(err, ErrWALCorrupt) {
+			t.Fatalf("attempt %d: Open = %v, want ErrWALCorrupt", attempt, err)
 		}
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -120,6 +122,28 @@ type walWriter struct {
 // walName returns the per-generation log filename the segment engine
 // uses; the snapshot engine keeps the single fixed walFile name.
 func walName(gen uint64) string { return fmt.Sprintf("wal-%06d.log", gen) }
+
+// parseWALName extracts the generation from a per-generation log name
+// ("wal-<gen>.log"). walName's %06d is only a *minimum* print width —
+// generations past 999999 grow to seven digits and beyond — so the
+// parse takes every digit rather than a fixed width (a width-limited
+// Sscanf would read only the first six and break the chain check after
+// ~1M flushes).
+func parseWALName(base string) (uint64, bool) {
+	digits, ok := strings.CutPrefix(base, "wal-")
+	if !ok {
+		return 0, false
+	}
+	digits, ok = strings.CutSuffix(digits, ".log")
+	if !ok || digits == "" {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
 
 func walHeader(gen uint64) []byte {
 	h := make([]byte, walHeaderSize)
