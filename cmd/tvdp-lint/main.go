@@ -1,5 +1,6 @@
 // Command tvdp-lint runs TVDP's invariant analyzers (internal/lint) over
-// the module: lockorder, determinism, walpath, errdiscard, ctxflow.
+// the module: lockorder, determinism, walpath, errdiscard, ctxflow,
+// sqrtscan, guardedby, golifecycle, fsyncorder.
 //
 // Usage:
 //
@@ -7,18 +8,28 @@
 //	tvdp-lint ./internal/store             # restrict findings to a subtree
 //	tvdp-lint ./internal/lint/testdata/lockorder   # lint a fixture package
 //	tvdp-lint -list                        # print the analyzer registry
+//	tvdp-lint -json ./...                  # machine-readable findings
 //
 // Exit status: 0 when clean, 1 when any finding survives nolint
 // suppression, 2 on load or usage errors. Findings print one per line as
 //
 //	file:line:col: [analyzer] message (fix: hint)
 //
+// or, with -json, as one JSON object per line
+//
+//	{"file":...,"line":...,"col":...,"analyzer":...,"message":...,"hint":...}
+//
+// in the same deterministic order and with the same exit status, so CI
+// and editors can consume findings without parsing prose.
+//
 // Suppression: //tvdp:nolint <analyzer>[,<analyzer>] <reason> on the
 // offending line or the line above. The reason is mandatory; a bare
-// directive suppresses nothing and is itself a finding.
+// directive suppresses nothing and is itself a finding, and a directive
+// that no longer suppresses anything is reported as stale.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,10 +39,21 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonFinding is the -json wire shape: one object per line.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Hint     string `json:"hint,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "print the analyzer registry and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as one JSON object per line")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tvdp-lint [-list] [packages]\n\npackages: ./... for the whole module, directories for a subtree,\nor a testdata fixture directory for a standalone package.\n")
+		fmt.Fprintf(os.Stderr, "usage: tvdp-lint [-list] [-json] [packages]\n\npackages: ./... for the whole module, directories for a subtree,\nor a testdata fixture directory for a standalone package.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,7 +76,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tvdp-lint:", err)
 		os.Exit(2)
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
+		if *jsonOut {
+			if err := enc.Encode(jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+				Hint:     f.Hint,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "tvdp-lint:", err)
+				os.Exit(2)
+			}
+			continue
+		}
 		fmt.Println(f)
 	}
 	if len(findings) > 0 {
@@ -120,7 +157,11 @@ func fixtureAnalyzers() []lint.Analyzer {
 	cf.BackgroundScope = []string{"fixture"}
 	sq := lint.NewSqrtScan()
 	sq.Scope = []string{"fixture"}
-	return []lint.Analyzer{lint.NewLockOrder(), det, lint.NewWALPath(), ed, cf, sq}
+	gl := lint.NewGoLifecycle()
+	gl.Scope = []string{"fixture"}
+	fo := lint.NewFsyncOrder()
+	fo.Scope = []string{"fixture"}
+	return []lint.Analyzer{lint.NewLockOrder(), det, lint.NewWALPath(), ed, cf, sq, lint.NewGuardedBy(), gl, fo}
 }
 
 // moduleRoot walks up from the working directory to the enclosing go.mod.

@@ -30,8 +30,10 @@ type tokenBucket struct {
 // Server (read per call), so the zero admission is usable as soon as the
 // map exists.
 type admission struct {
-	mu        sync.Mutex
-	buckets   map[string]*tokenBucket
+	mu sync.Mutex
+	//tvdp:guardedby mu
+	buckets map[string]*tokenBucket
+	//tvdp:guardedby mu
 	lastSweep time.Time
 }
 
@@ -69,6 +71,8 @@ func (a *admission) admit(key string, now time.Time, rate float64, burst int) (b
 
 // sweepLocked drops buckets idle past bucketIdleEvict, at most once per
 // evict interval, so one-shot clients don't accumulate forever.
+//
+//tvdp:requires mu
 func (a *admission) sweepLocked(now time.Time) {
 	if now.Sub(a.lastSweep) < bucketIdleEvict {
 		return

@@ -13,8 +13,9 @@ import (
 // durable; a snapshot temp file whose Close error was dropped can install
 // a truncated snapshot. `go vet` does not flag these (dropping an error
 // is legal Go), and -race never will, so the rule lives here, scoped to
-// the packages where a lost write error costs data: internal/store and
-// internal/api.
+// the packages where a lost write error costs data or masks a failed
+// read fan-out: internal/store, internal/api, internal/shard, and
+// internal/query.
 //
 // Flagged shapes, when the method is named Close/Sync/Flush/Write and
 // returns an error:
@@ -35,9 +36,16 @@ type ErrDiscard struct {
 	Methods []string
 }
 
-// ErrDiscardScope is the production scope: the two layers where a lost
-// write/close error can silently cost durable data.
-var ErrDiscardScope = []string{"repro/internal/store", "repro/internal/api"}
+// ErrDiscardScope is the production scope: the layers where a lost
+// write/close error can silently cost durable data, plus the shard
+// fan-out and query cache tiers, whose goroutines and cache fills
+// discard errors the same way.
+var ErrDiscardScope = []string{
+	"repro/internal/store",
+	"repro/internal/api",
+	"repro/internal/shard",
+	"repro/internal/query",
+}
 
 // NewErrDiscard returns the production-configured analyzer.
 func NewErrDiscard() *ErrDiscard {
@@ -51,7 +59,7 @@ func (e *ErrDiscard) Name() string { return "errdiscard" }
 
 // Doc describes the analyzer in one line.
 func (e *ErrDiscard) Doc() string {
-	return "Close/Sync/Flush/Write errors in the store and API layers must be handled, not dropped"
+	return "Close/Sync/Flush/Write errors in the store, api, shard, and query layers must be handled, not dropped"
 }
 
 func (e *ErrDiscard) inScope(path string) bool {

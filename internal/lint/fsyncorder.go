@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The fsyncorder analyzer enforces the persistence tier's install
+// discipline: a durable artifact is built in a temp file, fsynced,
+// renamed into place, and the directory is fsynced so the rename itself
+// survives a crash. Concretely, inside every function in scope, each
+// os.Rename call must be
+//
+//   - preceded (in source order, same function) by a Sync call on the
+//     file being installed — (*os.File).Sync or any error-returning Sync
+//     method, which covers the walBackend interface — and
+//   - followed by a call to the package's fsyncDir helper.
+//
+// Skipping the first risks renaming an empty or torn file into place;
+// skipping the second risks the rename evaporating with the directory's
+// dirty metadata. The check is deliberately syntactic (source order, one
+// function at a time): install paths in this codebase are straight-line,
+// and a new one that smears the chain across helpers should be rewritten
+// or carry an explicit nolint justification.
+
+// FsyncOrder is the analyzer. Scope limits it to persistence packages.
+type FsyncOrder struct {
+	Scope []string
+}
+
+// FsyncOrderScope is the production configuration: the store package,
+// which owns wal.go, segment.go, manifest.go, and engine.go. Covering
+// the whole package (rather than a file list) means a new install path
+// in a new file is checked the day it lands.
+var FsyncOrderScope = []string{"repro/internal/store"}
+
+// NewFsyncOrder returns the production-configured analyzer.
+func NewFsyncOrder() *FsyncOrder { return &FsyncOrder{Scope: FsyncOrderScope} }
+
+func (f *FsyncOrder) Name() string { return "fsyncorder" }
+
+// Doc describes the analyzer in one line.
+func (f *FsyncOrder) Doc() string {
+	return "every os.Rename installing a durable artifact must follow a source-file fsync and precede a directory fsync"
+}
+
+func (f *FsyncOrder) inScope(path string) bool {
+	for _, p := range f.Scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Check runs the analyzer over one package.
+func (f *FsyncOrder) Check(pkg *Package) []Finding {
+	if !f.inScope(pkg.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name == "fsyncDir" {
+				continue
+			}
+			out = append(out, f.checkFunc(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+func (f *FsyncOrder) checkFunc(pkg *Package, fd *ast.FuncDecl) []Finding {
+	var renames, syncs, dirFsyncs []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isOSRename(pkg, call):
+			renames = append(renames, call)
+		case isFileSync(pkg, call):
+			syncs = append(syncs, call)
+		case isDirFsync(pkg, call):
+			dirFsyncs = append(dirFsyncs, call)
+		}
+		return true
+	})
+	var out []Finding
+	for _, r := range renames {
+		ok := false
+		for _, s := range syncs {
+			if s.Pos() < r.Pos() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			out = append(out, Finding{
+				Analyzer: "fsyncorder",
+				Pos:      posOf(pkg, r.Pos()),
+				Message:  fd.Name.Name + ": os.Rename without a preceding fsync of the source file",
+				Hint:     "Sync the temp file before renaming it into place, or the rename can install a torn artifact",
+			})
+		}
+		ok = false
+		for _, d := range dirFsyncs {
+			if d.Pos() > r.Pos() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			out = append(out, Finding{
+				Analyzer: "fsyncorder",
+				Pos:      posOf(pkg, r.Pos()),
+				Message:  fd.Name.Name + ": os.Rename not followed by a directory fsync",
+				Hint:     "call fsyncDir on the containing directory after the rename, or the rename itself can be lost on crash",
+			})
+		}
+	}
+	return out
+}
+
+// isOSRename matches os.Rename.
+func isOSRename(pkg *Package, call *ast.CallExpr) bool {
+	fn := funcObj(pkg.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Rename"
+}
+
+// isFileSync matches an error-returning method call named Sync — the
+// (*os.File).Sync shape, and by extension walBackend and any file-like
+// wrapper.
+func isFileSync(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sync" {
+		return false
+	}
+	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error"
+}
+
+// isDirFsync matches a call to the package's fsyncDir helper.
+func isDirFsync(pkg *Package, call *ast.CallExpr) bool {
+	fn := funcObj(pkg.Info, call)
+	return fn != nil && fn.Pkg() == pkg.Pkg && fn.Name() == "fsyncDir"
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The golifecycle analyzer proves that every goroutine the serving tiers
+// spawn can be joined: the committer, flush worker, and compactor must
+// all be drained by Close, and the shard fan-out must not outlive its
+// query. A `go` statement passes if its body exhibits one of three join
+// shapes:
+//
+//  1. WaitGroup: the body calls Done on a sync.WaitGroup (the spawner is
+//     expected to Wait; pairing Add/Wait is lockorder-of-the-future work,
+//     but an un-Done'd goroutine is the leak that actually bites).
+//  2. Done-channel: the body closes a channel that some function in the
+//     package receives from (select, unary receive, or range) — the
+//     committer's close(c.done) / <-c.done handshake.
+//  3. Drained queue: the body ranges over a channel that the package
+//     closes somewhere — a worker that exits when its feed is closed.
+//
+// Anything else — including `go pkg.Func()` into another package, whose
+// body we cannot inspect — is a finding. Channels are matched by their
+// types.Object (the field or variable), not by name.
+
+// GoLifecycle is the analyzer. Scope limits it to the packages whose
+// goroutines must provably join.
+type GoLifecycle struct {
+	Scope []string
+}
+
+// GoLifecycleScope is the production configuration: the serving tiers.
+var GoLifecycleScope = []string{
+	"repro/internal/store",
+	"repro/internal/shard",
+	"repro/internal/query",
+	"repro/internal/api",
+}
+
+// NewGoLifecycle returns the production-configured analyzer.
+func NewGoLifecycle() *GoLifecycle { return &GoLifecycle{Scope: GoLifecycleScope} }
+
+func (g *GoLifecycle) Name() string { return "golifecycle" }
+
+// Doc describes the analyzer in one line.
+func (g *GoLifecycle) Doc() string {
+	return "every go statement in the serving tiers must have a provable join path (WaitGroup, done-channel, or close-drained queue)"
+}
+
+func (g *GoLifecycle) inScope(path string) bool {
+	for _, p := range g.Scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// chanObj resolves an expression to the object of a channel-typed field
+// or variable, the identity used to pair close sites with receive sites.
+func chanObj(pkg *Package, e ast.Expr) types.Object {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[e.Sel]
+	}
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+		return nil
+	}
+	return obj
+}
+
+// closeTarget returns the channel object if call is close(ch).
+func closeTarget(pkg *Package, call *ast.CallExpr) types.Object {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+		return nil
+	}
+	return chanObj(pkg, call.Args[0])
+}
+
+// Check runs the analyzer over one package.
+func (g *GoLifecycle) Check(pkg *Package) []Finding {
+	if !g.inScope(pkg.Path) {
+		return nil
+	}
+
+	// Package-wide facts: which channel objects are received from, which
+	// are closed, and each function's body for go-method resolution.
+	received := map[types.Object]bool{}
+	closed := map[types.Object]bool{}
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				bodies[fn] = fd.Body
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					if obj := chanObj(pkg, n.X); obj != nil {
+						received[obj] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if obj := chanObj(pkg, n.X); obj != nil {
+					received[obj] = true
+				}
+			case *ast.CallExpr:
+				if obj := closeTarget(pkg, n); obj != nil {
+					closed[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// joined reports whether a goroutine body proves one of the three
+	// join shapes.
+	joined := func(body *ast.BlockStmt) bool {
+		ok := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if ok {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// Shape 1: wg.Done().
+				if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel && sel.Sel.Name == "Done" {
+					if fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func); isFn && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+						ok = true
+					}
+				}
+				// Shape 2: close(ch) where the package receives from ch.
+				if obj := closeTarget(pkg, n); obj != nil && received[obj] {
+					ok = true
+				}
+			case *ast.RangeStmt:
+				// Shape 3: ranging a channel the package closes.
+				if obj := chanObj(pkg, n.X); obj != nil && closed[obj] {
+					ok = true
+				}
+			}
+			return true
+		})
+		return ok
+	}
+
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch {
+			case isFuncLit(gs.Call.Fun):
+				body = ast.Unparen(gs.Call.Fun).(*ast.FuncLit).Body
+			default:
+				if fn := funcObj(pkg.Info, gs.Call); fn != nil && fn.Pkg() == pkg.Pkg {
+					body = bodies[fn]
+				}
+			}
+			if body == nil {
+				out = append(out, Finding{
+					Analyzer: "golifecycle",
+					Pos:      posOf(pkg, gs.Pos()),
+					Message:  "goroutine target is not a same-package function; no join path is provable",
+					Hint:     "spawn a local function (or literal) that signals a WaitGroup or closes a drained channel",
+				})
+				return true
+			}
+			if !joined(body) {
+				out = append(out, Finding{
+					Analyzer: "golifecycle",
+					Pos:      posOf(pkg, gs.Pos()),
+					Message:  "goroutine has no provable join path (no WaitGroup.Done, no close of a received channel, no range over a closed channel)",
+					Hint:     "give the goroutine a join handle: defer wg.Done(), defer close(done) with a matching receive, or range a queue that Close drains",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isFuncLit(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.FuncLit)
+	return ok
+}

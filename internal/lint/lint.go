@@ -76,14 +76,23 @@ func DefaultAnalyzers() []Analyzer {
 		NewErrDiscard(),
 		NewCtxFlow(),
 		NewSqrtScan(),
+		NewGuardedBy(),
+		NewGoLifecycle(),
+		NewFsyncOrder(),
 	}
 }
 
 // Run executes every analyzer over every package, applies nolint
 // suppression, and returns the surviving findings sorted by position.
 // Malformed directives (no justification) are reported as findings of the
-// synthetic "nolint" analyzer and do not suppress anything.
+// synthetic "nolint" analyzer and do not suppress anything; well-formed
+// directives that suppressed nothing — judged only when every analyzer
+// they name is part of this run — are reported as stale.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name()] = true
+	}
 	var out []Finding
 	for _, pkg := range pkgs {
 		dirs, bad := parseDirectives(pkg)
@@ -96,6 +105,7 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 				out = append(out, f)
 			}
 		}
+		out = append(out, dirs.stale(ran)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

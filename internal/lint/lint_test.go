@@ -80,6 +80,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		}}},
 		{"ctxflow", []Analyzer{&CtxFlow{BackgroundScope: fixtureScope}}},
 		{"sqrtscan", []Analyzer{&SqrtScan{Scope: fixtureScope, AllowFiles: SqrtScanAllowFiles}}},
+		{"guardedby", []Analyzer{NewGuardedBy()}},
+		{"golifecycle", []Analyzer{&GoLifecycle{Scope: fixtureScope}}},
+		{"fsyncorder", []Analyzer{&FsyncOrder{Scope: fixtureScope}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -128,18 +131,20 @@ func TestGeoBeforeCatalogIsCaught(t *testing.T) {
 	t.Fatalf("lockorder missed the geoMu-before-catalogMu inversion; findings:\n%s", dump(findings))
 }
 
-// TestNolintDirectives checks both halves of the escape hatch: a directive
-// with a reason suppresses its finding, and a bare directive suppresses
+// TestNolintDirectives checks every half of the escape hatch: a directive
+// with a reason suppresses its finding, a bare directive suppresses
 // nothing — the original finding survives and the directive itself is
-// reported.
+// reported — and a well-formed directive that no longer suppresses
+// anything is reported as stale (but only when the analyzers it names
+// actually ran).
 func TestNolintDirectives(t *testing.T) {
 	findings := runFixture(t, filepath.Join("testdata", "nolint"),
 		[]Analyzer{&Determinism{Scope: []string{"fixture"}}})
-	if len(findings) != 2 {
-		t.Fatalf("want exactly 2 findings (bare directive + surviving time.Now), got %d:\n%s",
+	if len(findings) != 3 {
+		t.Fatalf("want exactly 3 findings (bare directive + surviving time.Now + stale directive), got %d:\n%s",
 			len(findings), dump(findings))
 	}
-	bare, surviving := findings[0], findings[1]
+	bare, surviving, stale := findings[0], findings[1], findings[2]
 	if bare.Analyzer != "nolint" || !strings.Contains(bare.Message, "no justification") {
 		t.Errorf("first finding should report the reasonless directive, got: %s", bare)
 	}
@@ -149,6 +154,12 @@ func TestNolintDirectives(t *testing.T) {
 	if surviving.Pos.Line != bare.Pos.Line+1 {
 		t.Errorf("the surviving finding should sit directly under the bare directive (directive line %d, finding line %d)",
 			bare.Pos.Line, surviving.Pos.Line)
+	}
+	if stale.Analyzer != "nolint" || !strings.Contains(stale.Message, "stale") {
+		t.Errorf("third finding should report the stale directive, got: %s", stale)
+	}
+	if !strings.Contains(stale.Message, "determinism") {
+		t.Errorf("stale finding should name the suppressed analyzer, got: %s", stale)
 	}
 }
 
@@ -191,6 +202,88 @@ func TestStoreLockOrderMatchesStoreDecl(t *testing.T) {
 	if !reflect.DeepEqual(got, StoreLockOrder) {
 		t.Fatalf("lockorder table drifted from store.Store's RWMutex declaration order:\n  store.go: %v\n  analyzer: %v",
 			got, StoreLockOrder)
+	}
+}
+
+// TestStoreGuardedByMatchesStoreDecl pins the guardedby annotation set
+// against store.Store's fields: every guarded field carries exactly the
+// expected clause, and every subsystem mutex in the lock order guards at
+// least one field. Adding a field to Store (or rewiring a guard) must
+// update this table in the same change.
+func TestStoreGuardedByMatchesStoreDecl(t *testing.T) {
+	want := map[string]string{
+		"classifications": "catalogMu",
+		"classByName":     "catalogMu",
+		"users":           "catalogMu",
+		"apiKeys":         "catalogMu",
+		"videos":          "catalogMu",
+		"campaigns":       "catalogMu",
+		"images":          "imagesMu",
+		"ids":             "imagesMu",
+		"features":        "featMu",
+		"visual":          "featMu",
+		"hybrid":          "featMu",
+		"annotations":     "annMu",
+		"byLabel":         "annMu",
+		"keywords":        "kwMu",
+		"text":            "kwMu",
+		"spatial":         "geoMu",
+		"temporal":        "geoMu",
+		"gen":             "flushMu|geoMu",
+		"walOps":          "compactMu",
+		"memFreed":        "memThrottleMu",
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("..", "store", "store.go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing store.go: %v", err)
+	}
+	got := map[string]string{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok || ts.Name.Name != "Store" {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, fld := range st.Fields.List {
+			var groups []*ast.CommentGroup
+			if fld.Doc != nil {
+				groups = append(groups, fld.Doc)
+			}
+			if fld.Comment != nil {
+				groups = append(groups, fld.Comment)
+			}
+			for _, cg := range groups {
+				for _, c := range cg.List {
+					rest, ok := annotationLine(c.Text, guardedPrefix)
+					if !ok {
+						continue
+					}
+					spec, _, _ := strings.Cut(rest, " ")
+					for _, name := range fld.Names {
+						got[name.Name] = spec
+					}
+				}
+			}
+		}
+		return false
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("guardedby annotations drifted from the pinned lock map:\n  store.go: %v\n  pinned:   %v", got, want)
+	}
+	guardedMus := map[string]bool{}
+	for _, spec := range got {
+		for _, mu := range strings.Split(spec, "|") {
+			guardedMus[mu] = true
+		}
+	}
+	for _, mu := range StoreLockOrder {
+		if !guardedMus[mu] {
+			t.Errorf("subsystem lock %s guards no annotated field", mu)
+		}
 	}
 }
 

@@ -14,22 +14,26 @@ import (
 // The reason is not decoration: a directive without one suppresses nothing
 // and is itself reported, which is what keeps "shut the tool up" honest —
 // every escape hatch in the tree carries its justification next to the
-// code it excuses.
+// code it excuses. The inventory is also kept live: a directive that
+// suppresses nothing, in a run where every analyzer it names executed,
+// is reported as stale so dead suppressions cannot accumulate.
 
 const nolintPrefix = "tvdp:nolint"
 
 // directive is one parsed, well-formed nolint comment.
 type directive struct {
 	analyzers map[string]bool
+	names     []string // declaration order, for stale messages
 	line      int
 	file      string
+	used      bool // suppressed at least one finding this run
 }
 
 // directiveSet indexes directives by file and line for suppression lookups.
 type directiveSet map[string]map[int]*directive
 
 // suppresses reports whether a finding is covered by a directive on its
-// line or the line above.
+// line or the line above, marking the directive used if so.
 func (ds directiveSet) suppresses(f Finding) bool {
 	lines := ds[f.Pos.Filename]
 	if lines == nil {
@@ -37,10 +41,44 @@ func (ds directiveSet) suppresses(f Finding) bool {
 	}
 	for _, ln := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
 		if d := lines[ln]; d != nil && d.analyzers[f.Analyzer] {
+			d.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// stale reports directives that suppressed nothing even though every
+// analyzer they name ran — dead suppressions that would otherwise
+// outlive the finding they once excused. Directives naming an analyzer
+// outside the run set are left alone (a fixture or single-analyzer run
+// cannot judge them).
+func (ds directiveSet) stale(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, lines := range ds {
+		for _, d := range lines {
+			if d.used {
+				continue
+			}
+			all := true
+			for name := range d.analyzers {
+				if !ran[name] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: "nolint",
+				Pos:      token.Position{Filename: d.file, Line: d.line, Column: 1},
+				Message:  "nolint directive for " + strings.Join(d.names, ",") + " suppresses nothing here (stale)",
+				Hint:     "the finding it excused is gone; delete the directive",
+			})
+		}
+	}
+	return out
 }
 
 // parseDirectives scans a package's comments for nolint directives.
@@ -77,7 +115,7 @@ func parseDirectives(pkg *Package) (directiveSet, []Finding) {
 					})
 					continue
 				}
-				d := &directive{analyzers: map[string]bool{}, line: pos.Line, file: pos.Filename}
+				d := &directive{analyzers: map[string]bool{}, names: names, line: pos.Line, file: pos.Filename}
 				for _, n := range names {
 					d.analyzers[n] = true
 				}

@@ -1,0 +1,86 @@
+// Package fsyncorderfix is the fsyncorder analyzer's golden fixture: the
+// full temp+rename+dir-fsync install chain next to the two ways a new
+// install path can break it.
+package fsyncorderfix
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// fsyncDir is the package's directory-fsync helper, mirroring the store's.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// installGood is the canonical chain: write temp, fsync it, rename into
+// place, fsync the directory.
+func installGood(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "artifact.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "artifact")); err != nil {
+		return err
+	}
+	return fsyncDir(dir)
+}
+
+// installTorn renames without syncing the temp file first: a crash can
+// install a torn artifact.
+func installTorn(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "artifact.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "artifact")); err != nil { // want "without a preceding fsync"
+		return err
+	}
+	return fsyncDir(dir)
+}
+
+// installEvaporating syncs the file but never the directory: the rename
+// itself can be lost with the directory's dirty metadata.
+func installEvaporating(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "artifact.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "artifact")) // want "not followed by a directory fsync"
+}
+
+// swapTemp moves a scratch file between scratch names — never durable,
+// so the discipline is waived explicitly.
+func swapTemp(dir string) error {
+	//tvdp:nolint fsyncorder scratch-to-scratch move, nothing durable installed
+	return os.Rename(filepath.Join(dir, "a.tmp"), filepath.Join(dir, "b.tmp"))
+}

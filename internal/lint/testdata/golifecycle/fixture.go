@@ -1,0 +1,102 @@
+// Package golifecyclefix is the golifecycle analyzer's golden fixture:
+// the three provable join shapes (WaitGroup, done-channel handshake,
+// close-drained queue) next to the leaks the analyzer must flag.
+package golifecyclefix
+
+import (
+	"os"
+	"sync"
+)
+
+// waitGroupJoin is shape 1: the body signals a WaitGroup the spawner
+// waits on.
+func waitGroupJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = i * i
+		}(i)
+	}
+	wg.Wait()
+}
+
+// worker is the done-channel shape split across methods, exactly like
+// the store's committer: run closes done, stop receives from it.
+type worker struct {
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+func (w *worker) start() {
+	go w.run()
+}
+
+func (w *worker) run() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.wake:
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+func (w *worker) join() {
+	close(w.stop)
+	<-w.done
+}
+
+// drainedQueue is shape 3: the goroutine ranges a channel that close()
+// elsewhere in the package terminates.
+type drainedQueue struct {
+	jobs chan int
+}
+
+func (q *drainedQueue) start() {
+	go func() {
+		for j := range q.jobs {
+			_ = j
+		}
+	}()
+}
+
+func (q *drainedQueue) close() {
+	close(q.jobs)
+}
+
+// leak has no join handle at all.
+func leak() {
+	go func() { // want "no provable join path"
+		for {
+		}
+	}()
+}
+
+// fireAndForget closes a channel nobody receives from — still a leak
+// from the spawner's point of view.
+func fireAndForget() {
+	orphan := make(chan struct{})
+	go func() { // want "no provable join path"
+		defer close(orphan)
+	}()
+}
+
+// foreignTarget spawns another package's function; its body cannot be
+// inspected, so no join path is provable.
+func foreignTarget() {
+	go os.Clearenv() // want "not a same-package function"
+}
+
+// toleratedLeak shows the escape hatch for a deliberately detached
+// goroutine.
+func toleratedLeak() {
+	//tvdp:nolint golifecycle process-lifetime janitor, exits with the process
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,7 +1,8 @@
 // Package nolintfix exercises the suppression machinery: a justified
 // directive silences its finding; a bare directive (no reason) silences
-// nothing and is itself reported. The expectations for this fixture are
-// asserted explicitly in lint_test.go rather than via want comments,
+// nothing and is itself reported; a justified directive whose finding no
+// longer exists is reported as stale. The expectations for this fixture
+// are asserted explicitly in lint_test.go rather than via want comments,
 // because a want comment appended to a directive line would parse as the
 // directive's justification.
 package nolintfix
@@ -21,4 +22,20 @@ func justified() time.Time {
 func unjustified() time.Time {
 	//tvdp:nolint determinism
 	return time.Now()
+}
+
+// stale has a well-formed directive excusing a finding that no longer
+// exists — determinism runs, fires nothing here, and the dead
+// suppression is reported as stale.
+func stale() time.Time {
+	//tvdp:nolint determinism this once excused a clock read, since removed
+	return time.Time{}
+}
+
+// unjudged names an analyzer that is not part of the fixture run; the
+// directive is left alone rather than reported stale, because a partial
+// run cannot know whether lockorder would have fired.
+func unjudged() time.Time {
+	//tvdp:nolint lockorder fixture directive outside the run set
+	return time.Time{}
 }

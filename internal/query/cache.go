@@ -60,10 +60,14 @@ type flight struct {
 type resultCache struct {
 	mu       sync.Mutex
 	capacity int
-	ll       *list.List // front = most recently used
-	entries  map[string]*list.Element
+	//tvdp:guardedby mu
+	ll *list.List // front = most recently used
+	//tvdp:guardedby mu
+	entries map[string]*list.Element
+	//tvdp:guardedby mu
 	inflight map[string]*flight
-	stats    CacheStats
+	//tvdp:guardedby mu
+	stats CacheStats
 }
 
 func newResultCache(capacity int) *resultCache {

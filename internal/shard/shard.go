@@ -105,14 +105,12 @@ func Open(cfg Config) (*Coordinator, error) {
 		if cfg.Dir != "" {
 			scfg.Dir = shardDir(cfg.Dir, n, i)
 			if err := os.MkdirAll(scfg.Dir, 0o755); err != nil {
-				c.closeOpened()
-				return nil, fmt.Errorf("shard: %w", err)
+				return nil, errors.Join(fmt.Errorf("shard: %w", err), c.closeOpened())
 			}
 		}
 		s, err := store.Open(scfg)
 		if err != nil {
-			c.closeOpened()
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+			return nil, errors.Join(fmt.Errorf("shard %d: %w", i, err), c.closeOpened())
 		}
 		c.shards = append(c.shards, s)
 		if last := s.LastID(); last > c.nextID.Load() {
@@ -168,10 +166,15 @@ func checkLayout(root string, n int) error {
 	return nil
 }
 
-func (c *Coordinator) closeOpened() {
+// closeOpened rolls back a partially opened coordinator. Close errors
+// are returned (joined) so the caller can attach them to the primary
+// failure instead of silently dropping them.
+func (c *Coordinator) closeOpened() error {
+	var err error
 	for _, s := range c.shards {
-		_ = s.Close()
+		err = errors.Join(err, s.Close())
 	}
+	return err
 }
 
 // NumShards returns the shard count.

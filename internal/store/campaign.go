@@ -67,6 +67,8 @@ func (s *Store) CreateCampaign(c CampaignRec) (uint64, error) {
 }
 
 // applyCampaign registers a campaign row. Callers hold catalogMu.
+//
+//tvdp:requires catalogMu
 func (s *Store) applyCampaign(c *CampaignRec) error {
 	if _, dup := s.campaigns[c.ID]; dup {
 		return fmt.Errorf("%w: campaign %d", ErrDuplicate, c.ID)

@@ -44,17 +44,21 @@ type walCommitter struct {
 	wmu sync.Mutex
 	// w is the current log writer; nil after a failed rotation or close,
 	// which fails subsequent batches instead of panicking.
+	//tvdp:guardedby wmu
 	w *walWriter
 	// mode selects the batch durability level: SyncImmediate fsyncs each
 	// batch before waking its waiters, SyncBatch issues one write per
 	// batch and leaves the fsync to the OS, SyncNone buffers batches in
 	// memory (buf, guarded by wmu) until noneFlushBytes accumulate.
 	mode WALSyncMode
-	buf  []byte
+	//tvdp:guardedby wmu
+	buf []byte
 
 	// mu guards the queue and the stopped flag.
-	mu      sync.Mutex
+	mu sync.Mutex
+	//tvdp:guardedby mu
 	pending []commitWait
+	//tvdp:guardedby mu
 	stopped bool
 
 	wake chan struct{}
@@ -97,6 +101,8 @@ func (c *walCommitter) run() {
 // enqueue queues one batch member and returns the channel its commit
 // outcome will be delivered on. Callers hold their subsystem write lock,
 // which is what pins log order to apply order.
+//
+//tvdp:requires catalogMu|imagesMu|featMu|annMu|kwMu|geoMu
 func (c *walCommitter) enqueue(buf []byte, ops uint64) <-chan error {
 	errc := make(chan error, 1)
 	c.mu.Lock()
@@ -123,6 +129,8 @@ func (c *walCommitter) commitPending() {
 }
 
 // commitLocked is commitPending with wmu already held.
+//
+//tvdp:requires wmu
 func (c *walCommitter) commitLocked() {
 	c.mu.Lock()
 	batch := c.pending
@@ -141,6 +149,10 @@ func (c *walCommitter) commitLocked() {
 	}
 }
 
+// writeBatch appends one concatenated batch to the current log. Callers
+// hold wmu.
+//
+//tvdp:requires wmu
 func (c *walCommitter) writeBatch(batch []commitWait) error {
 	if c.w == nil || c.w.b == nil {
 		return fmt.Errorf("store: appending WAL batch: %w", ErrClosed)
@@ -179,6 +191,8 @@ func (c *walCommitter) writeBatch(batch []commitWait) error {
 
 // flushBufLocked writes the SyncNone buffer through to the current log.
 // Callers hold wmu.
+//
+//tvdp:requires wmu
 func (c *walCommitter) flushBufLocked() error {
 	if len(c.buf) == 0 {
 		return nil
@@ -198,6 +212,8 @@ func (c *walCommitter) flushBufLocked() error {
 // installs the writer produced by makeNew — the WAL half of snapshot
 // compaction. Callers hold every subsystem write lock, so no new frames
 // can be enqueued while the swap is in flight.
+//
+//tvdp:requires catalogMu,imagesMu,featMu,annMu,kwMu,geoMu
 func (c *walCommitter) rotate(makeNew func() (*walWriter, error)) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -256,6 +272,8 @@ func (c *walCommitter) presync() error {
 // Callers hold every subsystem write lock. On failure the replacement is
 // closed and the committer goes write-dead (w = nil), exactly like a
 // failed rotate.
+//
+//tvdp:requires catalogMu,imagesMu,featMu,annMu,kwMu,geoMu
 func (c *walCommitter) rotateTo(w *walWriter) (*walWriter, error) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()

@@ -80,7 +80,8 @@ type segEngine struct {
 
 	// manMu guards man, the in-memory mirror of the installed MANIFEST.
 	manMu sync.Mutex
-	man   manifest
+	//tvdp:guardedby manMu
+	man manifest
 
 	// flushMu serialises flushOnce/compactOnce across the background
 	// worker and forced flushes (Snapshot); s.gen is only written under
@@ -110,7 +111,8 @@ type segEngine struct {
 	// would delete acked data. Mutations keep landing in generations
 	// recovery still replays (a failed rotation additionally leaves the
 	// committer write-dead, failing them outright).
-	errMu   sync.Mutex
+	errMu sync.Mutex
+	//tvdp:guardedby errMu
 	lastErr error
 }
 
@@ -225,6 +227,8 @@ func (e *segEngine) flushOnce() error {
 }
 
 // flushLocked is the flush body; callers hold flushMu.
+//
+//tvdp:requires flushMu
 func (e *segEngine) flushLocked() error {
 	s := e.s
 	if s.closed.Load() {
@@ -262,7 +266,6 @@ func (e *segEngine) flushLocked() error {
 	s.mem = newMemtable()
 	s.memBytes.Store(0)
 	frozenGen := s.gen
-	//tvdp:nolint lockorder freeze-swap: rotateTo drains the already-queued frames into the retiring log, fsyncs that residue (bounded by the frames that arrived since presync above — not the window, never the corpus), and swaps the writer; the new log's fsyncs and the retiring log's backlog sync happened above, outside every lock
 	old, rerr := s.com.rotateTo(w)
 	if rerr == nil {
 		s.gen = newGen
@@ -492,6 +495,8 @@ func (s *Store) openSegment() error {
 // FlushedGen), wires the committer to the newest log, and starts the
 // background worker. entries may be a pre-scanned directory listing
 // (nil to scan here).
+//
+//tvdp:serial runs single-threaded at Open, before the store is shared
 func (s *Store) startSegment(man manifest, entries []os.DirEntry) error {
 	dir := s.cfg.Dir
 	if entries == nil {
@@ -597,6 +602,8 @@ func (s *Store) startSegment(man manifest, entries []os.DirEntry) error {
 // the caller (startSegment) validates the whole chain first — a torn
 // tail is only legal while every later generation is frameless — and
 // repairs the surviving logs afterwards.
+//
+//tvdp:serial WAL-tail replay runs single-threaded at Open
 func (s *Store) replaySegmentWAL(gen uint64) (int, int64, bool, error) {
 	dir := s.cfg.Dir
 	name := walName(gen)
@@ -633,6 +640,8 @@ func (s *Store) replaySegmentWAL(gen uint64) (int, int64, bool, error) {
 // Tombstones go first: they kill rows from older segments, and within a
 // delete-then-readd window they clear the way for the segment's own
 // fresh row. Runs single-threaded at Open.
+//
+//tvdp:serial segment load runs single-threaded at Open
 func (s *Store) loadSegment(seg *segmentData) error {
 	for _, id := range seg.Tombstones {
 		if _, ok := s.images[id]; ok {
@@ -694,6 +703,8 @@ func (s *Store) loadSegment(seg *segmentData) error {
 // crash before the manifest install leaves the legacy layout intact
 // (migration simply reruns); after it, the stale legacy files are swept
 // by the next open.
+//
+//tvdp:serial legacy migration runs single-threaded at Open
 func (s *Store) migrateLegacy() error {
 	dir := s.cfg.Dir
 	snap, err := readSnapshot(dir)
@@ -741,6 +752,8 @@ func (s *Store) migrateLegacy() error {
 // stateToSegment serialises the whole in-memory state as one segment —
 // the migration image. Single-threaded at Open; mirrors snapshotLocked's
 // sorted collection.
+//
+//tvdp:serial runs single-threaded at Open, before the store is shared
 func (s *Store) stateToSegment() *segmentData {
 	m := newMemtable()
 	for _, id := range s.ids {

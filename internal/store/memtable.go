@@ -93,6 +93,8 @@ func (m *memtable) addCampaign(c *CampaignRec) { m.campaigns[c.ID] = c }
 // deleteImage scrubs the in-window rows for id and records a tombstone
 // against older segments. Callers hold imagesMu..geoMu (the delete lock
 // set), which covers every map touched here.
+//
+//tvdp:requires imagesMu,featMu,annMu,kwMu,geoMu
 func (m *memtable) deleteImage(id uint64) {
 	delete(m.images, id)
 	delete(m.features, id)
@@ -106,6 +108,7 @@ func (m *memtable) deleteImage(id uint64) {
 // loadSegment, so a segment's net window semantics survive the merge.
 func (m *memtable) absorb(seg *segmentData) {
 	for _, id := range seg.Tombstones {
+		//tvdp:nolint guardedby the accumulator is a compaction-private memtable no reader can see; the lock contract protects only the live window
 		m.deleteImage(id)
 	}
 	for _, img := range seg.Images {

@@ -199,40 +199,62 @@ type Store struct {
 	// under the relevant subsystem locks, read lock-free.
 	mutGen atomic.Uint64
 
+	//tvdp:guardedby imagesMu
 	images map[uint64]*Image
 	// ids mirrors the images map keys in ascending order, maintained
 	// incrementally on add/delete so ImageIDs never re-sorts.
-	ids             []uint64
-	features        map[uint64]map[string][]float64
+	//tvdp:guardedby imagesMu
+	ids []uint64
+	//tvdp:guardedby featMu
+	features map[uint64]map[string][]float64
+	//tvdp:guardedby catalogMu
 	classifications map[uint64]*Classification
-	classByName     map[string]uint64
-	annotations     map[uint64][]Annotation
+	//tvdp:guardedby catalogMu
+	classByName map[string]uint64
+	//tvdp:guardedby annMu
+	annotations map[uint64][]Annotation
 	// byLabel[classID][label] -> imageIDs (categorical index).
-	byLabel   map[uint64]map[int][]uint64
-	keywords  map[uint64][]string
-	users     map[uint64]*User
-	apiKeys   map[string]*APIKey
-	videos    map[uint64]*Video
+	//tvdp:guardedby annMu
+	byLabel map[uint64]map[int][]uint64
+	//tvdp:guardedby kwMu
+	keywords map[uint64][]string
+	//tvdp:guardedby catalogMu
+	users map[uint64]*User
+	//tvdp:guardedby catalogMu
+	apiKeys map[string]*APIKey
+	//tvdp:guardedby catalogMu
+	videos map[uint64]*Video
+	//tvdp:guardedby catalogMu
 	campaigns map[uint64]*CampaignRec
 
-	spatial  *index.RTree
-	visual   map[string]*index.LSH
-	hybrid   map[string]*index.HybridTree
-	text     *index.Inverted
+	//tvdp:guardedby geoMu
+	spatial *index.RTree
+	//tvdp:guardedby featMu
+	visual map[string]*index.LSH
+	//tvdp:guardedby featMu
+	hybrid map[string]*index.HybridTree
+	//tvdp:guardedby kwMu
+	text *index.Inverted
+	//tvdp:guardedby geoMu
 	temporal *index.Temporal
 
 	// com is the group-commit WAL committer (nil for memory-only stores).
 	com *walCommitter
 	// walOps counts committed mutations since the last snapshot
 	// (auto-compaction trigger); compactMu ensures one compaction runs at
-	// a time. Snapshot engine only.
+	// a time and guards walOps' check-and-reset cycle (the increment in
+	// awaitCommit is a lock-free atomic add, excused inline). Snapshot
+	// engine only.
+	//tvdp:guardedby compactMu
 	walOps    atomic.Int64
 	compactMu sync.Mutex
 	// gen is the current WAL generation. Snapshot engine: the snapshot
 	// generation, with the live WAL carrying the same number (written only
-	// at Open and under all six locks in snapshotLocked). Segment engine:
+	// at Open and under all six locks in snapshotLocked — geoMu, the last
+	// lock of the quiesce, is the annotation's witness). Segment engine:
 	// the live wal-%06d.log number (written at Open and under flushMu +
 	// all six locks in flushOnce).
+	//tvdp:guardedby flushMu|geoMu
 	gen uint64
 
 	// Segment engine state (nil/zero under the snapshot engine): mem is
@@ -246,13 +268,16 @@ type Store struct {
 	// hard cap (memHardMult × FlushThreshold); the freeze-swap broadcasts
 	// it after zeroing memBytes, as does Close.
 	memThrottleMu sync.Mutex
-	memFreed      *sync.Cond
+	//tvdp:guardedby memThrottleMu
+	memFreed *sync.Cond
 	// snaps counts completed full snapshots (snapshot engine
 	// observability).
 	snaps atomic.Uint64
 }
 
 // Open creates or recovers a store.
+//
+//tvdp:serial construction and recovery run before the store is shared
 func Open(cfg Config) (*Store, error) {
 	if cfg.RTree.MaxEntries == 0 {
 		cfg.RTree = index.DefaultRTreeConfig()
@@ -315,6 +340,7 @@ func Open(cfg Config) (*Store, error) {
 	return s, nil
 }
 
+//tvdp:serial called from Open and single-threaded recovery only
 func (s *Store) resetState() error {
 	sp, err := index.NewRTree(s.cfg.RTree)
 	if err != nil {
@@ -417,8 +443,11 @@ func (s *Store) encode(op walOp) ([]byte, error) {
 
 // enqueue hands a frame to the committer. Callers hold the write lock of
 // every subsystem the op touched, which pins log order to apply order.
+//
+//tvdp:requires catalogMu|imagesMu|featMu|annMu|kwMu|geoMu
 func (s *Store) enqueue(frame []byte) <-chan error { return s.enqueueN(frame, 1) }
 
+//tvdp:requires catalogMu|imagesMu|featMu|annMu|kwMu|geoMu
 func (s *Store) enqueueN(frame []byte, ops uint64) <-chan error {
 	if s.com == nil || frame == nil {
 		return nil
@@ -450,6 +479,7 @@ func (s *Store) awaitCommit(wait <-chan error, ops int) error {
 		s.throttleMem()
 		return nil
 	}
+	//tvdp:nolint guardedby the increment is a lock-free atomic add; compactMu guards only the check-and-reset cycle (maybeCompact, snapshotLocked)
 	if s.cfg.SnapshotEvery > 0 && int(s.walOps.Add(int64(ops))) >= s.cfg.SnapshotEvery {
 		return s.maybeCompact()
 	}
@@ -490,7 +520,9 @@ func (s *Store) wakeThrottled() {
 }
 
 // maybeCompact runs at most one auto-compaction at a time; concurrent
-// crossers skip rather than queueing up behind each other.
+// crossers skip rather than queueing up behind each other. It calls
+// snapshotNow directly (not Snapshot) because it already holds
+// compactMu — re-entering Snapshot would self-deadlock.
 func (s *Store) maybeCompact() error {
 	if !s.compactMu.TryLock() {
 		return nil
@@ -499,7 +531,7 @@ func (s *Store) maybeCompact() error {
 	if int(s.walOps.Load()) < s.cfg.SnapshotEvery {
 		return nil // a racing compaction already reset the counter
 	}
-	if err := s.Snapshot(); err != nil {
+	if err := s.snapshotNow(); err != nil {
 		return fmt.Errorf("store: auto-compaction: %w", err)
 	}
 	return nil
@@ -507,6 +539,8 @@ func (s *Store) maybeCompact() error {
 
 // applyOp replays one WAL op into in-memory state (no re-logging). Used
 // by recovery only, before the store is shared.
+//
+//tvdp:serial WAL replay runs single-threaded before the store is shared
 func (s *Store) applyOp(op walOp) error {
 	switch op.Kind {
 	case opAddImage:
@@ -535,6 +569,7 @@ func (s *Store) applyOp(op walOp) error {
 	}
 }
 
+//tvdp:serial snapshot load runs single-threaded before the store is shared
 func (s *Store) loadSnapshot(st *snapshotState) error {
 	if err := s.resetState(); err != nil {
 		return err
@@ -598,6 +633,19 @@ func (s *Store) Snapshot() error {
 	if s.eng != nil {
 		return s.eng.flushOnce()
 	}
+	// compactMu serialises explicit snapshots against auto-compaction and
+	// guards the walOps check-and-reset cycle; it is always taken before
+	// any subsystem lock.
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	return s.snapshotNow()
+}
+
+// snapshotNow quiesces the store and writes a full snapshot. Snapshot
+// engine only.
+//
+//tvdp:requires compactMu
+func (s *Store) snapshotNow() error {
 	s.lockAll()
 	defer s.unlockAll()
 	if s.closed.Load() {
@@ -607,7 +655,9 @@ func (s *Store) Snapshot() error {
 	return s.snapshotLocked()
 }
 
-// snapshotLocked is Snapshot with every subsystem lock already held.
+// snapshotLocked is snapshotNow with every subsystem lock already held.
+//
+//tvdp:requires compactMu,catalogMu,imagesMu,featMu,annMu,kwMu,geoMu
 func (s *Store) snapshotLocked() error {
 	if s.cfg.Dir == "" {
 		return nil
@@ -740,7 +790,9 @@ func (s *Store) AddImage(img Image) (uint64, error) {
 
 // applyImage inserts one image row plus its spatial/temporal index
 // entries. Callers hold imagesMu and geoMu (or are single-threaded
-// recovery).
+// recovery, which is exempted at the call site by //tvdp:serial).
+//
+//tvdp:requires imagesMu,geoMu
 func (s *Store) applyImage(img *Image) error {
 	if _, dup := s.images[img.ID]; dup {
 		return fmt.Errorf("%w: image %d", ErrDuplicate, img.ID)
@@ -762,6 +814,8 @@ func (s *Store) applyImage(img *Image) error {
 // idsInsert keeps the sorted id slice sorted on insert. Appends are O(1)
 // for the common monotonically-increasing case; out-of-order ids (WAL
 // replay of concurrent adds) binary-search their slot.
+//
+//tvdp:requires imagesMu
 func (s *Store) idsInsert(id uint64) {
 	n := len(s.ids)
 	if n == 0 || s.ids[n-1] < id {
@@ -775,6 +829,8 @@ func (s *Store) idsInsert(id uint64) {
 }
 
 // idsDelete removes one id from the sorted slice.
+//
+//tvdp:requires imagesMu
 func (s *Store) idsDelete(id uint64) {
 	i := sort.Search(len(s.ids), func(k int) bool { return s.ids[k] >= id })
 	if i < len(s.ids) && s.ids[i] == id {
@@ -888,6 +944,8 @@ func (s *Store) DeleteImage(id uint64) error {
 
 // applyDeleteImage unlinks an image from every subsystem. Callers hold
 // imagesMu, featMu, annMu, kwMu, and geoMu.
+//
+//tvdp:requires imagesMu,featMu,annMu,kwMu,geoMu
 func (s *Store) applyDeleteImage(id uint64) error {
 	img, ok := s.images[id]
 	if !ok {
@@ -916,6 +974,9 @@ func (s *Store) applyDeleteImage(id uint64) error {
 	return nil
 }
 
+// unlinkLabel drops one image from a byLabel posting list.
+//
+//tvdp:requires annMu
 func (s *Store) unlinkLabel(classID uint64, label int, imageID uint64) {
 	ids := s.byLabel[classID][label]
 	for i, v := range ids {
@@ -965,6 +1026,8 @@ func (s *Store) PutFeature(imageID uint64, kind string, vec []float64) error {
 // applyFeature stores one vector and maintains LSH/hybrid indexes.
 // Callers hold featMu plus at least a read lock on imagesMu (the hybrid
 // path reads the image's scene rect).
+//
+//tvdp:requires featMu,imagesMu:r
 func (s *Store) applyFeature(f *Feature) error {
 	s.mutGen.Add(1)
 	kinds := s.features[f.ImageID]
@@ -1089,6 +1152,8 @@ func (s *Store) PutClassification(c Classification) (uint64, error) {
 
 // applyClassification registers a scheme. Callers hold catalogMu and
 // annMu (the empty byLabel bucket lives with the label index).
+//
+//tvdp:requires catalogMu,annMu
 func (s *Store) applyClassification(c *Classification) error {
 	if _, dup := s.classifications[c.ID]; dup {
 		return fmt.Errorf("%w: classification %d", ErrDuplicate, c.ID)
@@ -1183,6 +1248,8 @@ func (s *Store) Annotate(a Annotation) error {
 
 // applyAnnotation appends one annotation row and its label-index entry.
 // Callers hold annMu.
+//
+//tvdp:requires annMu
 func (s *Store) applyAnnotation(a *Annotation) error {
 	s.mutGen.Add(1)
 	s.annotations[a.ImageID] = append(s.annotations[a.ImageID], *a)
@@ -1251,6 +1318,8 @@ func (s *Store) AddKeywords(imageID uint64, words []string) error {
 
 // applyKeywords stores keywords and their inverted-index postings.
 // Callers hold kwMu.
+//
+//tvdp:requires kwMu
 func (s *Store) applyKeywords(imageID uint64, words []string) error {
 	s.mutGen.Add(1)
 	s.keywords[imageID] = append(s.keywords[imageID], words...)
@@ -1311,6 +1380,8 @@ func (s *Store) PutUser(u User) (uint64, error) {
 }
 
 // applyUser registers a user row. Callers hold catalogMu.
+//
+//tvdp:requires catalogMu
 func (s *Store) applyUser(u *User) error {
 	if _, dup := s.users[u.ID]; dup {
 		return fmt.Errorf("%w: user %d", ErrDuplicate, u.ID)
@@ -1324,6 +1395,8 @@ func (s *Store) applyUser(u *User) error {
 }
 
 // applyAPIKey registers an issued key. Callers hold catalogMu.
+//
+//tvdp:requires catalogMu
 func (s *Store) applyAPIKey(k *APIKey) {
 	s.apiKeys[k.Key] = k
 	if s.mem != nil {

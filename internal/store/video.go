@@ -190,6 +190,8 @@ func (s *Store) PutVideo(v Video) (uint64, error) {
 }
 
 // applyVideo registers a video row. Callers hold catalogMu.
+//
+//tvdp:requires catalogMu
 func (s *Store) applyVideo(v *Video) error {
 	if _, dup := s.videos[v.ID]; dup {
 		return fmt.Errorf("%w: video %d", ErrDuplicate, v.ID)

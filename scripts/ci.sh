@@ -22,17 +22,19 @@ echo "== tvdp-lint (invariant gate) =="
 # The in-tree analyzers guard what vet and -race cannot: the store's
 # six-lock acquisition order, the pipeline determinism contract, the
 # WAL-frames-go-through-the-committer rule, discarded Close/Sync errors
-# in the durability layers, and the request-lifecycle context contract.
-# A failure here means a load-bearing invariant broke — read the
-# finding's fix hint, don't reach for nolint.
+# in the durability layers, the request-lifecycle context contract, the
+# guardedby/requires lock annotations, goroutine join paths, and the
+# temp+rename+dir-fsync install discipline. A failure here means a
+# load-bearing invariant broke — read the finding's fix hint, don't
+# reach for nolint.
 if ! go run ./cmd/tvdp-lint ./...; then
-    echo "tvdp-lint: a platform invariant broke (lock order / determinism / WAL path / error discard / ctx flow)" >&2
+    echo "tvdp-lint: a platform invariant broke (lock order / determinism / WAL path / error discard / ctx flow / guarded fields / goroutine lifecycle / fsync order)" >&2
     exit 1
 fi
 # The analyzers themselves must still detect violations: each fixture
 # package is a known-bad corpus, so a clean exit on one means the
 # analyzer went blind.
-for fixture in lockorder determinism walpath errdiscard ctxflow nolint sqrtscan; do
+for fixture in lockorder determinism walpath errdiscard ctxflow nolint sqrtscan guardedby golifecycle fsyncorder; do
     if go run ./cmd/tvdp-lint "./internal/lint/testdata/$fixture" >/dev/null 2>&1; then
         echo "tvdp-lint: fixture $fixture produced no findings — analyzer regression" >&2
         exit 1
