@@ -15,6 +15,8 @@
 //	                                    # workload at 1, 2, 4, 8 shards
 //	tvdp-bench -figure persistence      # snapshot vs segment engine:
 //	                                    # p99 and max single-op stall
+//	tvdp-bench -figure ingest           # inline vs streaming ack latency
+//	                                    # at paced load + recall parity
 package main
 
 import (
@@ -49,10 +51,13 @@ func main() {
 		timingN       = flag.Int("timing-n", 0, "readpath: timing-store vector count (0 = default 20000)")
 		timingQueries = flag.Int("timing-queries", 0, "readpath: timed queries per mode (0 = default 240)")
 
-		rate = flag.Int("rate", 0, "persistence: paced total ops/sec across clients (0 = figure default; negative = unpaced saturating)")
+		rate = flag.Int("rate", 0, "persistence/ingest: paced total ops/sec across clients (0 = figure default; negative = unpaced saturating)")
+
+		records = flag.Int("records", 0, "ingest: uploads per mode (0 = figure default)")
+		bowK    = flag.Int("bow-vocab", 0, "ingest: SIFT-BoW vocabulary size (0 = figure default)")
 	)
 	flag.Parse()
-	special := *figure == "serving" || *figure == "readpath" || *figure == "sharding" || *figure == "persistence"
+	special := *figure == "serving" || *figure == "readpath" || *figure == "sharding" || *figure == "persistence" || *figure == "ingest"
 	if *fig == "" && *figure != "" && !special {
 		*fig = *figure
 	}
@@ -133,6 +138,31 @@ func main() {
 			}
 		})
 		runPersistence(cfg, path)
+		return
+	}
+	if *figure == "ingest" {
+		path := *out
+		if path == "" {
+			path = "BENCH_ingest.json"
+		}
+		cfg := experiments.DefaultIngestConfig()
+		cfg.Seed = *seed
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "clients":
+				cfg.Clients = *clients
+			case "records":
+				cfg.Records = *records
+			case "bow-vocab":
+				cfg.BoWVocab = *bowK
+			case "rate":
+				cfg.TargetOps = *rate
+				if *rate < 0 {
+					cfg.TargetOps = 0 // unpaced: clients saturate
+				}
+			}
+		})
+		runIngest(cfg, path)
 		return
 	}
 
@@ -257,6 +287,26 @@ func runPersistence(cfg experiments.PersistenceConfig, out string) {
 	if out != "" {
 		if err := r.WriteJSON(out); err != nil {
 			log.Fatalf("persistence: writing %s: %v", out, err)
+		}
+		log.Printf("wrote %s", out)
+	}
+}
+
+func runIngest(cfg experiments.IngestConfig, out string) {
+	pace := "unpaced"
+	if cfg.TargetOps > 0 {
+		pace = fmt.Sprintf("%d uploads/sec", cfg.TargetOps)
+	}
+	log.Printf("ingest bench: %d clients, %d records per mode at %s, BoW vocab %d, %d recall probes @%d",
+		cfg.Clients, cfg.Records, pace, cfg.BoWVocab, cfg.Queries, cfg.K)
+	r, err := experiments.RunIngest(cfg)
+	if err != nil {
+		log.Fatalf("ingest: %v", err)
+	}
+	fmt.Println(r.Render())
+	if out != "" {
+		if err := r.WriteJSON(out); err != nil {
+			log.Fatalf("ingest: writing %s: %v", out, err)
 		}
 		log.Printf("wrote %s", out)
 	}

@@ -69,6 +69,8 @@ func run(logger *log.Logger) error {
 		grace      = flag.Duration("shutdown-grace", 10*time.Second, "in-flight drain budget after SIGINT/SIGTERM")
 		rateLimit  = flag.Float64("rate-limit", 0, "admitted requests/sec per client before shedding 429s (0 disables)")
 		rateBurst  = flag.Int("rate-burst", 0, "admission bucket capacity (0 derives from -rate-limit)")
+		ingWork    = flag.Int("ingest-workers", 0, "streaming-ingest pipeline partitions (0 = default)")
+		ingQueue   = flag.Int("ingest-queue", 0, "per-partition ingest queue depth before uploads shed 429s (0 = default)")
 	)
 	flag.Parse()
 
@@ -112,6 +114,8 @@ func run(logger *log.Logger) error {
 		WALSync:        syncMode,
 		FlushThreshold: *flushThr,
 		SnapshotEvery:  *snapEvery,
+		IngestWorkers:  *ingWork,
+		IngestQueue:    *ingQueue,
 	})
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -212,16 +213,55 @@ func (s *Service) ExtractorKinds() []string {
 // feature families: kinds already written stay written (each PutFeature is
 // durable on its own), and the partial list is returned with the error.
 func (s *Service) ExtractAndStore(ctx context.Context, imageID uint64) ([]string, error) {
+	return s.extractKinds(ctx, imageID, s.ExtractorKinds())
+}
+
+// ExtractMissing computes and stores only the feature families not yet
+// present for the image — the idempotent re-drive the ingest pipeline's
+// workers and pending-extraction sweep run: a row that crashed in the
+// persisted-but-unextracted window can be resubmitted any number of times
+// without re-extracting (or re-indexing) the kinds that already landed.
+// Returns the kinds written by this call (nil when nothing was missing).
+func (s *Service) ExtractMissing(ctx context.Context, imageID uint64) ([]string, error) {
+	want := s.ExtractorKinds()
+	have := make(map[string]bool)
+	for _, k := range s.Store.FeatureKinds(imageID) {
+		have[k] = true
+	}
+	missing := want[:0:0]
+	for _, k := range want {
+		if !have[k] {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) == 0 {
+		// Still verify the row exists so callers get ErrNotFound, not a
+		// silent no-op, for a deleted ID.
+		if _, err := s.Store.Describe(imageID); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	return s.extractKinds(ctx, imageID, missing)
+}
+
+// extractKinds is the shared extraction loop over an explicit kind list.
+func (s *Service) extractKinds(ctx context.Context, imageID uint64, kinds []string) ([]string, error) {
 	img, err := s.Store.GetImage(imageID)
 	if err != nil {
 		return nil, err
 	}
-	kinds := s.ExtractorKinds()
 	var done []string
 	for _, kind := range kinds {
 		if err := ctx.Err(); err != nil {
 			return done, err
 		}
+		// A multi-family extraction is several ms of uninterrupted CPU.
+		// Yielding between kinds bounds how long one background
+		// extraction can delay latency-sensitive goroutines (WAL
+		// committer, upload ack paths) on small hosts; on idle hosts it
+		// is a no-op.
+		runtime.Gosched()
 		e, err := s.Extractor(kind)
 		if err != nil {
 			return done, err

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/feature"
 	"repro/internal/imagesim"
+	"repro/internal/ingest"
 	"repro/internal/store"
 	"repro/internal/synth"
 )
@@ -20,6 +22,7 @@ import (
 type env struct {
 	st     *store.Store
 	svc    *analysis.Service
+	pipe   *ingest.Pipeline
 	srv    *httptest.Server
 	client *Client
 }
@@ -40,7 +43,10 @@ func newEnvTimeout(t *testing.T, budget time.Duration) *env {
 	t.Cleanup(func() { st.Close() })
 	svc := analysis.NewService(st)
 	svc.RegisterExtractor(feature.NewColorHistogram())
-	server := NewServer(st, svc, nil)
+	pipe := ingest.New(st, svc, ingest.DefaultConfig())
+	pipe.Start(context.Background())
+	t.Cleanup(func() { pipe.Close() })
+	server := NewServer(st, svc, pipe, nil)
 	server.Clock = func() time.Time { return time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC) }
 	if budget != 0 {
 		server.RequestTimeout = budget
@@ -56,7 +62,7 @@ func newEnvTimeout(t *testing.T, budget time.Duration) *env {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &env{st: st, svc: svc, srv: ts, client: NewClient(ts.URL, key)}
+	return &env{st: st, svc: svc, pipe: pipe, srv: ts, client: NewClient(ts.URL, key)}
 }
 
 func sampleUpload(t *testing.T, seed int64) UploadImageRequest {

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/nn"
 )
 
@@ -50,10 +52,12 @@ func NewClientTimeout(baseURL, apiKey string, timeout time.Duration) *Client {
 	}
 }
 
-// APIError is a non-2xx response.
+// APIError is a non-2xx response. ID, when non-zero, is the row the
+// server persisted before failing — recover it rather than re-uploading.
 type APIError struct {
 	Status  int
 	Message string
+	ID      uint64
 }
 
 // Error implements error.
@@ -105,7 +109,7 @@ func (c *Client) doCtx(ctx context.Context, method, path string, in, out any) er
 	if resp.StatusCode >= 300 {
 		var e ErrorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return &APIError{Status: resp.StatusCode, Message: e.Error}
+		return &APIError{Status: resp.StatusCode, Message: e.Error, ID: e.ID}
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -129,7 +133,9 @@ func (c *Client) CreateKey(userID uint64) (string, error) {
 	return out.Key, err
 }
 
-// UploadImage adds new visual data.
+// UploadImage adds new visual data on the synchronous compatibility path
+// (mode=sync): the response carries the extracted FeatureKinds and the
+// caller pays full extraction latency.
 func (c *Client) UploadImage(req UploadImageRequest) (UploadImageResponse, error) {
 	return c.UploadImageCtx(c.root(), req)
 }
@@ -137,8 +143,101 @@ func (c *Client) UploadImage(req UploadImageRequest) (UploadImageResponse, error
 // UploadImageCtx is UploadImage bounded by the caller's context.
 func (c *Client) UploadImageCtx(ctx context.Context, req UploadImageRequest) (UploadImageResponse, error) {
 	var out UploadImageResponse
+	err := c.doCtx(ctx, "POST", "/api/v1/images?mode=sync", req, &out)
+	return out, err
+}
+
+// UploadImageAsync adds new visual data on the streaming path: the 202
+// ack means the row is WAL-durable; PendingKinds extract behind it (poll
+// ImageStatus). A 429 means the pipeline shed the record unpersisted.
+func (c *Client) UploadImageAsync(req UploadImageRequest) (UploadImageResponse, error) {
+	return c.UploadImageAsyncCtx(c.root(), req)
+}
+
+// UploadImageAsyncCtx is UploadImageAsync bounded by the caller's
+// context.
+func (c *Client) UploadImageAsyncCtx(ctx context.Context, req UploadImageRequest) (UploadImageResponse, error) {
+	var out UploadImageResponse
 	err := c.doCtx(ctx, "POST", "/api/v1/images", req, &out)
 	return out, err
+}
+
+// ImageStatus reports one row's ingest progress ("queued", "failed",
+// "done", or "unknown").
+func (c *Client) ImageStatus(id uint64) (ingest.RecordStatus, error) {
+	var out ingest.RecordStatus
+	err := c.do("GET", fmt.Sprintf("/api/v1/images/%d/status", id), nil, &out)
+	return out, err
+}
+
+// IngestStats fetches the pipeline counters.
+func (c *Client) IngestStats() (IngestStatsDTO, error) {
+	var out IngestStatsDTO
+	err := c.do("GET", "/api/v1/ingest/stats", nil, &out)
+	return out, err
+}
+
+// SweepIngest triggers a pending-extraction sweep and returns the number
+// of rows re-queued.
+func (c *Client) SweepIngest() (int, error) {
+	var out SweepResponse
+	err := c.do("POST", "/api/v1/ingest/sweep", nil, &out)
+	return out.Requeued, err
+}
+
+// StreamImages submits records over the NDJSON /v1/stream endpoint and
+// returns the per-record acks in request order. The Go HTTP/1.1 client
+// cannot interleave request and response bodies, so acks are read after
+// the full batch is sent; wire-level incremental acking is exercised by
+// raw-connection tests and available to any client that streams.
+func (c *Client) StreamImages(reqs []UploadImageRequest) ([]StreamAck, error) {
+	return c.StreamImagesCtx(c.root(), reqs)
+}
+
+// StreamImagesCtx is StreamImages bounded by the caller's context.
+func (c *Client) StreamImagesCtx(ctx context.Context, reqs []UploadImageRequest) ([]StreamAck, error) {
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, r := range reqs {
+		if err := enc.Encode(r); err != nil {
+			return nil, fmt.Errorf("api: encoding stream record: %w", err)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", c.BaseURL+"/api/v1/stream", &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	//tvdp:nolint errdiscard response-body close errors are unactionable; the read path already surfaces transport failures
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, &APIError{Status: resp.StatusCode, Message: e.Error, ID: e.ID}
+	}
+	var acks []StreamAck
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ack StreamAck
+		if err := dec.Decode(&ack); err != nil {
+			if errors.Is(err, io.EOF) {
+				return acks, nil
+			}
+			return acks, fmt.Errorf("api: decoding stream ack: %w", err)
+		}
+		acks = append(acks, ack)
+	}
 }
 
 // GetImage fetches metadata.
@@ -245,8 +344,20 @@ func (c *Client) Dispatch(req DispatchRequest) (DispatchResponse, error) {
 	return out, err
 }
 
-// UploadVideo ingests a video as ordered key frames.
+// UploadVideo ingests a video as ordered key frames on the synchronous
+// compatibility path (mode=sync). The response carries per-frame
+// extraction status: a frame with an Error is still durable and will be
+// re-driven by the pending sweep — do not re-upload the video.
 func (c *Client) UploadVideo(req UploadVideoRequest) (UploadVideoResponse, error) {
+	var out UploadVideoResponse
+	err := c.do("POST", "/api/v1/videos?mode=sync", req, &out)
+	return out, err
+}
+
+// UploadVideoAsync ingests a video on the streaming path: the 202 ack
+// means every frame is WAL-durable (one batch); extraction follows in
+// frame order on the source's partition.
+func (c *Client) UploadVideoAsync(req UploadVideoRequest) (UploadVideoResponse, error) {
 	var out UploadVideoResponse
 	err := c.do("POST", "/api/v1/videos", req, &out)
 	return out, err

@@ -82,11 +82,17 @@ type UploadImageRequest struct {
 	CampaignID uint64    `json:"campaign_id,omitempty"`
 }
 
-// UploadImageResponse confirms ingest.
+// UploadImageResponse confirms ingest. A synchronous upload (mode=sync,
+// HTTP 201) reports the extracted FeatureKinds; a streaming upload (the
+// default, HTTP 202) is acked as soon as the row is WAL-durable and
+// reports the kinds still PendingKinds extraction on the pipeline.
 type UploadImageResponse struct {
 	ID uint64 `json:"id"`
 	// FeatureKinds lists the feature families extracted at ingest.
-	FeatureKinds []string `json:"feature_kinds"`
+	FeatureKinds []string `json:"feature_kinds,omitempty"`
+	// PendingKinds lists the families the pipeline will extract
+	// asynchronously (poll /images/{id}/status).
+	PendingKinds []string `json:"pending_kinds,omitempty"`
 }
 
 // ImageMeta is the downloadable metadata view of one image.
@@ -279,10 +285,28 @@ type UploadVideoRequest struct {
 	} `json:"frames"`
 }
 
-// UploadVideoResponse confirms video ingest.
+// FrameStatusDTO reports one frame of a video upload: its persisted row
+// ID, the feature kinds extracted so far, and the extraction error if
+// any. A frame with an error is still durable — it is re-driven by the
+// pending-extraction sweep, never by re-uploading the video.
+type FrameStatusDTO struct {
+	ID           uint64   `json:"id"`
+	FeatureKinds []string `json:"feature_kinds,omitempty"`
+	Error        string   `json:"error,omitempty"`
+}
+
+// UploadVideoResponse confirms video ingest. The whole video commits as
+// one WAL batch, so the ID and FrameIDs are durable in every response
+// that carries them — including mode=sync responses where some Frames
+// report extraction errors.
 type UploadVideoResponse struct {
 	ID       uint64   `json:"id"`
 	FrameIDs []uint64 `json:"frame_ids"`
+	// Frames carries per-frame extraction status (mode=sync only).
+	Frames []FrameStatusDTO `json:"frames,omitempty"`
+	// PendingKinds lists the families the pipeline will extract
+	// asynchronously for every frame (default streaming mode).
+	PendingKinds []string `json:"pending_kinds,omitempty"`
 }
 
 // CampaignDTO is the wire form of a data-collection campaign.
@@ -316,7 +340,41 @@ type LatLon struct {
 	Lon float64 `json:"lon"`
 }
 
-// ErrorResponse is the uniform error body.
+// ErrorResponse is the uniform error body. ID is set when the request
+// persisted a row before failing (e.g. keywords or extraction failed
+// after the image committed) so the client can recover the durable row
+// instead of re-uploading a duplicate.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	ID    uint64 `json:"id,omitempty"`
+}
+
+// StreamAck is one reply line of the NDJSON /v1/stream endpoint, acking
+// the record on the same-numbered request line. Status is "accepted"
+// (row WAL-durable, extraction pending), "busy" (queue full, nothing
+// persisted — back off and resend), or "error".
+type StreamAck struct {
+	Seq    int    `json:"seq"`
+	ID     uint64 `json:"id,omitempty"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// IngestStatsDTO is the wire form of the pipeline counters plus the
+// current tracking-table size.
+type IngestStatsDTO struct {
+	Submitted  uint64 `json:"submitted"`
+	Shed       uint64 `json:"shed"`
+	Persisted  uint64 `json:"persisted"`
+	Extracted  uint64 `json:"extracted"`
+	Failed     uint64 `json:"failed"`
+	Swept      uint64 `json:"swept"`
+	Refreshes  uint64 `json:"refreshes"`
+	RefreshErr string `json:"refresh_error,omitempty"`
+	Pending    int    `json:"pending"`
+}
+
+// SweepResponse reports a pending-extraction sweep.
+type SweepResponse struct {
+	Requeued int `json:"requeued"`
 }

@@ -1,0 +1,422 @@
+package api
+
+// API-level coverage of the streaming ingestion tier: async 202 +
+// status polling, NDJSON stream acks, backpressure 429s, durable-row
+// error responses that carry the assigned ID, and the video per-frame
+// partial-failure contract.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/feature"
+	"repro/internal/imagesim"
+	"repro/internal/ingest"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+// flakyExtractor fails the first `fails` extractions of marked images
+// (Pix[0].R == flakyMarker), then succeeds — the shape of a transient
+// extraction fault the sweep recovers from.
+type flakyExtractor struct {
+	fails int32
+}
+
+const flakyMarker = 13
+
+func (f *flakyExtractor) Kind() feature.Kind { return "flaky" }
+func (f *flakyExtractor) Dim() int           { return 2 }
+func (f *flakyExtractor) Extract(img *imagesim.Image) ([]float64, error) {
+	if len(img.Pix) > 0 && img.Pix[0].R == flakyMarker && atomic.AddInt32(&f.fails, -1) >= 0 {
+		return nil, errors.New("flaky: transient extraction fault")
+	}
+	return []float64{1, 0}, nil
+}
+
+// blockedExtractor parks every Extract call until gate closes, pinning
+// pipeline slots so admission tests can fill the queue deterministically.
+type blockedExtractor struct {
+	gate chan struct{}
+}
+
+func (b *blockedExtractor) Kind() feature.Kind { return "blocked" }
+func (b *blockedExtractor) Dim() int           { return 1 }
+func (b *blockedExtractor) Extract(img *imagesim.Image) ([]float64, error) {
+	<-b.gate
+	return []float64{1}, nil
+}
+
+// newPipeEnv is newEnv with explicit pipeline config and extra
+// extractors — the knob the backpressure and sweep tests need.
+func newPipeEnv(t *testing.T, icfg ingest.Config, extras ...feature.Extractor) *env {
+	t.Helper()
+	st, err := store.Open(store.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	svc := analysis.NewService(st)
+	svc.RegisterExtractor(feature.NewColorHistogram())
+	for _, e := range extras {
+		svc.RegisterExtractor(e)
+	}
+	pipe := ingest.New(st, svc, icfg)
+	pipe.Start(context.Background())
+	t.Cleanup(func() { pipe.Close() })
+	server := NewServer(st, svc, pipe, nil)
+	server.Clock = func() time.Time { return time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC) }
+	ts := httptest.NewServer(server)
+	t.Cleanup(ts.Close)
+	boot := NewClient(ts.URL, "")
+	uid, err := boot.CreateUser("LASAN", "government")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := boot.CreateKey(uid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{st: st, svc: svc, pipe: pipe, srv: ts, client: NewClient(ts.URL, key)}
+}
+
+func drain(t *testing.T, e *env) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.pipe.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestUploadAsyncAcceptedThenIndexed(t *testing.T) {
+	e := newEnv(t)
+	req := sampleUpload(t, 71)
+	resp, err := e.client.UploadImageAsync(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID == 0 {
+		t.Fatal("async upload returned zero ID")
+	}
+	if len(resp.PendingKinds) != 1 || len(resp.FeatureKinds) != 0 {
+		t.Fatalf("async response = %+v, want pending kinds only", resp)
+	}
+	// The ack means the row is durable right now, before extraction.
+	if _, err := e.st.GetImage(resp.ID); err != nil {
+		t.Fatalf("acked row not readable: %v", err)
+	}
+	drain(t, e)
+	st, err := e.client.ImageStatus(resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || len(st.Kinds) != 1 {
+		t.Fatalf("status after drain = %+v", st)
+	}
+	meta, err := e.client.GetImage(resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.FeatureKinds) != 1 {
+		t.Fatalf("features after drain = %v", meta.FeatureKinds)
+	}
+}
+
+func TestImageStatusUnknownForAbsentRow(t *testing.T) {
+	e := newEnv(t)
+	st, err := e.client.ImageStatus(987654)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "unknown" {
+		t.Fatalf("absent row status = %+v", st)
+	}
+}
+
+func TestStreamEndpointAcksPerRecord(t *testing.T) {
+	e := newEnv(t)
+	const n = 5
+	reqs := make([]UploadImageRequest, n)
+	for i := range reqs {
+		reqs[i] = sampleUpload(t, int64(100+i))
+	}
+	acks, err := e.client.StreamImages(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acks) != n {
+		t.Fatalf("got %d acks, want %d", len(acks), n)
+	}
+	seen := map[uint64]bool{}
+	for i, ack := range acks {
+		if ack.Seq != i+1 || ack.Status != "accepted" || ack.ID == 0 {
+			t.Fatalf("ack %d = %+v", i, ack)
+		}
+		if seen[ack.ID] {
+			t.Fatalf("duplicate ID %d in acks", ack.ID)
+		}
+		seen[ack.ID] = true
+	}
+	drain(t, e)
+	stats, err := e.client.IngestStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Persisted != n || stats.Extracted != n || stats.Pending != 0 {
+		t.Fatalf("stats after stream = %+v", stats)
+	}
+	if e.st.NumImages() != n {
+		t.Fatalf("store has %d images, want %d", e.st.NumImages(), n)
+	}
+}
+
+func TestStreamRejectsMalformedRecordKeepsStreamOpen(t *testing.T) {
+	e := newEnv(t)
+	good := sampleUpload(t, 55)
+	body := &bytes.Buffer{}
+	body.WriteString("{not json}\n")
+	if err := json.NewEncoder(body).Encode(good); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, e.srv.URL+"/api/v1/stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-API-Key", e.client.APIKey)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var acks []StreamAck
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ack StreamAck
+		if err := dec.Decode(&ack); err != nil {
+			break
+		}
+		acks = append(acks, ack)
+	}
+	if len(acks) != 2 {
+		t.Fatalf("got %d acks, want 2: %+v", len(acks), acks)
+	}
+	if acks[0].Status != "error" || acks[0].ID != 0 {
+		t.Fatalf("malformed-record ack = %+v", acks[0])
+	}
+	if acks[1].Status != "accepted" || acks[1].ID == 0 {
+		t.Fatalf("good-record ack after bad = %+v", acks[1])
+	}
+}
+
+func TestUploadBusySheds429WithRetryAfter(t *testing.T) {
+	gate := &blockedExtractor{gate: make(chan struct{})}
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(gate.gate) }) }
+	e := newPipeEnv(t, ingest.Config{Partitions: 1, QueueDepth: 1}, gate)
+	t.Cleanup(release)
+	// First async upload takes the only slot and parks in extraction.
+	if _, err := e.client.UploadImageAsync(sampleUpload(t, 200)); err != nil {
+		t.Fatal(err)
+	}
+	// Admission now sheds: nothing persisted, 429 + Retry-After.
+	before := e.st.NumImages()
+	_, err := e.client.UploadImageAsync(sampleUpload(t, 201))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("busy upload error = %v", err)
+	}
+	if e.st.NumImages() != before {
+		t.Fatal("shed upload persisted a row")
+	}
+	// Raw request to see the Retry-After hint.
+	body, err := json.Marshal(sampleUpload(t, 202))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, e.srv.URL+"/api/v1/images", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-API-Key", e.client.APIKey)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("raw busy response = %d, Retry-After=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	// Stream records during saturation get per-record busy acks — flow
+	// control, not a torn stream.
+	acks, err := e.client.StreamImages([]UploadImageRequest{sampleUpload(t, 203), sampleUpload(t, 204)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ack := range acks {
+		if ack.Status != "busy" || ack.ID != 0 {
+			t.Fatalf("saturated stream ack %d = %+v", i, ack)
+		}
+	}
+	// Sync mode bypasses the queue entirely: it must still succeed while
+	// the async tier is saturated... but it shares extractors, so release
+	// the gate first.
+	release()
+	if _, err := e.client.UploadImage(sampleUpload(t, 205)); err != nil {
+		t.Fatalf("sync upload after release: %v", err)
+	}
+}
+
+func TestUploadSyncErrorCarriesAssignedID(t *testing.T) {
+	flaky := &flakyExtractor{fails: 1}
+	e := newPipeEnv(t, ingest.DefaultConfig(), flaky)
+	req := sampleUpload(t, 300)
+	img, err := req.Pixels.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Pix[0].R = flakyMarker
+	req.Pixels = EncodePixels(img)
+	_, err = e.client.UploadImage(req)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("marked sync upload error = %v", err)
+	}
+	if apiErr.ID == 0 {
+		t.Fatalf("error response lost the assigned ID: %+v", apiErr)
+	}
+	// The row is durable — keywords and colour histogram made it.
+	meta, err := e.client.GetImage(apiErr.ID)
+	if err != nil {
+		t.Fatalf("durable row not readable: %v", err)
+	}
+	if len(meta.Keywords) == 0 {
+		t.Fatalf("durable row lost keywords: %+v", meta)
+	}
+	st, err := e.client.ImageStatus(apiErr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "failed" || st.Err == "" {
+		t.Fatalf("failed row status = %+v", st)
+	}
+	// The sweep re-drives it; the fault was transient, so it completes.
+	n, err := e.client.SweepIngest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("sweep requeued %d rows, want 1", n)
+	}
+	drain(t, e)
+	st, err = e.client.ImageStatus(apiErr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || len(st.Kinds) != 2 {
+		t.Fatalf("status after sweep = %+v", st)
+	}
+}
+
+func TestVideoSyncPartialFrameFailure(t *testing.T) {
+	flaky := &flakyExtractor{fails: 1 << 20}
+	e := newPipeEnv(t, ingest.DefaultConfig(), flaky)
+	g, err := synth.NewGenerator(synth.DefaultConfig(10, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2019, 8, 14, 10, 0, 0, 0, time.UTC)
+	var req UploadVideoRequest
+	req.Description = "partial"
+	req.WorkerID = "drone-9"
+	for i := 0; i < 3; i++ {
+		rec := g.Render(synth.Clean)
+		if i == 1 {
+			rec.Image.Pix[0].R = flakyMarker
+		}
+		req.Frames = append(req.Frames, struct {
+			FOV        FOVDTO    `json:"fov"`
+			Pixels     PixelsDTO `json:"pixels"`
+			CapturedAt time.Time `json:"captured_at"`
+			Keywords   []string  `json:"keywords,omitempty"`
+		}{
+			FOV:        FOVFromGeo(rec.FOV),
+			Pixels:     EncodePixels(rec.Image),
+			CapturedAt: start.Add(time.Duration(i) * time.Second),
+		})
+	}
+	// A frame's extraction fault must NOT fail the video: every frame is
+	// durable (one WAL batch) and a 5xx would invite a duplicating retry.
+	up, err := e.client.UploadVideo(req)
+	if err != nil {
+		t.Fatalf("partial-failure video upload errored: %v", err)
+	}
+	if up.ID == 0 || len(up.FrameIDs) != 3 || len(up.Frames) != 3 {
+		t.Fatalf("video response = %+v", up)
+	}
+	for i, fr := range up.Frames {
+		if fr.ID != up.FrameIDs[i] {
+			t.Fatalf("frame %d status ID %d != %d", i, fr.ID, up.FrameIDs[i])
+		}
+		if i == 1 {
+			if fr.Error == "" {
+				t.Fatalf("marked frame reported no error: %+v", fr)
+			}
+			continue
+		}
+		if fr.Error != "" || len(fr.FeatureKinds) != 2 {
+			t.Fatalf("clean frame %d = %+v", i, fr)
+		}
+	}
+	// All three frames are durable rows despite the failure.
+	for _, id := range up.FrameIDs {
+		if _, err := e.client.GetImage(id); err != nil {
+			t.Fatalf("frame %d not durable: %v", id, err)
+		}
+	}
+}
+
+func TestVideoAsyncAccepted(t *testing.T) {
+	e := newEnv(t)
+	g, err := synth.NewGenerator(synth.DefaultConfig(10, 78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req UploadVideoRequest
+	req.Description = "async"
+	for i := 0; i < 2; i++ {
+		rec := g.Render(synth.Clean)
+		req.Frames = append(req.Frames, struct {
+			FOV        FOVDTO    `json:"fov"`
+			Pixels     PixelsDTO `json:"pixels"`
+			CapturedAt time.Time `json:"captured_at"`
+			Keywords   []string  `json:"keywords,omitempty"`
+		}{FOV: FOVFromGeo(rec.FOV), Pixels: EncodePixels(rec.Image), CapturedAt: rec.CapturedAt})
+	}
+	up, err := e.client.UploadVideoAsync(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.ID == 0 || len(up.FrameIDs) != 2 || len(up.PendingKinds) != 1 {
+		t.Fatalf("async video response = %+v", up)
+	}
+	drain(t, e)
+	for _, id := range up.FrameIDs {
+		meta, err := e.client.GetImage(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(meta.FeatureKinds) != 1 {
+			t.Fatalf("frame %d features = %v", id, meta.FeatureKinds)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package api
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/geo"
 	"repro/internal/index"
+	"repro/internal/ingest"
 	"repro/internal/query"
 	"repro/internal/store"
 )
@@ -35,6 +38,7 @@ type Server struct {
 	Store   store.Backend
 	Service *analysis.Service
 	Query   *query.Engine
+	Ingest  *ingest.Pipeline
 	Logger  *log.Logger
 	// Clock supplies timestamps (injectable for tests).
 	Clock func() time.Time
@@ -57,11 +61,20 @@ type Server struct {
 // one: repeated identical searches hit the generation-stamped result
 // cache, and concurrent identical searches collapse onto one execution.
 // Any store write invalidates, so cached answers are never stale.
-func NewServer(st store.Backend, svc *analysis.Service, logger *log.Logger) *Server {
+//
+// pipe is the ingestion tier every upload path runs through; the caller
+// owns its lifecycle (Start before serving, Close after). A nil pipe
+// builds an unstarted fallback: synchronous uploads still work (they
+// bypass the queues), while streaming submissions answer 503.
+func NewServer(st store.Backend, svc *analysis.Service, pipe *ingest.Pipeline, logger *log.Logger) *Server {
+	if pipe == nil {
+		pipe = ingest.New(st, svc, ingest.DefaultConfig())
+	}
 	s := &Server{
 		Store:          st,
 		Service:        svc,
 		Query:          query.NewCached(st, 0),
+		Ingest:         pipe,
 		Logger:         logger,
 		Clock:          time.Now,
 		RequestTimeout: DefaultRequestTimeout,
@@ -114,6 +127,10 @@ func (s *Server) routes() {
 
 	auth := s.requireKey
 	s.mux.Handle("POST /api/v1/images", auth(s.handleUploadImage))
+	s.mux.Handle("POST /api/v1/stream", auth(s.handleStream))
+	s.mux.Handle("GET /api/v1/ingest/stats", auth(s.handleIngestStats))
+	s.mux.Handle("POST /api/v1/ingest/sweep", auth(s.handleIngestSweep))
+	s.mux.Handle("GET /api/v1/images/{id}/status", auth(s.handleImageStatus))
 	s.mux.Handle("GET /api/v1/images/{id}", auth(s.handleGetImage))
 	s.mux.Handle("GET /api/v1/images/{id}/pixels", auth(s.handleGetPixels))
 	s.mux.Handle("POST /api/v1/images/{id}/annotations", auth(s.handleAnnotate))
@@ -177,6 +194,10 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return StatusClientClosedRequest
+	case errors.Is(err, ingest.ErrBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ingest.ErrStopped):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, store.ErrNotFound), errors.Is(err, analysis.ErrModelNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, store.ErrDuplicate), errors.Is(err, analysis.ErrModelExists):
@@ -228,41 +249,187 @@ func (s *Server) handleCreateKey(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusCreated, CreateKeyResponse{Key: key})
 }
 
+// uploadMode reads the ?mode= selector: "" or "async" is the streaming
+// default, "sync" the inline compatibility path.
+func uploadMode(r *http.Request) (sync bool, err error) {
+	switch m := r.URL.Query().Get("mode"); m {
+	case "", "async":
+		return false, nil
+	case "sync":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown mode %q (want sync or async)", m)
+	}
+}
+
+// writeIngestError surfaces an ingest-path failure. When id is non-zero
+// the row IS durable despite the error (keywords or extraction failed
+// after the image committed), so the body carries the assigned ID —
+// clients recover the row instead of re-uploading a duplicate. ErrBusy
+// additionally gets a Retry-After hint, matching the admission layer.
+func (s *Server) writeIngestError(w http.ResponseWriter, id uint64, err error) {
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	if s.Logger != nil && status >= 500 {
+		s.Logger.Printf("api: %v", err)
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error(), ID: id})
+}
+
+// ingestRecord converts an upload body into the pipeline's input form.
+func (s *Server) ingestRecord(req UploadImageRequest) (ingest.Record, error) {
+	img, err := req.Pixels.Decode()
+	if err != nil {
+		return ingest.Record{}, err
+	}
+	return ingest.Record{
+		Image: store.Image{
+			FOV:                req.FOV.ToGeo(),
+			Pixels:             img,
+			TimestampCapturing: req.CapturedAt,
+			TimestampUploading: s.Clock(),
+			WorkerID:           req.WorkerID,
+			CampaignID:         req.CampaignID,
+		},
+		Keywords: req.Keywords,
+	}, nil
+}
+
 func (s *Server) handleUploadImage(w http.ResponseWriter, r *http.Request) {
+	sync, err := uploadMode(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	req, err := decode[UploadImageRequest](r)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	img, err := req.Pixels.Decode()
+	rec, err := s.ingestRecord(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.Store.AddImage(store.Image{
-		FOV:                req.FOV.ToGeo(),
-		Pixels:             img,
-		TimestampCapturing: req.CapturedAt,
-		TimestampUploading: s.Clock(),
-		WorkerID:           req.WorkerID,
-		CampaignID:         req.CampaignID,
-	})
-	if err != nil {
-		s.writeError(w, statusFor(err), err)
+	if sync {
+		id, kinds, err := s.Ingest.SubmitSync(r.Context(), rec)
+		if err != nil {
+			s.writeIngestError(w, id, err)
+			return
+		}
+		s.writeJSON(w, http.StatusCreated, UploadImageResponse{ID: id, FeatureKinds: kinds})
 		return
 	}
-	if len(req.Keywords) > 0 {
-		if err := s.Store.AddKeywords(id, req.Keywords); err != nil {
-			s.writeError(w, statusFor(err), err)
+	id, err := s.Ingest.SubmitAsync(r.Context(), rec)
+	if err != nil {
+		s.writeIngestError(w, id, err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, UploadImageResponse{ID: id, PendingKinds: s.Service.ExtractorKinds()})
+}
+
+// handleStream is the NDJSON streaming ingest endpoint: one
+// UploadImageRequest per request line, one StreamAck per response line,
+// acked record-by-record as each row becomes WAL-durable. A "busy" ack
+// is flow control — that record persisted nothing and should be resent
+// after a pause; the stream itself stays open.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	// HTTP/1.x servers sever the request body once the response starts;
+	// acks interleave with uploads, so the stream needs full duplex.
+	// Transports that refuse (e.g. HTTP/2) interleave natively.
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil && s.Logger != nil {
+		s.Logger.Printf("api: stream full-duplex unavailable: %v", err)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeAck := func(ack StreamAck) bool {
+		if err := enc.Encode(ack); err != nil {
+			if s.Logger != nil {
+				s.Logger.Printf("api: stream ack: %v", err)
+			}
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), streamMaxLine)
+	seq := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		seq++
+		var req UploadImageRequest
+		ack := StreamAck{Seq: seq}
+		if err := json.Unmarshal(line, &req); err != nil {
+			ack.Status = "error"
+			ack.Error = fmt.Sprintf("invalid JSON record: %v", err)
+			if !writeAck(ack) {
+				return
+			}
+			continue
+		}
+		rec, err := s.ingestRecord(req)
+		if err == nil {
+			ack.ID, err = s.Ingest.SubmitAsync(r.Context(), rec)
+		}
+		switch {
+		case err == nil:
+			ack.Status = "accepted"
+		case errors.Is(err, ingest.ErrBusy):
+			ack.Status = "busy"
+			ack.Error = err.Error()
+		default:
+			ack.Status = "error"
+			ack.Error = err.Error()
+		}
+		if !writeAck(ack) {
 			return
 		}
 	}
-	kinds, err := s.Service.ExtractAndStore(r.Context(), id)
+	if err := sc.Err(); err != nil && s.Logger != nil {
+		s.Logger.Printf("api: stream read: %v", err)
+	}
+}
+
+// streamMaxLine bounds one NDJSON record (pixels ride base64-encoded in
+// the line, so the cap must hold a full raster comfortably).
+const streamMaxLine = 8 << 20
+
+func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
+	st := s.Ingest.Stats()
+	s.writeJSON(w, http.StatusOK, IngestStatsDTO{
+		Submitted: st.Submitted, Shed: st.Shed, Persisted: st.Persisted,
+		Extracted: st.Extracted, Failed: st.Failed, Swept: st.Swept,
+		Refreshes: st.Refreshes, RefreshErr: st.RefreshErr,
+		Pending: len(s.Ingest.Pending()),
+	})
+}
+
+func (s *Server) handleIngestSweep(w http.ResponseWriter, r *http.Request) {
+	n, err := s.Ingest.Sweep(r.Context())
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
 	}
-	s.writeJSON(w, http.StatusCreated, UploadImageResponse{ID: id, FeatureKinds: kinds})
+	s.writeJSON(w, http.StatusOK, SweepResponse{Requeued: n})
+}
+
+func (s *Server) handleImageStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := s.imageID(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.Ingest.Status(id))
 }
 
 func (s *Server) imageID(r *http.Request) (uint64, error) {
@@ -635,6 +802,11 @@ func videoDTO(v store.Video) VideoDTO {
 }
 
 func (s *Server) handleUploadVideo(w http.ResponseWriter, r *http.Request) {
+	sync, err := uploadMode(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	req, err := decode[UploadVideoRequest](r)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -652,18 +824,35 @@ func (s *Server) handleUploadVideo(w http.ResponseWriter, r *http.Request) {
 			CapturedAt: f.CapturedAt, Keywords: f.Keywords,
 		}
 	}
-	vid, ids, err := s.Store.AddVideo(req.Description, req.WorkerID, frames)
-	if err != nil {
-		s.writeError(w, statusFor(err), err)
-		return
-	}
-	for _, id := range ids {
-		if _, err := s.Service.ExtractAndStore(r.Context(), id); err != nil {
+	v := ingest.VideoRecord{Description: req.Description, WorkerID: req.WorkerID, Frames: frames}
+	if sync {
+		vid, results, err := s.Ingest.SubmitVideoSync(r.Context(), v)
+		if err != nil {
+			// Persistence itself failed: nothing durable, safe to retry.
 			s.writeError(w, statusFor(err), err)
 			return
 		}
+		// Per-frame extraction failures are NOT a video error: every
+		// frame is WAL-durable (one batch) and failed frames ride the
+		// pending sweep. A 5xx here would invite a retry that
+		// duplicates the whole video, so the response is 201 with
+		// per-frame status instead.
+		resp := UploadVideoResponse{ID: vid, FrameIDs: make([]uint64, 0, len(results))}
+		for _, fr := range results {
+			resp.FrameIDs = append(resp.FrameIDs, fr.ID)
+			resp.Frames = append(resp.Frames, FrameStatusDTO{ID: fr.ID, FeatureKinds: fr.Kinds, Error: fr.Err})
+		}
+		s.writeJSON(w, http.StatusCreated, resp)
+		return
 	}
-	s.writeJSON(w, http.StatusCreated, UploadVideoResponse{ID: vid, FrameIDs: ids})
+	vid, ids, err := s.Ingest.SubmitVideoAsync(r.Context(), v)
+	if err != nil {
+		s.writeIngestError(w, vid, err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, UploadVideoResponse{
+		ID: vid, FrameIDs: ids, PendingKinds: s.Service.ExtractorKinds(),
+	})
 }
 
 func (s *Server) handleListVideos(w http.ResponseWriter, r *http.Request) {

@@ -40,6 +40,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/geo"
 	"repro/internal/imagesim"
+	"repro/internal/ingest"
 	"repro/internal/ml"
 	"repro/internal/nn"
 	"repro/internal/query"
@@ -82,6 +83,21 @@ type Config struct {
 	// histogram only (CNN and BoW extractors need training data — add
 	// them later via RegisterExtractor).
 	Extractors []feature.Extractor
+	// IngestWorkers is the streaming-ingest partition count (0 means
+	// ingest.DefaultConfig). Records from the same source always land on
+	// the same partition, preserving per-source order.
+	IngestWorkers int
+	// IngestQueue bounds each partition's queued-plus-in-flight records;
+	// past it admission sheds ingest.ErrBusy (HTTP 429). 0 means the
+	// ingest default.
+	IngestQueue int
+	// IngestRefreshEvery fires OnIngestRefresh after this many successful
+	// extractions (0 disables the hook).
+	IngestRefreshEvery int
+	// OnIngestRefresh is the off-path maintenance hook (quantizer / BoW
+	// retrain, snapshot). It runs on the pipeline's refresher goroutine,
+	// never on an upload path.
+	OnIngestRefresh func(context.Context) error
 }
 
 // Platform is one running TVDP instance.
@@ -89,6 +105,10 @@ type Platform struct {
 	Store    store.Backend
 	Analysis *analysis.Service
 	Query    *query.Engine
+	// Pipeline is the staged upload pipeline every entry point (REST
+	// handlers, CLI, Platform.Ingest*) routes through. It is started at
+	// Open and drained at Close.
+	Pipeline *ingest.Pipeline
 }
 
 // Open creates or recovers a platform.
@@ -134,11 +154,38 @@ func Open(cfg Config) (*Platform, error) {
 			svc.RegisterExtractor(e)
 		}
 	}
-	return &Platform{Store: st, Analysis: svc, Query: query.New(st)}, nil
+	icfg := ingest.DefaultConfig()
+	if cfg.IngestWorkers > 0 {
+		icfg.Partitions = cfg.IngestWorkers
+	}
+	if cfg.IngestQueue > 0 {
+		icfg.QueueDepth = cfg.IngestQueue
+	}
+	icfg.RefreshEvery = cfg.IngestRefreshEvery
+	icfg.OnRefresh = cfg.OnIngestRefresh
+	pipe := ingest.New(st, svc, icfg)
+	pipe.Start(context.Background())
+	p := &Platform{Store: st, Analysis: svc, Query: query.New(st), Pipeline: pipe}
+	// At-least-once recovery: rows whose persist committed before a crash
+	// but whose extraction never ran are re-driven now, off the open path.
+	if _, err := pipe.Sweep(context.Background()); err != nil {
+		pipe.Close()
+		st.Close()
+		return nil, err
+	}
+	return p, nil
 }
 
-// Close flushes and closes the underlying store.
-func (p *Platform) Close() error { return p.Store.Close() }
+// Close drains the ingest pipeline (workers still hold store handles),
+// then flushes and closes the underlying store.
+func (p *Platform) Close() error {
+	perr := p.Pipeline.Close()
+	serr := p.Store.Close()
+	if perr != nil {
+		return perr
+	}
+	return serr
+}
 
 // RegisterExtractor adds a feature family (e.g. a trained CNN or BoW
 // extractor) for ingest-time extraction.
@@ -150,63 +197,71 @@ func (p *Platform) RegisterExtractor(e feature.Extractor) {
 // optional keywords, extracts all registered feature families, and
 // returns the new image ID.
 func (p *Platform) Ingest(ctx context.Context, img *imagesim.Image, fov geo.FOV, capturedAt time.Time, keywords []string) (uint64, error) {
-	id, err := p.Store.AddImage(store.Image{
-		FOV:                fov,
-		Pixels:             img,
-		TimestampCapturing: capturedAt,
+	id, _, err := p.Pipeline.SubmitSync(ctx, ingest.Record{
+		Image: store.Image{
+			FOV:                fov,
+			Pixels:             img,
+			TimestampCapturing: capturedAt,
+		},
+		Keywords: keywords,
 	})
-	if err != nil {
-		return 0, err
-	}
-	if len(keywords) > 0 {
-		if err := p.Store.AddKeywords(id, keywords); err != nil {
-			return 0, err
-		}
-	}
-	if _, err := p.Analysis.ExtractAndStore(ctx, id); err != nil {
-		return 0, err
-	}
-	return id, nil
+	return id, err
 }
 
 // IngestRecord stores one synthetic capture record (the MediaQ-style
 // ingest path used by examples and benchmarks).
 func (p *Platform) IngestRecord(ctx context.Context, rec synth.Record) (uint64, error) {
-	id, err := p.Store.AddImage(store.Image{
-		FOV:                rec.FOV,
-		Pixels:             rec.Image,
-		TimestampCapturing: rec.CapturedAt,
-		TimestampUploading: rec.UploadedAt,
-		WorkerID:           rec.WorkerID,
+	id, _, err := p.Pipeline.SubmitSync(ctx, ingest.Record{
+		Image: store.Image{
+			FOV:                rec.FOV,
+			Pixels:             rec.Image,
+			TimestampCapturing: rec.CapturedAt,
+			TimestampUploading: rec.UploadedAt,
+			WorkerID:           rec.WorkerID,
+		},
+		Keywords: rec.Keywords,
 	})
-	if err != nil {
-		return 0, err
-	}
-	if len(rec.Keywords) > 0 {
-		if err := p.Store.AddKeywords(id, rec.Keywords); err != nil {
-			return 0, err
-		}
-	}
-	if _, err := p.Analysis.ExtractAndStore(ctx, id); err != nil {
-		return 0, err
-	}
-	return id, nil
+	return id, err
+}
+
+// IngestRecordAsync admits one capture record to the streaming pipeline:
+// it returns as soon as the row is WAL-durable, with feature extraction
+// and index maintenance completing on a partition worker. ingest.ErrBusy
+// means the partition's queue is full and nothing was persisted — retry
+// after a beat.
+func (p *Platform) IngestRecordAsync(ctx context.Context, rec synth.Record) (uint64, error) {
+	return p.Pipeline.SubmitAsync(ctx, ingest.Record{
+		Image: store.Image{
+			FOV:                rec.FOV,
+			Pixels:             rec.Image,
+			TimestampCapturing: rec.CapturedAt,
+			TimestampUploading: rec.UploadedAt,
+			WorkerID:           rec.WorkerID,
+		},
+		Keywords: rec.Keywords,
+	})
 }
 
 // IngestVideo stores a video as ordered key frames (each a full image
 // row with its own FOV, per the paper's video model) and extracts every
 // registered feature family for each frame.
 func (p *Platform) IngestVideo(ctx context.Context, description, workerID string, frames []store.Frame) (uint64, []uint64, error) {
-	vid, ids, err := p.Store.AddVideo(description, workerID, frames)
+	vid, res, err := p.Pipeline.SubmitVideoSync(ctx, ingest.VideoRecord{
+		Description: description,
+		WorkerID:    workerID,
+		Frames:      frames,
+	})
 	if err != nil {
 		return 0, nil, err
 	}
-	for _, id := range ids {
-		if _, err := p.Analysis.ExtractAndStore(ctx, id); err != nil {
-			return vid, ids, err
+	ids := make([]uint64, len(res))
+	for i, fr := range res {
+		ids[i] = fr.ID
+		if fr.Err != "" && err == nil {
+			err = fmt.Errorf("tvdp: frame %d extraction: %s", fr.ID, fr.Err)
 		}
 	}
-	return vid, ids, nil
+	return vid, ids, err
 }
 
 // CreateClassification registers a labelling scheme (e.g. the LASAN
@@ -251,7 +306,7 @@ func (p *Platform) Search(ctx context.Context, q query.Query) ([]query.Result, q
 
 // Handler returns the REST API handler (paper §V) over this platform.
 func (p *Platform) Handler(logger *log.Logger) http.Handler {
-	return api.NewServer(p.Store, p.Analysis, logger)
+	return api.NewServer(p.Store, p.Analysis, p.Pipeline, logger)
 }
 
 // ServeConfig controls Platform.Serve. The zero value of each field
@@ -293,7 +348,7 @@ func (p *Platform) Serve(ctx context.Context, cfg ServeConfig) error {
 	if cfg.ShutdownGrace <= 0 {
 		cfg.ShutdownGrace = 10 * time.Second
 	}
-	h := api.NewServer(p.Store, p.Analysis, cfg.Logger)
+	h := api.NewServer(p.Store, p.Analysis, p.Pipeline, cfg.Logger)
 	h.RequestTimeout = cfg.RequestTimeout
 	h.RateLimit = cfg.RateLimit
 	h.RateBurst = cfg.RateBurst

@@ -1,0 +1,661 @@
+// Package ingest is the streaming ingestion tier: a staged pipeline
+// (decode → durable persist → extract → index) that decouples the client
+// ack from feature extraction. The design follows the Kafka smart-city
+// guidelines (PAPERS.md): partitioned, consumer-group-style workers keyed
+// by source/worker ID so one source's records stay ordered, bounded
+// queues whose overflow surfaces as ErrBusy at admission (HTTP 429), and
+// at-least-once handoff — the client is acked as soon as the row is
+// WAL-durable (store.AddImage commit), extraction and index maintenance
+// lag behind on the partition workers, and a pending-extraction sweep on
+// open re-drives any row that crashed in the persisted-but-unextracted
+// window.
+//
+// Stage map and the ack point:
+//
+//	decode (caller) → admit (slot or ErrBusy) → persist (WAL commit) ─ack─→ client
+//	                                                 │
+//	                                                 └→ partition queue → extract → index
+//	                                                         └→ every N records: off-path refresh hook
+//
+// The pipeline programs against store.Backend, so it runs unchanged over
+// one *store.Store or a shard.Coordinator — placement and Generation()
+// semantics are the backend's business, not ours.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/store"
+)
+
+// Pipeline errors.
+var (
+	// ErrBusy reports a full partition queue at admission. Nothing was
+	// persisted; the client should back off and retry (HTTP 429).
+	ErrBusy = errors.New("ingest: pipeline busy")
+	// ErrStopped reports a pipeline that is shut down or was never
+	// started. Submissions that already persisted their rows return it
+	// alongside the assigned ID; the sweep re-drives those rows on the
+	// next open.
+	ErrStopped = errors.New("ingest: pipeline stopped")
+)
+
+// Config sizes the pipeline.
+type Config struct {
+	// Partitions is the number of consumer-group workers. Records hash
+	// to a partition by source key (worker ID), so per-source order is
+	// preserved; more partitions add cross-source parallelism.
+	Partitions int
+	// QueueDepth bounds each partition's queue, counted in admission
+	// units (one image or one whole video per unit). A full queue sheds
+	// new work as ErrBusy instead of buffering without bound.
+	QueueDepth int
+	// RefreshEvery fires the off-path refresh hook after every N
+	// extracted records (0 disables). The hook is where periodic
+	// quantization/BoW retrain or snapshotting plugs in without ever
+	// blocking the ingest path.
+	RefreshEvery int
+	// OnRefresh is the hook body. Nil means the counter still advances
+	// but firing is a no-op.
+	OnRefresh func(context.Context) error
+}
+
+// DefaultConfig returns sizing suitable for the 1-CPU reference box: two
+// partitions (ingest extraction overlaps serving, not itself) and a
+// 64-deep queue per partition.
+func DefaultConfig() Config {
+	return Config{Partitions: 2, QueueDepth: 64}
+}
+
+func (c *Config) sanitize() {
+	if c.Partitions <= 0 {
+		c.Partitions = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RefreshEvery < 0 {
+		c.RefreshEvery = 0
+	}
+}
+
+// Record is one image submission.
+type Record struct {
+	// Image carries FOV, pixels, timestamps, worker and campaign IDs.
+	// A zero ID lets the backend allocate; the assigned ID is returned.
+	Image store.Image
+	// Keywords are attached after the image row commits.
+	Keywords []string
+}
+
+// VideoRecord is one video submission: ordered key frames from one
+// source.
+type VideoRecord struct {
+	Description string
+	WorkerID    string
+	Frames      []store.Frame
+}
+
+// FrameResult reports one frame of a sync video submission: its assigned
+// ID, the feature kinds extracted, and the extraction error if any. A
+// failed frame is still persisted and rides the pending sweep.
+type FrameResult struct {
+	ID    uint64
+	Kinds []string
+	Err   string
+}
+
+// State classifies a record the pipeline still tracks.
+type State string
+
+// Record states. Records that finish extraction leave the tracking map;
+// Status infers "done" from the store.
+const (
+	StateQueued State = "queued"
+	StateFailed State = "failed"
+)
+
+// PendingRecord is one tracked record: persisted, not yet (successfully)
+// extracted.
+type PendingRecord struct {
+	ID       uint64
+	State    State
+	Attempts int
+	Err      string
+}
+
+// Stats counts pipeline activity since construction.
+type Stats struct {
+	// Submitted counts admission attempts (records offered).
+	Submitted uint64
+	// Shed counts admissions rejected with ErrBusy.
+	Shed uint64
+	// Persisted counts rows acked WAL-durable (frames count singly).
+	Persisted uint64
+	// Extracted counts records whose extraction completed.
+	Extracted uint64
+	// Failed counts extraction attempts that errored.
+	Failed uint64
+	// Swept counts rows re-driven by the pending-extraction sweep.
+	Swept uint64
+	// Refreshes counts off-path refresh hook firings.
+	Refreshes uint64
+	// RefreshErr is the most recent refresh hook error ("" if none).
+	RefreshErr string
+}
+
+// task is one queue entry: rows already persisted, awaiting extraction.
+type task struct {
+	ids   []uint64
+	swept bool
+}
+
+// partition is one consumer-group member: a bounded queue drained by a
+// single worker goroutine, so entries from one source process in
+// submission order.
+type partition struct {
+	mu sync.Mutex
+	// closed gates sends on tasks; set once by Pipeline.Close.
+	//
+	//tvdp:guardedby mu
+	closed bool
+	// tasks is the bounded queue. Sends only happen with a slot token
+	// held and mu locked, which makes them provably non-blocking.
+	tasks chan task
+	// slots is the admission semaphore: one token per queue entry,
+	// acquired before persist, released by the worker after the entry
+	// finishes processing. cap(slots) == cap(tasks), so queued plus
+	// in-process work is bounded by QueueDepth.
+	slots chan struct{}
+}
+
+// Pipeline is the staged ingestion tier. Construct with New, launch
+// workers with Start, submit with SubmitAsync/SubmitSync/SubmitVideo*,
+// and Close to drain. Safe for concurrent use.
+type Pipeline struct {
+	st    store.Backend
+	svc   *analysis.Service
+	cfg   Config
+	parts []*partition
+
+	// wg joins the partition workers and the refresher.
+	wg sync.WaitGroup
+	// refreshCh coalesces refresh requests; the refresher drains it and
+	// Close closes it.
+	refreshCh chan struct{}
+
+	mu sync.Mutex
+	// started/stopped sequence Start/Close; Submit* requires started and
+	// not stopped.
+	//
+	//tvdp:guardedby mu
+	started bool
+	//tvdp:guardedby mu
+	stopped bool
+	// pending tracks persisted-but-unextracted records.
+	//
+	//tvdp:guardedby mu
+	pending map[uint64]*PendingRecord
+	// outstanding counts queue entries not yet fully processed; Drain
+	// waits for zero.
+	//
+	//tvdp:guardedby mu
+	outstanding int
+	// waiters are Drain callers parked until outstanding hits zero.
+	//
+	//tvdp:guardedby mu
+	waiters []chan struct{}
+	// sinceRefresh counts extracted records since the hook last fired.
+	//
+	//tvdp:guardedby mu
+	sinceRefresh int
+	//tvdp:guardedby mu
+	stats Stats
+}
+
+// New builds a pipeline over st and svc. Call Start before submitting.
+func New(st store.Backend, svc *analysis.Service, cfg Config) *Pipeline {
+	cfg.sanitize()
+	p := &Pipeline{
+		st:        st,
+		svc:       svc,
+		cfg:       cfg,
+		pending:   make(map[uint64]*PendingRecord),
+		refreshCh: make(chan struct{}, 1),
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		p.parts = append(p.parts, &partition{
+			tasks: make(chan task, cfg.QueueDepth),
+			slots: make(chan struct{}, cfg.QueueDepth),
+		})
+	}
+	return p
+}
+
+// Start launches one worker per partition plus the refresher. ctx bounds
+// the extraction work: cancelling it makes in-flight and queued work
+// return fast (rows stay persisted and are swept on the next open); it
+// does not replace Close, which remains the join point.
+func (p *Pipeline) Start(ctx context.Context) error {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return errors.New("ingest: already started")
+	}
+	if p.stopped {
+		p.mu.Unlock()
+		return ErrStopped
+	}
+	p.started = true
+	p.mu.Unlock()
+	for _, part := range p.parts {
+		part := part
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range part.tasks {
+				p.process(ctx, t)
+				<-part.slots
+			}
+		}()
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for range p.refreshCh {
+			p.runRefresh(ctx)
+		}
+	}()
+	return nil
+}
+
+// Close stops admission, drains the queues, and joins every worker.
+// Queued entries are still processed (cancel the Start ctx first for a
+// fast shutdown; unprocessed rows stay persisted for the sweep). Close is
+// idempotent and must precede the backend's Close.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return nil
+	}
+	p.stopped = true
+	started := p.started
+	p.mu.Unlock()
+	for _, part := range p.parts {
+		part.mu.Lock()
+		part.closed = true
+		close(part.tasks)
+		part.mu.Unlock()
+	}
+	close(p.refreshCh)
+	if started {
+		p.wg.Wait()
+	}
+	return nil
+}
+
+// partitionFor hashes a source key onto a partition, the consumer-group
+// keying that keeps one source's records ordered.
+func (p *Pipeline) partitionFor(sourceKey string) *partition {
+	// FNV-1a, inlined: the string form of hash/fnv returns a Write error
+	// that never fires but would still need discarding.
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(sourceKey); i++ {
+		h ^= uint32(sourceKey[i])
+		h *= prime32
+	}
+	return p.parts[int(h)%len(p.parts)]
+}
+
+// partitionForID spreads sweep re-drives by row ID (source ordering is
+// moot for rows being re-driven after a crash).
+func (p *Pipeline) partitionForID(id uint64) *partition {
+	return p.parts[int(id%uint64(len(p.parts)))]
+}
+
+// admit takes one admission slot without blocking, or sheds.
+func (p *Pipeline) admit(part *partition) error {
+	p.mu.Lock()
+	if !p.started || p.stopped {
+		p.mu.Unlock()
+		return ErrStopped
+	}
+	p.stats.Submitted++
+	p.mu.Unlock()
+	select {
+	case part.slots <- struct{}{}:
+		return nil
+	default:
+		p.mu.Lock()
+		p.stats.Shed++
+		p.mu.Unlock()
+		return ErrBusy
+	}
+}
+
+// release returns an unused admission slot (persist failed before the
+// entry reached the queue).
+func (p *Pipeline) release(part *partition) {
+	<-part.slots
+}
+
+// enqueue hands a persisted task to its partition, transferring the
+// caller's slot token to the queue entry. The send cannot block: the
+// token bounds queue occupancy below capacity.
+func (p *Pipeline) enqueue(part *partition, t task) error {
+	p.mu.Lock()
+	for _, id := range t.ids {
+		p.pending[id] = &PendingRecord{ID: id, State: StateQueued}
+	}
+	p.outstanding++
+	p.mu.Unlock()
+	part.mu.Lock()
+	if part.closed {
+		part.mu.Unlock()
+		p.mu.Lock()
+		for _, id := range t.ids {
+			delete(p.pending, id)
+		}
+		p.outstanding--
+		wake := p.takeWaitersLocked()
+		p.mu.Unlock()
+		wakeAll(wake)
+		p.release(part)
+		return ErrStopped
+	}
+	part.tasks <- t
+	part.mu.Unlock()
+	return nil
+}
+
+// persistImage commits the image row (the ack point) and then its
+// keywords. A non-zero returned ID means the row is WAL-durable even when
+// err != nil — the keyword attach failed and the caller must surface the
+// ID so the client can recover without re-uploading.
+func (p *Pipeline) persistImage(rec Record) (uint64, error) {
+	id, err := p.st.AddImage(rec.Image)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	p.stats.Persisted++
+	p.mu.Unlock()
+	if len(rec.Keywords) > 0 {
+		if err := p.st.AddKeywords(id, rec.Keywords); err != nil {
+			return id, fmt.Errorf("image %d persisted, keywords failed: %w", id, err)
+		}
+	}
+	return id, nil
+}
+
+// SubmitAsync admits, persists, and queues one image. It returns once the
+// row is WAL-durable; extraction and indexing follow on the partition
+// worker. ErrBusy means nothing was persisted. A non-zero ID alongside an
+// error means the row is durable but keywords or queueing failed.
+func (p *Pipeline) SubmitAsync(ctx context.Context, rec Record) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	part := p.partitionFor(rec.Image.WorkerID)
+	if err := p.admit(part); err != nil {
+		return 0, err
+	}
+	id, err := p.persistImage(rec)
+	if id == 0 {
+		p.release(part)
+		return 0, err
+	}
+	if qerr := p.enqueue(part, task{ids: []uint64{id}}); qerr != nil {
+		return id, errors.Join(err, qerr)
+	}
+	return id, err
+}
+
+// SubmitSync is the compatibility path: persist and extract inline on the
+// caller's goroutine, returning the kinds written. The admission queue is
+// not involved; callers pay full extraction latency, exactly as the
+// pre-pipeline upload handlers did.
+func (p *Pipeline) SubmitSync(ctx context.Context, rec Record) (uint64, []string, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	id, err := p.persistImage(rec)
+	if id == 0 {
+		return 0, nil, err
+	}
+	kinds, xerr := p.extractRecord(ctx, id)
+	return id, kinds, errors.Join(err, xerr)
+}
+
+// SubmitVideoAsync admits, persists, and queues a whole video. The video
+// — frames, keywords, video row — commits as one WAL batch (one
+// durability wait), then every frame's extraction queues as one entry on
+// the source's partition, preserving frame order.
+func (p *Pipeline) SubmitVideoAsync(ctx context.Context, v VideoRecord) (uint64, []uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	part := p.partitionFor(v.WorkerID)
+	if err := p.admit(part); err != nil {
+		return 0, nil, err
+	}
+	videoID, frameIDs, err := p.st.AddVideo(v.Description, v.WorkerID, v.Frames)
+	if err != nil {
+		p.release(part)
+		return 0, nil, err
+	}
+	p.mu.Lock()
+	p.stats.Persisted += uint64(len(frameIDs))
+	p.mu.Unlock()
+	if qerr := p.enqueue(part, task{ids: frameIDs}); qerr != nil {
+		return videoID, frameIDs, qerr
+	}
+	return videoID, frameIDs, nil
+}
+
+// SubmitVideoSync persists a video and extracts its frames inline. A
+// frame whose extraction fails is reported in its FrameResult and left
+// for the pending sweep — it is NOT an error for the video: the frames
+// are durable, and failing the call would invite a duplicating retry.
+// The returned error is non-nil only when persistence itself failed.
+func (p *Pipeline) SubmitVideoSync(ctx context.Context, v VideoRecord) (uint64, []FrameResult, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	videoID, frameIDs, err := p.st.AddVideo(v.Description, v.WorkerID, v.Frames)
+	if err != nil {
+		return 0, nil, err
+	}
+	p.mu.Lock()
+	p.stats.Persisted += uint64(len(frameIDs))
+	p.mu.Unlock()
+	results := make([]FrameResult, 0, len(frameIDs))
+	for _, id := range frameIDs {
+		fr := FrameResult{ID: id}
+		kinds, xerr := p.extractRecord(ctx, id)
+		fr.Kinds = kinds
+		if xerr != nil {
+			fr.Err = xerr.Error()
+		}
+		results = append(results, fr)
+	}
+	return videoID, results, nil
+}
+
+// extractRecord extracts missing kinds for one row and maintains the
+// tracking map and stats. Used by both the sync paths and the workers.
+func (p *Pipeline) extractRecord(ctx context.Context, id uint64) ([]string, error) {
+	kinds, err := p.svc.ExtractMissing(ctx, id)
+	p.mu.Lock()
+	if err != nil {
+		p.stats.Failed++
+		rec := p.pending[id]
+		if rec == nil {
+			rec = &PendingRecord{ID: id}
+			p.pending[id] = rec
+		}
+		rec.State = StateFailed
+		rec.Attempts++
+		rec.Err = err.Error()
+	} else {
+		p.stats.Extracted++
+		delete(p.pending, id)
+		if p.cfg.RefreshEvery > 0 {
+			p.sinceRefresh++
+			if p.sinceRefresh >= p.cfg.RefreshEvery {
+				p.sinceRefresh = 0
+				select {
+				case p.refreshCh <- struct{}{}:
+				default: // a refresh is already requested
+				}
+			}
+		}
+	}
+	p.mu.Unlock()
+	return kinds, err
+}
+
+// process runs one queue entry on a partition worker.
+func (p *Pipeline) process(ctx context.Context, t task) {
+	for _, id := range t.ids {
+		_, err := p.extractRecord(ctx, id)
+		if t.swept && err == nil {
+			p.mu.Lock()
+			p.stats.Swept++
+			p.mu.Unlock()
+		}
+	}
+	p.mu.Lock()
+	p.outstanding--
+	var wake []chan struct{}
+	if p.outstanding == 0 {
+		wake = p.takeWaitersLocked()
+	}
+	p.mu.Unlock()
+	wakeAll(wake)
+}
+
+// runRefresh fires the off-path refresh hook.
+func (p *Pipeline) runRefresh(ctx context.Context) {
+	fn := p.cfg.OnRefresh
+	var err error
+	if fn != nil {
+		err = fn(ctx)
+	}
+	p.mu.Lock()
+	p.stats.Refreshes++
+	if err != nil {
+		p.stats.RefreshErr = err.Error()
+	}
+	p.mu.Unlock()
+}
+
+//tvdp:requires mu
+func (p *Pipeline) takeWaitersLocked() []chan struct{} {
+	if p.outstanding != 0 {
+		return nil
+	}
+	w := p.waiters
+	p.waiters = nil
+	return w
+}
+
+func wakeAll(ws []chan struct{}) {
+	for _, w := range ws {
+		close(w)
+	}
+}
+
+// Drain blocks until every queued entry has been processed (successfully
+// or not) or ctx is done. It does not stop admission; use Close for
+// shutdown.
+func (p *Pipeline) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	if p.outstanding == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	p.waiters = append(p.waiters, ch)
+	p.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Pending lists tracked records (persisted, not yet successfully
+// extracted), ascending by ID.
+func (p *Pipeline) Pending() []PendingRecord {
+	p.mu.Lock()
+	out := make([]PendingRecord, 0, len(p.pending))
+	for _, r := range p.pending {
+		out = append(out, *r)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RecordStatus is Status's answer for one row.
+type RecordStatus struct {
+	ID uint64 `json:"id"`
+	// State is "queued", "failed", "done", or "unknown" (no such row or
+	// nothing tracked and no features yet).
+	State    string   `json:"state"`
+	Attempts int      `json:"attempts,omitempty"`
+	Err      string   `json:"error,omitempty"`
+	Kinds    []string `json:"feature_kinds,omitempty"`
+}
+
+// Status reports one row's ingest progress. Rows the pipeline no longer
+// tracks are classified from the store: every registered kind present
+// means done.
+func (p *Pipeline) Status(id uint64) RecordStatus {
+	p.mu.Lock()
+	rec := p.pending[id]
+	if rec != nil {
+		out := RecordStatus{ID: id, State: string(rec.State), Attempts: rec.Attempts, Err: rec.Err}
+		p.mu.Unlock()
+		return out
+	}
+	p.mu.Unlock()
+	have := p.st.FeatureKinds(id)
+	if missingKinds(have, p.svc.ExtractorKinds()) == nil && len(have) > 0 {
+		return RecordStatus{ID: id, State: "done", Kinds: have}
+	}
+	return RecordStatus{ID: id, State: "unknown", Kinds: have}
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// missingKinds returns the members of want (sorted) absent from have
+// (sorted).
+func missingKinds(have, want []string) []string {
+	var out []string
+	i := 0
+	for _, w := range want {
+		for i < len(have) && have[i] < w {
+			i++
+		}
+		if i < len(have) && have[i] == w {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package ingest
+
+import "context"
+
+// sweepCheckpoint is the cancellation-poll cadence of the sweep scan.
+const sweepCheckpoint = 64
+
+// Sweep is the at-least-once recovery pass: it scans the backend for rows
+// missing any registered feature kind — the persisted-but-unextracted
+// window left by a crash, a cancelled shutdown, or a failed extraction —
+// and re-queues them. Core runs it once on open, after Start; it can also
+// be invoked on demand. Returns the number of rows re-queued.
+//
+// Admission here blocks (ctx-cancellable) instead of shedding: recovery
+// work must not be lost to a momentarily full queue, and the caller is a
+// background scan, not a latency-sensitive client.
+func (p *Pipeline) Sweep(ctx context.Context) (int, error) {
+	want := p.svc.ExtractorKinds()
+	if len(want) == 0 {
+		return 0, nil
+	}
+	n := 0
+	for i, id := range p.st.ImageIDs() {
+		if i%sweepCheckpoint == 0 {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
+		}
+		if len(missingKinds(p.st.FeatureKinds(id), want)) == 0 {
+			continue
+		}
+		p.mu.Lock()
+		if rec := p.pending[id]; rec != nil && rec.State == StateQueued {
+			p.mu.Unlock()
+			continue // already on a queue
+		}
+		if !p.started || p.stopped {
+			p.mu.Unlock()
+			return n, ErrStopped
+		}
+		p.mu.Unlock()
+		part := p.partitionForID(id)
+		select {
+		case part.slots <- struct{}{}:
+		case <-ctx.Done():
+			return n, ctx.Err()
+		}
+		if err := p.enqueue(part, task{ids: []uint64{id}, swept: true}); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

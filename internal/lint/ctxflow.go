@@ -47,6 +47,7 @@ var CtxFlowBackgroundScope = []string{
 	"repro/internal/store",
 	"repro/internal/analysis",
 	"repro/internal/par",
+	"repro/internal/ingest",
 }
 
 // NewCtxFlow returns the production-configured analyzer.

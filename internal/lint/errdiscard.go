@@ -45,6 +45,7 @@ var ErrDiscardScope = []string{
 	"repro/internal/api",
 	"repro/internal/shard",
 	"repro/internal/query",
+	"repro/internal/ingest",
 }
 
 // NewErrDiscard returns the production-configured analyzer.

@@ -38,6 +38,7 @@ var GoLifecycleScope = []string{
 	"repro/internal/shard",
 	"repro/internal/query",
 	"repro/internal/api",
+	"repro/internal/ingest",
 }
 
 // NewGoLifecycle returns the production-configured analyzer.

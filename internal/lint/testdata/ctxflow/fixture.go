@@ -115,3 +115,32 @@ func gather(results []int, ctx context.Context) error { // want "context.Context
 	_ = results
 	return ctx.Err()
 }
+
+// workerMint is the ingest-pipeline-shaped violation: a partition worker
+// minting a fresh root per dequeued record. Extraction launched under
+// that root outlives pipeline shutdown — cancellation from Close never
+// reaches it.
+func workerMint(queue chan int, process func(context.Context, int) error) {
+	for rec := range queue {
+		ctx := context.Background() // want "originates a root context in a request path"
+		_ = process(ctx, rec)
+	}
+}
+
+// workerDerive is the conforming pipeline-worker shape: the worker loop
+// runs under the context its Start received, so Close's cancel reaches
+// every in-flight record: must stay clean.
+func workerDerive(ctx context.Context, queue chan int, process func(context.Context, int) error) {
+	for rec := range queue {
+		if err := process(ctx, rec); err != nil {
+			return
+		}
+	}
+}
+
+// submitRecord buries the context behind the record in a pipeline
+// admission signature.
+func submitRecord(rec int, ctx context.Context) error { // want "context.Context is not the first parameter"
+	_ = rec
+	return ctx.Err()
+}

@@ -35,3 +35,20 @@ func deferredCapture(f *os.File) (err error) {
 	}()
 	return nil
 }
+
+// pipeline is the ingest-tier shape: Close drains queues and joins
+// workers, and its error reports records that failed during the drain.
+type pipeline struct{}
+
+func (p *pipeline) Close() error { return nil }
+
+// shutdownDiscard drops the drain error — failed-record counts from the
+// shutdown path vanish silently.
+func shutdownDiscard(p *pipeline) {
+	defer p.Close() // want "Close error discarded"
+}
+
+// shutdownHandles propagates the drain error: must stay clean.
+func shutdownHandles(p *pipeline) error {
+	return p.Close()
+}

@@ -100,3 +100,41 @@ func toleratedLeak() {
 		}
 	}()
 }
+
+// consumerGroup is the ingest-pipeline shape: one goroutine per
+// partition ranging a close-drained queue, joined through a WaitGroup.
+// Both provable shapes compose, so this must stay clean.
+type consumerGroup struct {
+	queues []chan int
+	wg     sync.WaitGroup
+}
+
+func (c *consumerGroup) start() {
+	for _, q := range c.queues {
+		c.wg.Add(1)
+		go func(q chan int) {
+			defer c.wg.Done()
+			for rec := range q {
+				_ = rec
+			}
+		}(q)
+	}
+}
+
+func (c *consumerGroup) close() {
+	for _, q := range c.queues {
+		close(q)
+	}
+	c.wg.Wait()
+}
+
+// spawnPerRecord is the pipeline anti-shape: a goroutine per submitted
+// record with no handle — Close has nothing to join, so acked records
+// can still be mid-extraction when the store shuts down under them.
+func spawnPerRecord(records []int) {
+	for _, rec := range records {
+		go func(rec int) { // want "no provable join path"
+			_ = rec * rec
+		}(rec)
+	}
+}

@@ -85,6 +85,17 @@ echo "== crash-recovery property tests (race) =="
 # as "durability broke", not as a generic suite failure.
 go test -race -run 'TestKillAtEveryOffset|TestSnapshotPlusWALOffsetSweep|TestSnapshotCrashDiscardsStaleWAL|TestReopenMutateCycles|TestFaultInjectedTornWrites|TestBitFlipSurfacesCorruption|TestLegacyWALMigration' ./internal/store
 
+echo "== ingest pipeline gate (race) =="
+# The streaming ingestion tier is staged concurrency end to end:
+# partitioned consumer-group workers, slot-token admission that sheds
+# before persist, ack-at-WAL-commit, and the recovery sweep that
+# re-drives the crash window between persist-ack and index insert. All
+# of it must stay race-clean, and a failure here should read as
+# "ingestion pipeline broke", not as a generic suite failure.
+go test -race -run 'TestAckPrecedesExtraction|TestBackpressureShedsBeforePersist|TestPerSourceOrderingPreserved|TestFailedExtractionTrackedAndSweepRedrives|TestRefreshHookFiresOffPath|TestCloseIsIdempotentAndDrainsQueue|TestPipelineOverShardCoordinator' ./internal/ingest
+go test -race -run 'TestStreamEndpointAcksPerRecord|TestUploadBusySheds429WithRetryAfter|TestUploadSyncErrorCarriesAssignedID|TestVideoSyncPartialFrameFailure' ./internal/api
+go test -race -run 'TestCrashBetweenAckAndIndexSweepRedrives|TestReopenAfterCleanCloseSweepsNothing' ./internal/core
+
 echo "== graceful shutdown gate (race) =="
 # The request-lifecycle contract under the race detector: Serve must stop
 # accepting on cancellation, drain in-flight uploads, and leave the store
@@ -211,6 +222,20 @@ go run ./cmd/tvdp-bench -figure persistence -duration 300ms -clients 4 -preload 
 for key in '"figure": "persistence"' '"snapshot"' '"segment"' '"max_stall_ms"' '"flushes"' '"p99_improvement_x"' '"stall_improvement_x"'; do
     if ! grep -q "$key" "$bench_out/BENCH_persistence.json"; then
         echo "BENCH_persistence.json missing $key" >&2
+        exit 1
+    fi
+done
+
+echo "== ingest bench smoke =="
+# A reduced tvdp-bench -figure ingest run must produce a well-formed
+# BENCH_ingest.json. Ack latencies from a tiny unpaced run are noise, so
+# only the report shape is checked — the committed artifact is
+# regenerated at full scale when the pipeline changes. recall_at_k is
+# checked as a key only; its value is pinned by the package tests.
+go run ./cmd/tvdp-bench -figure ingest -records 48 -bow-vocab 8 -clients 2 -rate -1 -out "$bench_out/BENCH_ingest.json"
+for key in '"figure": "ingest"' '"inline"' '"streaming"' '"ack_p50_ms"' '"ack_p99_ms"' '"sheds"' '"recall_at_k"' '"ack_p99_improvement_x"' '"recall_delta"'; do
+    if ! grep -q "$key" "$bench_out/BENCH_ingest.json"; then
+        echo "BENCH_ingest.json missing $key" >&2
         exit 1
     fi
 done
